@@ -1,0 +1,50 @@
+//! Criterion bench: end-to-end sampler comparison on one mid-size
+//! near-Clifford HWEA instance (the Fig. 3 protocol at one grid point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use supersim::{
+    ExtStabBackend, MpsBackend, Simulator, StatevectorBackend, SuperSim, SuperSimConfig,
+};
+
+fn backends(c: &mut Criterion) {
+    let w = workloads::hwea(14, 5, 1, 9);
+    let shots = 1000;
+
+    let mut group = c.benchmark_group("hwea14_sampler");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("supersim", |b| {
+        let sim = SuperSim::new(SuperSimConfig {
+            shots,
+            ..SuperSimConfig::default()
+        });
+        b.iter(|| black_box(sim.run_marginals(&w.circuit, shots, 3).unwrap()))
+    });
+    group.bench_function("statevector", |b| {
+        b.iter(|| black_box(StatevectorBackend.run_marginals(&w.circuit, shots, 3).unwrap()))
+    });
+    group.bench_function("mps", |b| {
+        b.iter(|| {
+            black_box(
+                MpsBackend::default()
+                    .run_marginals(&w.circuit, shots, 3)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("extended_stabilizer", |b| {
+        b.iter(|| {
+            black_box(
+                ExtStabBackend::default()
+                    .run_marginals(&w.circuit, shots, 3)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, backends);
+criterion_main!(benches);

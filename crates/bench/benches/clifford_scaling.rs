@@ -1,0 +1,54 @@
+//! Criterion bench: stabilizer vs statevector scaling on random Clifford
+//! circuits (the Fig. 1 comparison at micro-benchmark scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn clifford_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clifford_vs_sv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [4usize, 8, 12, 16] {
+        let circuit = workloads::random_clifford(n, n, 7);
+        group.bench_with_input(BenchmarkId::new("tableau", n), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let sim = stabsim::TableauSim::run(circuit, &mut rng).unwrap();
+                black_box(sim.sample_all(1000, &mut rng))
+            })
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("statevector", n), &circuit, |b, circuit| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let sv = svsim::StateVec::run(circuit).unwrap();
+                    black_box(sv.sample(1000, &mut rng))
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Bulk sampling cost at large widths (the affine-support fast path).
+    let mut group = c.benchmark_group("tableau_bulk_sampling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 128, 256] {
+        let circuit = workloads::random_clifford(n, 8, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let sim = stabsim::TableauSim::run(circuit, &mut rng).unwrap();
+                black_box(sim.sample_all(5000, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, clifford_scaling);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench: the three SuperSim pipeline stages in isolation —
+//! cutting, fragment evaluation, recombination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutkit::{
+    build_fragment_tensor, cut_circuit, CutStrategy, EvalMode, EvalOptions, Reconstructor,
+    TensorOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pipeline_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cutter");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 64, 128] {
+        let w = workloads::hwea(n, 5, 1, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w.circuit, |b, circuit| {
+            b.iter(|| black_box(cut_circuit(circuit, CutStrategy::default()).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fragment_eval_sampled");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 48] {
+        let w = workloads::hwea(n, 5, 1, 11);
+        let cut = cut_circuit(&w.circuit, CutStrategy::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cut, |b, cut| {
+            let eval = EvalOptions {
+                mode: EvalMode::Sampled { shots: 1000 },
+                ..Default::default()
+            };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                for f in &cut.fragments {
+                    black_box(
+                        build_fragment_tensor(f, &eval, &TensorOptions::default(), &mut rng)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("recombination");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for t_count in [1usize, 2, 3] {
+        let w = workloads::hwea(10, 3, t_count, 23);
+        let cut = cut_circuit(&w.circuit, CutStrategy::default()).unwrap();
+        let eval = EvalOptions {
+            mode: EvalMode::Exact,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let tensors: Vec<_> = cut
+            .fragments
+            .iter()
+            .map(|f| build_fragment_tensor(f, &eval, &TensorOptions::default(), &mut rng).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(t_count),
+            &(tensors, cut.num_cuts, cut.original_qubits),
+            |b, (tensors, k, n)| {
+                b.iter(|| {
+                    let rec = Reconstructor::new(tensors, *k, *n);
+                    black_box(rec.marginals())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_stages);
+criterion_main!(benches);

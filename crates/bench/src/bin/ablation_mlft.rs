@@ -1,0 +1,73 @@
+//! Ablation A: reconstruction fidelity vs shot budget, with and without the
+//! maximum-likelihood fragment-tomography correction and with and without
+//! Clifford `⟨P⟩` snapping.
+//!
+//! Expectation (paper §V-C and §IX): MLFT and snapping both mitigate
+//! sampling error, so the corrected curves should dominate the raw one at
+//! every shot budget.
+
+use metrics::Distribution;
+use qcir::Circuit;
+use supersim::{SuperSim, SuperSimConfig};
+
+fn fidelity(c: &Circuit, cfg: &SuperSimConfig, reps: usize) -> f64 {
+    let sv = svsim::StateVec::run(c).expect("reference fits");
+    let reference = Distribution::from_pairs(c.num_qubits(), sv.distribution(1e-14));
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut cfg = cfg.clone();
+        cfg.seed = rep as u64 * 7919 + 1;
+        let result = SuperSim::new(cfg).run(c).expect("pipeline runs");
+        let dist = result.distribution.expect("joint available");
+        total += reference.hellinger_fidelity(&dist);
+    }
+    total / reps as f64
+}
+
+fn main() {
+    let full = std::env::var("FULL").map(|v| v == "1").unwrap_or(false);
+    let reps = if full { 20 } else { 6 };
+    let w = workloads::hwea(8, 3, 2, 42);
+    println!("# ablation_mlft: HWEA n=8 r=3 t=2, Hellinger fidelity vs shots");
+    println!("shots\traw\tmlft\tsnap\tmlft+snap");
+    let budgets = if full {
+        vec![50, 100, 200, 400, 800, 1600, 3200]
+    } else {
+        vec![50, 150, 400, 1200]
+    };
+    for shots in budgets {
+        let base = SuperSimConfig {
+            shots,
+            mlft: false,
+            clifford_snap: false,
+            ..SuperSimConfig::default()
+        };
+        let raw = fidelity(&w.circuit, &base, reps);
+        let mlft = fidelity(
+            &w.circuit,
+            &SuperSimConfig {
+                mlft: true,
+                ..base.clone()
+            },
+            reps,
+        );
+        let snap = fidelity(
+            &w.circuit,
+            &SuperSimConfig {
+                clifford_snap: true,
+                ..base.clone()
+            },
+            reps,
+        );
+        let both = fidelity(
+            &w.circuit,
+            &SuperSimConfig {
+                mlft: true,
+                clifford_snap: true,
+                ..base
+            },
+            reps,
+        );
+        println!("{shots}\t{raw:.4}\t{mlft:.4}\t{snap:.4}\t{both:.4}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 1: simulation time vs qubit count for random Clifford circuits
+//! (depth = width), stabilizer simulator vs dense statevector.
+//!
+//! Paper protocol: 10k shots, averaged over 100 random circuits, n = 2..20.
+//! The quick grid uses fewer instances; `FULL=1` restores paper scale.
+
+use supersim_bench::{HarnessConfig, Sweep};
+use supersim::{StabilizerBackend, StatevectorBackend, Simulator};
+
+fn main() {
+    let mut config = HarnessConfig::from_env();
+    // Fig. 1 uses 10k shots in the paper.
+    if std::env::var("SHOTS").is_err() {
+        config.shots = if config.full { 10_000 } else { 2000 };
+    }
+    let instances = if config.full { 100 } else { 10 };
+    config.reps = instances;
+
+    let backends: Vec<Box<dyn Simulator>> = vec![
+        Box::new(StabilizerBackend),
+        Box::new(StatevectorBackend),
+    ];
+    let mut sweep = Sweep::new(config, backends);
+    sweep.header(
+        "fig1",
+        "random Clifford circuits, depth = width, stabilizer vs statevector",
+    );
+    let max_n = if config.full { 20 } else { 16 };
+    for n in (2..=max_n).step_by(2) {
+        sweep.point(n, |rep| {
+            workloads::random_clifford(n, n, (n * 1000 + rep) as u64)
+        });
+    }
+}

@@ -1,0 +1,41 @@
+//! SuperSim-RS: Clifford-based circuit cutting for scalable quantum
+//! circuit simulation.
+//!
+//! This crate is the user-facing framework of the reproduction of
+//! *"Clifford-based Circuit Cutting for Quantum Simulation"* (ISCA 2023).
+//! It wires the three pipeline stages of the paper's §V together:
+//!
+//! 1. the **circuit cutter** isolates non-Clifford gates
+//!    ([`cutkit::cut_circuit`]);
+//! 2. the **fragment evaluator** runs every fragment variant on the right
+//!    backend — the stabilizer simulator for Clifford fragments, the exact
+//!    statevector simulator for the rest — optionally in parallel;
+//! 3. the **distribution builder** recombines fragment tensors into the
+//!    uncut circuit's output distribution or single-qubit marginals.
+//!
+//! ```
+//! use qcir::Circuit;
+//! use supersim::{SuperSim, SuperSimConfig};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).t(1).h(1);
+//! let sim = SuperSim::new(SuperSimConfig {
+//!     exact: true,
+//!     ..SuperSimConfig::default()
+//! });
+//! let result = sim.run(&c).unwrap();
+//! assert_eq!(result.report.num_cuts, 2);
+//! let dist = result.distribution.as_ref().unwrap();
+//! assert!((dist.total_mass() - 1.0).abs() < 1e-9);
+//! ```
+
+mod backends;
+mod pipeline;
+
+pub use backends::{
+    BackendError, ExtStabBackend, MpsBackend, Simulator, StabilizerBackend, StatevectorBackend,
+};
+pub use pipeline::{RunReport, RunResult, SuperSim, SuperSimConfig, SuperSimError};
+
+// Re-export the pieces users need to configure the pipeline.
+pub use cutkit::{CutPoint, CutStrategy, EvalMode};

@@ -1,0 +1,487 @@
+//! The SuperSim pipeline: cut → evaluate → recombine.
+
+use cutkit::{
+    correct_tensor, cut_circuit, CutBudgetError, CutStrategy, EvalError, EvalMode, EvalOptions,
+    FragmentTensor, MlftOptions, Reconstructor, TensorOptions,
+};
+use metrics::Distribution;
+use qcir::{Bits, Circuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`SuperSim`] instance.
+///
+/// The defaults match the paper's protocol: 5000-shot sampled fragment
+/// evaluation, MLFT correction, and both Clifford-specific optimizations
+/// (§IX) enabled.
+#[derive(Clone, Debug)]
+pub struct SuperSimConfig {
+    /// Shots per fragment variant in sampled mode.
+    pub shots: usize,
+    /// Machine-precision evaluation (exact fragment distributions) instead
+    /// of sampling.
+    pub exact: bool,
+    /// Cut placement strategy.
+    pub cut_strategy: CutStrategy,
+    /// Apply the maximum-likelihood fragment-tomography correction to
+    /// sampled fragment tensors.
+    pub mlft: bool,
+    /// Snap Clifford-fragment conditional Pauli expectations to
+    /// `{-1, 0, +1}` (paper §IX optimization 1).
+    pub clifford_snap: bool,
+    /// Evaluate Clifford fragments exactly even in sampled mode (the
+    /// zero-shot form of §IX optimization 1); requires supports within
+    /// `exact_support_limit`.
+    pub exact_clifford: bool,
+    /// Skip identically-zero Pauli assignments during recombination
+    /// (paper §IX optimization 2).
+    pub sparse_contraction: bool,
+    /// Evaluate fragments on separate threads.
+    pub parallel: bool,
+    /// Base RNG seed (each fragment derives its own stream).
+    pub seed: u64,
+    /// Build the full joint distribution only when the product of fragment
+    /// supports stays below this.
+    pub joint_support_limit: usize,
+    /// Largest affine-support dimension enumerated in exact Clifford
+    /// evaluation.
+    pub exact_support_limit: usize,
+}
+
+impl Default for SuperSimConfig {
+    fn default() -> Self {
+        SuperSimConfig {
+            shots: 5000,
+            exact: false,
+            cut_strategy: CutStrategy::default(),
+            mlft: true,
+            clifford_snap: true,
+            exact_clifford: false,
+            sparse_contraction: true,
+            parallel: false,
+            seed: 0,
+            joint_support_limit: 2_000_000,
+            exact_support_limit: 16,
+        }
+    }
+}
+
+/// Errors from the SuperSim pipeline.
+#[derive(Debug)]
+pub enum SuperSimError {
+    /// The cutter could not respect the cut budget.
+    Cut(CutBudgetError),
+    /// A fragment could not be evaluated.
+    Eval(EvalError),
+}
+
+impl fmt::Display for SuperSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperSimError::Cut(e) => write!(f, "cutting failed: {e}"),
+            SuperSimError::Eval(e) => write!(f, "fragment evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuperSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuperSimError::Cut(e) => Some(e),
+            SuperSimError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<CutBudgetError> for SuperSimError {
+    fn from(e: CutBudgetError) -> Self {
+        SuperSimError::Cut(e)
+    }
+}
+
+impl From<EvalError> for SuperSimError {
+    fn from(e: EvalError) -> Self {
+        SuperSimError::Eval(e)
+    }
+}
+
+/// Diagnostics of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of fragments after cutting.
+    pub num_fragments: usize,
+    /// Number of Clifford fragments (evaluated on the stabilizer backend).
+    pub clifford_fragments: usize,
+    /// Number of cuts (`k` in the `4^k` reconstruction bound).
+    pub num_cuts: usize,
+    /// Total fragment variants executed.
+    pub num_variants: usize,
+    /// Wall time of the cutting stage.
+    pub cut_time: Duration,
+    /// Wall time of fragment evaluation (all variants).
+    pub eval_time: Duration,
+    /// Wall time of recombination.
+    pub recombine_time: Duration,
+    /// Total Frobenius movement of the MLFT correction (0 without MLFT).
+    pub mlft_moved: f64,
+}
+
+/// Result of a [`SuperSim::run`] call.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Single-qubit marginals of the reconstructed distribution — always
+    /// available, even for hundreds of qubits.
+    pub marginals: Vec<[f64; 2]>,
+    /// The full joint distribution, when the fragment supports are small
+    /// enough (see [`SuperSimConfig::joint_support_limit`]).
+    pub distribution: Option<Distribution>,
+    /// Pipeline diagnostics.
+    pub report: RunReport,
+    tensors: Vec<FragmentTensor>,
+    num_cuts: usize,
+    n_qubits: usize,
+    sparse: bool,
+}
+
+impl RunResult {
+    /// "Strong simulation": the reconstructed probability of a specific
+    /// bitstring (machine precision in exact mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the circuit width.
+    pub fn probability_of(&self, bits: &Bits) -> f64 {
+        Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
+            .with_sparse(self.sparse)
+            .probability_of(bits)
+    }
+
+    /// The fragment tensors of this run (advanced inspection).
+    pub fn tensors(&self) -> &[FragmentTensor] {
+        &self.tensors
+    }
+
+    /// Draws measurement samples from the reconstructed joint distribution.
+    ///
+    /// Returns `None` when the joint distribution was withheld (fragment
+    /// supports too large); use [`RunResult::marginals`] instead in that
+    /// regime.
+    pub fn sample(&self, shots: usize, rng: &mut impl rand::Rng) -> Option<Vec<Bits>> {
+        self.distribution.as_ref().map(|d| d.sample(shots, rng))
+    }
+
+    /// Expectation value `⟨Π_{q∈subset} Z_q⟩` of a diagonal observable on
+    /// the reconstructed distribution. Scales to hundreds of qubits (does
+    /// not require the joint distribution) — the workhorse for VQE-style
+    /// cost functions (paper §IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range.
+    pub fn expectation_z(&self, subset: &[usize]) -> f64 {
+        Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
+            .with_sparse(self.sparse)
+            .expectation_z(subset)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fragments ({} Clifford), {} cuts, {} variants; \
+             cut {:?}, eval {:?}, recombine {:?}",
+            self.num_fragments,
+            self.clifford_fragments,
+            self.num_cuts,
+            self.num_variants,
+            self.cut_time,
+            self.eval_time,
+            self.recombine_time
+        )
+    }
+}
+
+/// The SuperSim framework: Clifford-based circuit cutting simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SuperSim {
+    config: SuperSimConfig,
+}
+
+impl SuperSim {
+    /// Creates a framework instance with the given configuration.
+    pub fn new(config: SuperSimConfig) -> Self {
+        SuperSim { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SuperSimConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuperSimError`] when cutting exceeds the cut budget or a
+    /// fragment cannot be evaluated (too wide for the statevector backend,
+    /// support too large for exact enumeration, noise in exact mode).
+    pub fn run(&self, circuit: &Circuit) -> Result<RunResult, SuperSimError> {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let cut = cut_circuit(circuit, cfg.cut_strategy.clone())?;
+        let cut_time = t0.elapsed();
+
+        let eval = EvalOptions {
+            mode: if cfg.exact {
+                EvalMode::Exact
+            } else {
+                EvalMode::Sampled { shots: cfg.shots }
+            },
+            exact_clifford: cfg.exact_clifford,
+            exact_support_limit: cfg.exact_support_limit,
+        };
+        let topts = TensorOptions {
+            clifford_snap: cfg.clifford_snap,
+        };
+
+        let t1 = Instant::now();
+        let num_variants: usize = cut.fragments.iter().map(|f| f.num_variants()).sum();
+        let clifford_fragments = cut.fragments.iter().filter(|f| f.is_clifford).count();
+        let mut tensors = self.evaluate_fragments(&cut.fragments, &eval, &topts)?;
+
+        let mut mlft_moved = 0.0;
+        if cfg.mlft && !cfg.exact {
+            for t in &mut tensors {
+                mlft_moved += correct_tensor(t, &MlftOptions::default());
+            }
+        }
+        let eval_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let rec = Reconstructor::new(&tensors, cut.num_cuts, cut.original_qubits)
+            .with_sparse(cfg.sparse_contraction);
+        let marginals = rec.marginals();
+        let support: usize = tensors
+            .iter()
+            .map(|t| t.support_len().max(1))
+            .fold(1usize, |a, b| a.saturating_mul(b));
+        let distribution = if support <= cfg.joint_support_limit {
+            let mut d = rec.joint(cfg.joint_support_limit);
+            d.clip_and_normalize();
+            Some(d)
+        } else {
+            None
+        };
+        let recombine_time = t2.elapsed();
+
+        Ok(RunResult {
+            marginals,
+            distribution,
+            report: RunReport {
+                num_fragments: cut.fragments.len(),
+                clifford_fragments,
+                num_cuts: cut.num_cuts,
+                num_variants,
+                cut_time,
+                eval_time,
+                recombine_time,
+                mlft_moved,
+            },
+            tensors,
+            num_cuts: cut.num_cuts,
+            n_qubits: cut.original_qubits,
+            sparse: cfg.sparse_contraction,
+        })
+    }
+
+    fn evaluate_fragments(
+        &self,
+        fragments: &[cutkit::Fragment],
+        eval: &EvalOptions,
+        topts: &TensorOptions,
+    ) -> Result<Vec<FragmentTensor>, SuperSimError> {
+        let seed = self.config.seed;
+        // Paper §X: per-variant simulations are embarrassingly parallel.
+        // Fragments are processed in order; each fragment's variants fan
+        // out across worker threads. Results are deterministic in `seed`
+        // regardless of thread count.
+        let threads = if self.config.parallel {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            1
+        };
+        let mut out = Vec::with_capacity(fragments.len());
+        for (i, frag) in fragments.iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let base_seed: u64 = rng.random();
+            out.push(cutkit::build_fragment_tensor_threaded(
+                frag, eval, topts, base_seed, threads,
+            )?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim::StateVec;
+
+    fn exact_config() -> SuperSimConfig {
+        SuperSimConfig {
+            exact: true,
+            ..SuperSimConfig::default()
+        }
+    }
+
+    fn assert_matches_sv(c: &Circuit, cfg: SuperSimConfig, tol: f64, label: &str) {
+        let result = SuperSim::new(cfg).run(c).unwrap();
+        let sv = StateVec::run(c).unwrap();
+        let dist = result.distribution.as_ref().expect("joint available");
+        for x in 0..1usize << c.num_qubits() {
+            let b = Bits::from_u64(x as u64, c.num_qubits());
+            let got = dist.prob(&b);
+            let expect = sv.probability_of_index(x);
+            assert!(
+                (got - expect).abs() < tol,
+                "{label}: p({b}) = {got} vs sv {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_pipeline_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        assert_matches_sv(&c, exact_config(), 1e-9, "3q 1T");
+    }
+
+    #[test]
+    fn exact_pipeline_two_t_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).h(1).t(1).h(0);
+        assert_matches_sv(&c, exact_config(), 1e-9, "2q 2T");
+    }
+
+    #[test]
+    fn sampled_pipeline_close_to_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let cfg = SuperSimConfig {
+            shots: 20_000,
+            seed: 7,
+            ..SuperSimConfig::default()
+        };
+        assert_matches_sv(&c, cfg, 0.03, "sampled 3q");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let seq = SuperSim::new(exact_config()).run(&c).unwrap();
+        let par = SuperSim::new(SuperSimConfig {
+            parallel: true,
+            ..exact_config()
+        })
+        .run(&c)
+        .unwrap();
+        for x in 0..8u64 {
+            let b = Bits::from_u64(x, 3);
+            let a = seq.distribution.as_ref().unwrap().prob(&b);
+            let p = par.distribution.as_ref().unwrap().prob(&b);
+            assert!((a - p).abs() < 1e-9, "parallel mismatch at {b}");
+        }
+    }
+
+    #[test]
+    fn report_counts_fragments_and_cuts() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1).h(1);
+        let r = SuperSim::new(exact_config()).run(&c).unwrap();
+        assert_eq!(r.report.num_cuts, 2);
+        assert_eq!(r.report.num_fragments, 3);
+        assert_eq!(r.report.clifford_fragments, 2);
+        // 12 variants for the middle T fragment + upstream (3) + downstream (4).
+        assert_eq!(r.report.num_variants, 12 + 3 + 4);
+    }
+
+    #[test]
+    fn strong_simulation_probability() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).h(0).cx(0, 1);
+        let r = SuperSim::new(exact_config()).run(&c).unwrap();
+        let sv = StateVec::run(&c).unwrap();
+        for x in 0..4u64 {
+            let b = Bits::from_u64(x, 2);
+            assert!(
+                (r.probability_of(&b) - sv.probability_of(&b)).abs() < 1e-9,
+                "strong sim at {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_available_without_joint() {
+        // Force the joint off via a tiny support limit.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).t(2).cx(2, 3);
+        let cfg = SuperSimConfig {
+            joint_support_limit: 1,
+            ..exact_config()
+        };
+        let r = SuperSim::new(cfg).run(&c).unwrap();
+        assert!(r.distribution.is_none());
+        assert_eq!(r.marginals.len(), 4);
+        let sv = StateVec::run(&c).unwrap();
+        let sv_dist =
+            Distribution::from_pairs(4, sv.distribution(1e-12));
+        for q in 0..4 {
+            let m = sv_dist.marginal(q);
+            assert!(
+                (r.marginals[q][0] - m[0]).abs() < 1e-9,
+                "marginal q{q}: {:?} vs {m:?}",
+                r.marginals[q]
+            );
+        }
+    }
+
+    #[test]
+    fn pure_clifford_circuit_no_cut_needed() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).s(2);
+        let r = SuperSim::new(exact_config()).run(&c).unwrap();
+        assert_eq!(r.report.num_cuts, 0);
+        assert_eq!(r.report.num_fragments, 1);
+        let dist = r.distribution.unwrap();
+        assert!((dist.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_clifford_optimization_gives_exact_marginals() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).t(2);
+        let cfg = SuperSimConfig {
+            shots: 50, // tiny shot budget...
+            exact_clifford: true, // ...but Clifford fragments evaluated exactly
+            mlft: false,
+            seed: 3,
+            ..SuperSimConfig::default()
+        };
+        let r = SuperSim::new(cfg).run(&c).unwrap();
+        let sv = StateVec::run(&c).unwrap();
+        let sv_marg = Distribution::from_pairs(3, sv.distribution(1e-12));
+        // Only the tiny T fragment is sampled; since it has no circuit
+        // outputs of its own the marginals stay near-exact.
+        for q in 0..2 {
+            assert!(
+                (r.marginals[q][0] - sv_marg.marginal(q)[0]).abs() < 0.05,
+                "qubit {q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Fragment evaluation: dispatching variants to simulator backends.
+//!
+//! This is SuperSim's fragment evaluator (paper §V-B): Clifford fragments
+//! go to the stabilizer simulator ([`stabsim::TableauSim`] /
+//! [`stabsim::FrameSim`] when noisy), everything else goes to the exact
+//! statevector simulator ([`svsim::StateVec`]).
+
+use crate::cut::Fragment;
+use crate::variants::{variant_circuit, Variant};
+use qcir::Bits;
+use rand::Rng;
+use std::fmt;
+
+/// How fragments are evaluated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Exact distributions (machine-precision "strong simulation").
+    Exact,
+    /// Finite-shot sampling, the paper's default protocol (5000 shots).
+    Sampled {
+        /// Shots per fragment variant.
+        shots: usize,
+    },
+}
+
+/// Options controlling fragment evaluation.
+#[derive(Copy, Clone, Debug)]
+pub struct EvalOptions {
+    /// Evaluation mode.
+    pub mode: EvalMode,
+    /// Evaluate Clifford fragments exactly even in sampled mode (the
+    /// strongest form of the paper's §IX "fewer shots" optimization:
+    /// `⟨P⟩ ∈ {-1,0,+1}` read off the tableau at zero shots). Requires the
+    /// support to fit `exact_support_limit`.
+    pub exact_clifford: bool,
+    /// Largest affine-support dimension enumerated exactly (`2^dim`
+    /// outcomes).
+    pub exact_support_limit: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            mode: EvalMode::Sampled { shots: 5000 },
+            exact_clifford: false,
+            exact_support_limit: 16,
+        }
+    }
+}
+
+/// Errors surfaced while evaluating a fragment variant.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// A non-Clifford fragment is too wide for dense simulation.
+    FragmentTooWide(usize),
+    /// Exact mode requested but the Clifford fragment's output support is
+    /// too large to enumerate.
+    SupportTooLarge {
+        /// Support dimension (the distribution has `2^dim` points).
+        dim: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Exact mode cannot evaluate noisy fragments.
+    NoiseInExactMode,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::FragmentTooWide(n) => {
+                write!(f, "non-Clifford fragment with {n} qubits exceeds statevector limit")
+            }
+            EvalError::SupportTooLarge { dim, limit } => write!(
+                f,
+                "Clifford fragment support dimension {dim} exceeds exact enumeration limit {limit}"
+            ),
+            EvalError::NoiseInExactMode => {
+                write!(f, "noise channels cannot be evaluated in exact mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates one variant of a fragment, returning a weighted list of
+/// outcomes over the fragment's local qubits (probabilities for exact mode,
+/// empirical frequencies for sampled mode).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the backend cannot evaluate the variant (too
+/// wide, support too large to enumerate, or noise in exact mode).
+pub fn evaluate_variant(
+    fragment: &Fragment,
+    variant: &Variant,
+    options: &EvalOptions,
+    rng: &mut impl Rng,
+) -> Result<Vec<(Bits, f64)>, EvalError> {
+    let circuit = variant_circuit(fragment, variant);
+    let clifford = fragment.is_clifford; // prep/rotation ops are Clifford
+    let noisy = circuit.has_noise();
+
+    let exact = match options.mode {
+        EvalMode::Exact => true,
+        EvalMode::Sampled { .. } => options.exact_clifford && clifford && !noisy,
+    };
+
+    if clifford {
+        if exact {
+            if noisy {
+                return Err(EvalError::NoiseInExactMode);
+            }
+            let sim = stabsim::TableauSim::run(&circuit, rng)
+                .expect("clifford fragment must run on the tableau");
+            let support = sim.support();
+            let dim = support.dim();
+            if dim <= options.exact_support_limit {
+                let p = 1.0 / (1u64 << dim) as f64;
+                return Ok(support.enumerate().into_iter().map(|b| (b, p)).collect());
+            }
+            // Too large to enumerate: a hard error in exact mode, a
+            // graceful fall-through to sampling when the zero-shot
+            // optimization was merely opportunistic.
+            if let EvalMode::Sampled { shots } = options.mode {
+                return Ok(count_samples(&support.sample_many(shots, rng)));
+            }
+            Err(EvalError::SupportTooLarge {
+                dim,
+                limit: options.exact_support_limit,
+            })
+        } else {
+            let shots = match options.mode {
+                EvalMode::Sampled { shots } => shots,
+                EvalMode::Exact => unreachable!("exact handled above"),
+            };
+            let samples = if noisy {
+                stabsim::FrameSim::sample(&circuit, shots, rng)
+                    .expect("clifford fragment must run on the frame simulator")
+            } else {
+                stabsim::TableauSim::run(&circuit, rng)
+                    .expect("clifford fragment must run on the tableau")
+                    .sample_all(shots, rng)
+            };
+            Ok(count_samples(&samples))
+        }
+    } else {
+        if circuit.num_qubits() > svsim::MAX_QUBITS {
+            return Err(EvalError::FragmentTooWide(circuit.num_qubits()));
+        }
+        match options.mode {
+            EvalMode::Exact => {
+                if noisy {
+                    return Err(EvalError::NoiseInExactMode);
+                }
+                let sv = svsim::StateVec::run(&circuit)
+                    .map_err(|_| EvalError::FragmentTooWide(circuit.num_qubits()))?;
+                Ok(sv.distribution(1e-14))
+            }
+            EvalMode::Sampled { shots } => {
+                let sv = if noisy {
+                    svsim::StateVec::run_noisy(&circuit, rng)
+                } else {
+                    svsim::StateVec::run(&circuit)
+                }
+                .map_err(|_| EvalError::FragmentTooWide(circuit.num_qubits()))?;
+                Ok(count_samples(&sv.sample(shots, rng)))
+            }
+        }
+    }
+}
+
+/// Collapses samples into `(outcome, frequency)` pairs in deterministic
+/// (lexicographic) order so downstream accumulation is bit-reproducible.
+fn count_samples(samples: &[Bits]) -> Vec<(Bits, f64)> {
+    let mut counts: std::collections::BTreeMap<Bits, usize> = std::collections::BTreeMap::new();
+    for s in samples {
+        *counts.entry(s.clone()).or_insert(0) += 1;
+    }
+    let total = samples.len().max(1) as f64;
+    counts
+        .into_iter()
+        .map(|(b, c)| (b, c as f64 / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::{cut_circuit, CutStrategy};
+    use crate::variants::enumerate_variants;
+    use qcir::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn exact_clifford_fragment_distribution_sums_to_one() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let cliff = cut.fragments.iter().find(|f| f.is_clifford).unwrap();
+        let opts = EvalOptions {
+            mode: EvalMode::Exact,
+            ..Default::default()
+        };
+        let mut r = rng();
+        for v in enumerate_variants(cliff) {
+            let data = evaluate_variant(cliff, &v, &opts, &mut r).unwrap();
+            let total: f64 = data.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12, "variant distribution not normalized");
+        }
+    }
+
+    #[test]
+    fn sampled_mode_frequencies_sum_to_one() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let opts = EvalOptions {
+            mode: EvalMode::Sampled { shots: 100 },
+            ..Default::default()
+        };
+        let mut r = rng();
+        for f in &cut.fragments {
+            for v in enumerate_variants(f) {
+                let data = evaluate_variant(f, &v, &opts, &mut r).unwrap();
+                let total: f64 = data.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_sampled_agree_statistically() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let f = cut.fragments.iter().find(|f| !f.is_clifford).unwrap();
+        let v = &enumerate_variants(f)[5];
+        let mut r = rng();
+        let exact = evaluate_variant(
+            f,
+            v,
+            &EvalOptions {
+                mode: EvalMode::Exact,
+                ..Default::default()
+            },
+            &mut r,
+        )
+        .unwrap();
+        let sampled = evaluate_variant(
+            f,
+            v,
+            &EvalOptions {
+                mode: EvalMode::Sampled { shots: 40_000 },
+                ..Default::default()
+            },
+            &mut r,
+        )
+        .unwrap();
+        for (b, p) in &exact {
+            let q = sampled
+                .iter()
+                .find(|(sb, _)| sb == b)
+                .map(|(_, q)| *q)
+                .unwrap_or(0.0);
+            assert!((p - q).abs() < 0.02, "outcome {b}: exact {p} vs sampled {q}");
+        }
+    }
+
+    #[test]
+    fn exact_clifford_override_in_sampled_mode() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let cliff = cut.fragments.iter().find(|f| f.is_clifford).unwrap();
+        let opts = EvalOptions {
+            mode: EvalMode::Sampled { shots: 10 },
+            exact_clifford: true,
+            exact_support_limit: 16,
+        };
+        let mut r = rng();
+        let v = &enumerate_variants(cliff)[0];
+        let data = evaluate_variant(cliff, v, &opts, &mut r).unwrap();
+        // Exact probabilities despite only 10 shots configured: all entries
+        // must be exact powers of 1/2^dim.
+        let total: f64 = data.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for (_, p) in &data {
+            let inv = 1.0 / p;
+            assert!((inv - inv.round()).abs() < 1e-9, "non-dyadic probability {p}");
+        }
+    }
+
+    #[test]
+    fn noise_rejected_in_exact_mode() {
+        let mut c = Circuit::new(1);
+        c.add_noise(qcir::NoiseChannel::BitFlip(0.5), &[0]);
+        c.t(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let mut r = rng();
+        let mut saw_noise_error = false;
+        for f in &cut.fragments {
+            for v in enumerate_variants(f) {
+                let res = evaluate_variant(
+                    f,
+                    &v,
+                    &EvalOptions {
+                        mode: EvalMode::Exact,
+                        ..Default::default()
+                    },
+                    &mut r,
+                );
+                if matches!(res, Err(EvalError::NoiseInExactMode)) {
+                    saw_noise_error = true;
+                }
+            }
+        }
+        assert!(saw_noise_error);
+    }
+}

@@ -1,0 +1,311 @@
+//! Maximum-likelihood fragment-tomography (MLFT) correction.
+//!
+//! Finite-shot fragment tensors are generally *unphysical*: the implied
+//! conditional channels `E_b` need not be completely positive, and the
+//! fragment need not be exactly trace preserving. Following Perlin et al.
+//! (the paper's [40]), this module projects each fragment model onto the
+//! physical set before recombination, which provably reduces the effect of
+//! sampling error:
+//!
+//! 1. for every observed output `b`, rebuild the Choi operator
+//!    `J_b = Σ_{pi,po} T[b,pi,po]/2^qo · (P_po ⊗ P_piᵀ)` and project it
+//!    onto the positive-semidefinite cone (complete positivity);
+//! 2. rescale the whole fragment so `Σ_b T[b, I…I] = 1` (trace
+//!    preservation / normalization).
+//!
+//! With exact fragment data both steps are the identity.
+
+use crate::tensor::FragmentTensor;
+use qcir::{Bits, Pauli};
+use qmath::{psd_project_with_trace, C64, CMat};
+use std::collections::BTreeMap;
+
+/// Options for the MLFT correction.
+#[derive(Copy, Clone, Debug)]
+pub struct MlftOptions {
+    /// Skip the PSD projection for fragments with more than this many cut
+    /// ends (the Choi matrix is `2^(qi+qo)` dimensional).
+    pub max_cut_ends: usize,
+    /// Project a block only when its most negative eigenvalue is below
+    /// `-negativity_tolerance` (in absolute probability-mass units).
+    /// Finite-shot blocks are *slightly* unphysical almost surely;
+    /// projecting those introduces more bias than the variance it removes,
+    /// so the correction acts as a guard against seriously unphysical
+    /// models rather than a blanket filter.
+    pub negativity_tolerance: f64,
+}
+
+impl Default for MlftOptions {
+    fn default() -> Self {
+        MlftOptions {
+            max_cut_ends: 3,
+            negativity_tolerance: 0.05,
+        }
+    }
+}
+
+/// The 2×2 matrix of a Pauli.
+fn pauli_matrix(p: Pauli) -> CMat {
+    let o = C64::ZERO;
+    let l = C64::ONE;
+    let i = C64::i();
+    match p {
+        Pauli::I => CMat::identity(2),
+        Pauli::X => CMat::from_rows(&[&[o, l], &[l, o]]),
+        Pauli::Y => CMat::from_rows(&[&[o, -i], &[i, o]]),
+        Pauli::Z => CMat::from_rows(&[&[l, o], &[o, -l]]),
+    }
+}
+
+/// Builds the Choi-basis matrix `P_po ⊗ P_piᵀ` for a composite Pauli
+/// index with `qi` input digits followed by `qo` output digits
+/// (most-significant first, matching [`FragmentTensor`] layout).
+fn basis_matrix(idx: usize, qi: usize, qo: usize) -> CMat {
+    let digits: Vec<usize> = (0..qi + qo)
+        .rev()
+        .map(|k| (idx >> (2 * k)) & 0b11)
+        .collect();
+    let mut out = CMat::identity(1);
+    // Output part first (acts on the output factor of J).
+    for &d in digits[qi..].iter() {
+        out = out.kron(&pauli_matrix(Pauli::from_index(d)));
+    }
+    for &d in digits[..qi].iter() {
+        out = out.kron(&pauli_matrix(Pauli::from_index(d)).transpose());
+    }
+    out
+}
+
+/// Applies the MLFT physicality correction to a fragment tensor in place.
+///
+/// Returns the Frobenius-norm change summed over all corrected Choi
+/// blocks — zero (up to rounding) for exact fragment data, positive for
+/// noisy sampled data. Useful for diagnostics and tests.
+pub fn correct_tensor(tensor: &mut FragmentTensor, opts: &MlftOptions) -> f64 {
+    let qi = tensor.num_inputs();
+    let qo = tensor.num_outputs();
+    let m = qi + qo;
+    let mut moved = 0.0;
+
+    if m > 0 && m <= opts.max_cut_ends {
+        let d = 1usize << m; // Choi dimension
+        let dim = tensor.pauli_dim();
+        let do_ = (1usize << qo) as f64;
+        // Precompute the Pauli basis matrices once per fragment shape.
+        let basis: Vec<CMat> = (0..dim).map(|idx| basis_matrix(idx, qi, qo)).collect();
+
+        let snapshot: Vec<(Bits, Vec<f64>)> = tensor
+            .iter()
+            .map(|(b, v)| (b.clone(), v.clone()))
+            .collect();
+        let mut corrected: BTreeMap<Bits, Vec<f64>> = BTreeMap::new();
+        for (b, coeffs) in snapshot {
+            // J_b = Σ_idx T[idx]/do · basis[idx]
+            let mut j = CMat::zeros(d, d);
+            for (idx, &t) in coeffs.iter().enumerate() {
+                if t != 0.0 {
+                    j = j.add(&basis[idx].scale(C64::real(t / do_)));
+                }
+            }
+            // Trace-preserving PSD projection: keeps each block's
+            // (unbiased) probability mass while enforcing complete
+            // positivity. Plain eigenvalue clipping would inflate noisy
+            // blocks and bias the reconstruction. Blocks that are only
+            // marginally unphysical are left alone (see
+            // [`MlftOptions::negativity_tolerance`]).
+            let trace = j.trace().re.max(0.0);
+            let min_eig = qmath::eigh(&j).values.first().copied().unwrap_or(0.0);
+            if min_eig >= -opts.negativity_tolerance {
+                corrected.insert(b, coeffs);
+                continue;
+            }
+            let jp = psd_project_with_trace(&j, trace);
+            moved += jp.sub(&j).frobenius_norm();
+            // T'[idx] = do · Tr[basis[idx]·J'] / (di·do) = Tr[...] / di.
+            let di = (1usize << qi) as f64;
+            let new_coeffs: Vec<f64> = (0..dim)
+                .map(|idx| {
+                    let tr = basis[idx].mul(&jp).trace();
+                    debug_assert!(tr.im.abs() < 1e-9, "non-real Choi coefficient");
+                    tr.re / di
+                })
+                .collect();
+            corrected.insert(b, new_coeffs);
+        }
+        for (b, v) in corrected {
+            tensor.set_entry(b, v);
+        }
+        tensor.rebuild_derived(1.0);
+    }
+
+    // Normalization: Σ_b T[b, I…I] = 1 exactly.
+    let mass = tensor.total(0);
+    if mass > 1e-12 {
+        tensor.rebuild_derived(1.0 / mass);
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::{cut_circuit, CutStrategy};
+    use crate::evaluate::{EvalMode, EvalOptions};
+    use crate::tensor::{build_fragment_tensor, TensorOptions};
+    use qcir::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tensors_for(c: &Circuit, eval: &EvalOptions, seed: u64) -> Vec<FragmentTensor> {
+        let cut = cut_circuit(c, CutStrategy::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        cut.fragments
+            .iter()
+            .map(|f| {
+                build_fragment_tensor(
+                    f,
+                    eval,
+                    &TensorOptions {
+                        clifford_snap: false,
+                    },
+                    &mut rng,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basis_matrices_are_orthogonal() {
+        // Tr[B_i · B_j] = d·δ_ij for the Pauli ⊗ Pauliᵀ basis.
+        let d = 4; // qi = qo = 1
+        for i in 0..16 {
+            for j in 0..16 {
+                let bi = basis_matrix(i, 1, 1);
+                let bj = basis_matrix(j, 1, 1);
+                let tr = bi.mul(&bj).trace();
+                let expect = if i == j { d as f64 } else { 0.0 };
+                assert!(
+                    (tr.re - expect).abs() < 1e-12 && tr.im.abs() < 1e-12,
+                    "orthogonality failed at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_tensors_are_fixed_points() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let eval = EvalOptions {
+            mode: EvalMode::Exact,
+            ..Default::default()
+        };
+        for mut t in tensors_for(&c, &eval, 1) {
+            let before: Vec<(Bits, Vec<f64>)> =
+                t.iter().map(|(b, v)| (b.clone(), v.clone())).collect();
+            let moved = correct_tensor(&mut t, &MlftOptions::default());
+            assert!(moved < 1e-8, "exact data should be physical, moved {moved}");
+            for (b, v) in before {
+                for (i, x) in v.iter().enumerate() {
+                    assert!((t.value(&b, i) - x).abs() < 1e-8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_tensors_get_normalized() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let eval = EvalOptions {
+            mode: EvalMode::Sampled { shots: 300 },
+            ..Default::default()
+        };
+        for mut t in tensors_for(&c, &eval, 5) {
+            correct_tensor(&mut t, &MlftOptions::default());
+            assert!(
+                (t.total(0) - 1.0).abs() < 1e-9,
+                "normalization must hold after correction"
+            );
+        }
+    }
+
+    #[test]
+    fn correction_moves_noisy_data_toward_truth() {
+        // Build the T-fragment tensor with few shots; the corrected tensor
+        // must not be further from the exact tensor than the raw one
+        // (averaged over fragments and entries).
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let exact = tensors_for(
+            &c,
+            &EvalOptions {
+                mode: EvalMode::Exact,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut err_raw = 0.0;
+        let mut err_fix = 0.0;
+        for trial in 0..8u64 {
+            let sampled = tensors_for(
+                &c,
+                &EvalOptions {
+                    mode: EvalMode::Sampled { shots: 150 },
+                    ..Default::default()
+                },
+                100 + trial,
+            );
+            for (raw, ex) in sampled.iter().zip(&exact) {
+                let mut fixed = raw.clone();
+                correct_tensor(&mut fixed, &MlftOptions::default());
+                for (b, v) in ex.iter() {
+                    for (i, &x) in v.iter().enumerate() {
+                        err_raw += (raw.value(b, i) - x).powi(2);
+                        err_fix += (fixed.value(b, i) - x).powi(2);
+                    }
+                }
+            }
+        }
+        assert!(
+            err_fix <= err_raw * 1.05,
+            "correction should not hurt: raw {err_raw:.4} vs fixed {err_fix:.4}"
+        );
+    }
+
+    #[test]
+    fn psd_projection_kills_negative_eigenvalues() {
+        // Hand-build an unphysical single-output tensor: |<P>| > 1.
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let eval = EvalOptions {
+            mode: EvalMode::Exact,
+            ..Default::default()
+        };
+        let cutc = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let up = cutc.fragments.iter().find(|f| f.is_clifford).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = build_fragment_tensor(
+            up,
+            &eval,
+            &TensorOptions {
+                clifford_snap: false,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // Corrupt: set <Z> = 1.8 (impossible).
+        let b = Bits::zeros(0);
+        let mut v: Vec<f64> = t.iter().next().unwrap().1.clone();
+        v[3] = 1.8;
+        t.set_entry(b.clone(), v);
+        t.rebuild_derived(1.0);
+        let moved = correct_tensor(&mut t, &MlftOptions::default());
+        assert!(moved > 0.1, "projection must act on unphysical data");
+        let z = t.value(&b, 3);
+        let x = t.value(&b, 1);
+        let norm = (z * z + x * x).sqrt();
+        assert!(norm <= 1.0 + 1e-9, "Bloch vector must be physical, got {norm}");
+    }
+}

@@ -1,0 +1,636 @@
+//! Fragment tensors: from tomographic variant data to Pauli coefficients.
+//!
+//! For a fragment with `qi` quantum inputs and `qo` quantum outputs, the
+//! fragment tensor holds, for every observed circuit-output bitstring `b`,
+//! the coefficients
+//!
+//! ```text
+//! T[b, P_in, P_out] = Tr[ P_out · E_b(P_in) ] / 2^qi
+//! ```
+//!
+//! where `E_b` is the (subnormalized) channel from the quantum inputs to
+//! the quantum outputs conditioned on observing `b`. These are exactly the
+//! objects contracted by the distribution builder: for any set of cuts,
+//! `p(b) = Σ_κ Π_f T_f[b_f, κ_f]` with one Pauli index per cut.
+//!
+//! Estimation follows maximum-likelihood fragment tomography's data
+//! collection: quantum outputs are measured in the three Pauli bases;
+//! quantum inputs are prepared in `{|0⟩,|1⟩,|+⟩,|+i⟩}` and converted to the
+//! Pauli basis with the linear map
+//!
+//! ```text
+//! T[I] = (p₀+p₁)/2    T[X] = p₊ − T[I]
+//! T[Z] = (p₀−p₁)/2    T[Y] = pᵢ − T[I]
+//! ```
+
+use crate::cut::Fragment;
+use crate::evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
+use crate::variants::enumerate_variants;
+use qcir::Bits;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Single-qubit conversion from preparation-state probabilities (columns:
+/// `|0⟩, |1⟩, |+⟩, |+i⟩`) to Pauli coefficients (rows: `I, X, Y, Z`).
+pub const PREP_TO_PAULI: [[f64; 4]; 4] = [
+    [0.5, 0.5, 0.0, 0.0],
+    [-0.5, -0.5, 1.0, 0.0],
+    [-0.5, -0.5, 0.0, 1.0],
+    [0.5, -0.5, 0.0, 0.0],
+];
+
+/// Options controlling tensor construction.
+#[derive(Copy, Clone, Debug)]
+pub struct TensorOptions {
+    /// Snap Clifford-fragment conditional expectations to `{-1, 0, +1}`
+    /// (paper §IX, optimization 1 — valid because stabilizer states have
+    /// no other Pauli expectation values).
+    pub clifford_snap: bool,
+}
+
+impl Default for TensorOptions {
+    fn default() -> Self {
+        TensorOptions {
+            clifford_snap: true,
+        }
+    }
+}
+
+/// The tomographic tensor of one fragment.
+#[derive(Clone, Debug)]
+pub struct FragmentTensor {
+    qi: usize,
+    qo: usize,
+    /// Cut ids per input axis (most-significant digit first).
+    input_cuts: Vec<usize>,
+    /// Cut ids per output axis.
+    output_cuts: Vec<usize>,
+    /// Original-circuit qubit for each circuit-output bit of `b`.
+    co_global: Vec<usize>,
+    /// `b → dense coefficient vector` of length `4^(qi+qo)`.
+    entries: BTreeMap<Bits, Vec<f64>>,
+    /// `Σ_b entries[b]`, per Pauli index.
+    totals: Vec<f64>,
+    /// `max_b |entries[b]|`, per Pauli index (sparse-contraction pruning:
+    /// a zero here means the whole slice vanishes, exactly for stabilizer
+    /// fragments).
+    slice_max: Vec<f64>,
+    /// Per circuit-output bit and value: `Σ_{b: b[bit]=v} entries[b]`.
+    marginals: Vec<[Vec<f64>; 2]>,
+}
+
+impl FragmentTensor {
+    /// Number of quantum inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.qi
+    }
+
+    /// Number of quantum outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.qo
+    }
+
+    /// Length of the dense Pauli-coefficient vectors: `4^(qi+qo)`.
+    pub fn pauli_dim(&self) -> usize {
+        1 << (2 * (self.qi + self.qo))
+    }
+
+    /// Cut ids of the input axes (most-significant first).
+    pub fn input_cuts(&self) -> &[usize] {
+        &self.input_cuts
+    }
+
+    /// Cut ids of the output axes.
+    pub fn output_cuts(&self) -> &[usize] {
+        &self.output_cuts
+    }
+
+    /// Original-circuit qubit indices of the circuit-output bits.
+    pub fn output_globals(&self) -> &[usize] {
+        &self.co_global
+    }
+
+    /// Number of observed circuit-output bitstrings.
+    pub fn support_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterator over `(b, coefficients)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bits, &Vec<f64>)> + '_ {
+        self.entries.iter()
+    }
+
+    /// Coefficient `T[b, idx]`, zero when `b` was never observed.
+    pub fn value(&self, b: &Bits, idx: usize) -> f64 {
+        self.entries.get(b).map_or(0.0, |v| v[idx])
+    }
+
+    /// `Σ_b T[b, idx]`.
+    pub fn total(&self, idx: usize) -> f64 {
+        self.totals[idx]
+    }
+
+    /// `Σ_{b: b[bit]=v} T[b, idx]`.
+    pub fn marginal(&self, bit: usize, v: bool, idx: usize) -> f64 {
+        self.marginals[bit][v as usize][idx]
+    }
+
+    /// `max_b |T[b, idx]|` — zero exactly when the whole Pauli slice
+    /// vanishes.
+    pub fn slice_max_abs(&self, idx: usize) -> f64 {
+        self.slice_max[idx]
+    }
+
+    /// The composite Pauli index for a cut assignment: `digit(cut)` is the
+    /// Pauli on that cut (`I=0, X=1, Y=2, Z=3`).
+    pub fn pauli_index(&self, digit_of_cut: impl Fn(usize) -> usize) -> usize {
+        let mut idx = 0;
+        for &c in &self.input_cuts {
+            idx = idx * 4 + digit_of_cut(c);
+        }
+        for &c in &self.output_cuts {
+            idx = idx * 4 + digit_of_cut(c);
+        }
+        idx
+    }
+
+    /// Replaces the coefficients of an observed `b` (used by the MLFT
+    /// correction) without touching derived sums; call
+    /// [`FragmentTensor::rebuild_derived`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from [`FragmentTensor::pauli_dim`].
+    pub fn set_entry(&mut self, b: Bits, coeffs: Vec<f64>) {
+        assert_eq!(coeffs.len(), self.pauli_dim(), "coefficient length mismatch");
+        self.entries.insert(b, coeffs);
+    }
+
+    /// Scales every coefficient by `scale` and recomputes totals and
+    /// marginals.
+    pub fn rebuild_derived(&mut self, scale: f64) {
+        let dim = self.pauli_dim();
+        let n_out = self.co_global.len();
+        let mut totals = vec![0.0; dim];
+        let mut slice_max = vec![0.0f64; dim];
+        let mut marginals = vec![[vec![0.0; dim], vec![0.0; dim]]; n_out];
+        for (b, v) in self.entries.iter_mut() {
+            for x in v.iter_mut() {
+                *x *= scale;
+            }
+            for (i, &x) in v.iter().enumerate() {
+                totals[i] += x;
+                slice_max[i] = slice_max[i].max(x.abs());
+            }
+            for bit in 0..n_out {
+                let side = b.get(bit) as usize;
+                for (i, &x) in v.iter().enumerate() {
+                    marginals[bit][side][i] += x;
+                }
+            }
+        }
+        self.totals = totals;
+        self.slice_max = slice_max;
+        self.marginals = marginals;
+    }
+
+    /// Pauli indices whose slice is not identically zero — the §IX
+    /// "fewer stitching calculations" optimization enumerates only these.
+    pub fn nonzero_indices(&self, tol: f64) -> Vec<usize> {
+        (0..self.pauli_dim())
+            .filter(|&i| self.slice_max[i] > tol)
+            .collect()
+    }
+}
+
+/// Builds the tomographic tensor of a fragment by evaluating all of its
+/// variants.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from fragment evaluation.
+pub fn build_fragment_tensor(
+    fragment: &Fragment,
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    rng: &mut impl Rng,
+) -> Result<FragmentTensor, EvalError> {
+    let base_seed: u64 = rng.random();
+    build_fragment_tensor_threaded(fragment, eval, opts, base_seed, 1)
+}
+
+/// Derives the RNG for one variant from the fragment's base seed.
+fn variant_rng(base_seed: u64, variant_index: usize) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(
+        base_seed ^ (variant_index as u64 + 1).wrapping_mul(0xD1B54A32D192ED03),
+    )
+}
+
+/// Accumulates one variant's outcome data into the prep-indexed tensor
+/// accumulator `M[b][s·4^qo + po]`.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_variant(
+    m: &mut BTreeMap<Bits, Vec<f64>>,
+    data: Vec<(Bits, f64)>,
+    variant: &crate::variants::Variant,
+    co_local: &[usize],
+    qo_local: &[usize],
+    qo: usize,
+    dim: usize,
+    inv3: &[f64],
+) {
+    let pow4_qo = 1usize << (2 * qo);
+    let s = variant.prep_index();
+    let basis_digits: Vec<usize> = variant.bases.iter().map(|b| b.pauli_digit()).collect();
+    for (bits, p) in data {
+        let b = bits.extract(co_local);
+        let mv = m.entry(b).or_insert_with(|| vec![0.0; dim]);
+        let mbits: Vec<bool> = qo_local.iter().map(|&q| bits.get(q)).collect();
+        // Each subset of quantum outputs marks positions carrying the
+        // variant's basis Pauli; the rest are identity.
+        for subset in 0..(1usize << qo) {
+            let mut po = 0usize;
+            let mut sign = 1.0;
+            for j in 0..qo {
+                let active = (subset >> (qo - 1 - j)) & 1 == 1;
+                po = po * 4 + if active { basis_digits[j] } else { 0 };
+                if active && mbits[j] {
+                    sign = -sign;
+                }
+            }
+            let t = qo - subset.count_ones() as usize;
+            mv[s * pow4_qo + po] += p * sign * inv3[t];
+        }
+    }
+}
+
+/// Builds the tomographic tensor of a fragment, evaluating variants on up
+/// to `threads` worker threads (the paper's §X parallelization of
+/// per-variant simulation). Deterministic for a given `base_seed`
+/// regardless of thread count.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from fragment evaluation.
+pub fn build_fragment_tensor_threaded(
+    fragment: &Fragment,
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    base_seed: u64,
+    threads: usize,
+) -> Result<FragmentTensor, EvalError> {
+    let qi = fragment.quantum_inputs.len();
+    let qo = fragment.quantum_outputs.len();
+    let dim = 1usize << (2 * (qi + qo));
+    let co_local: Vec<usize> = fragment.circuit_outputs.iter().map(|&(l, _)| l).collect();
+    let co_global: Vec<usize> = fragment.circuit_outputs.iter().map(|&(_, g)| g).collect();
+    let qo_local: Vec<usize> = fragment.quantum_outputs.iter().map(|&(l, _)| l).collect();
+    let pow4_qo = 1usize << (2 * qo);
+
+    // 1/3^t weights for averaging the 3^t basis variants compatible with a
+    // Pauli pattern that has t identity digits.
+    let inv3: Vec<f64> = (0..=qo).map(|t| 3f64.powi(-(t as i32))).collect();
+
+    let variants = enumerate_variants(fragment);
+    let threads = threads.clamp(1, variants.len().max(1));
+
+    // Intermediate accumulator M[b][s·4^qo + po]: prep-state-indexed.
+    let mut m: BTreeMap<Bits, Vec<f64>> = BTreeMap::new();
+    if threads <= 1 {
+        for (vi, variant) in variants.iter().enumerate() {
+            let mut rng = variant_rng(base_seed, vi);
+            let data = evaluate_variant(fragment, variant, eval, &mut rng)?;
+            accumulate_variant(&mut m, data, variant, &co_local, &qo_local, qo, dim, &inv3);
+        }
+    } else {
+        let chunk = variants.len().div_ceil(threads);
+        let partials: Vec<Result<BTreeMap<Bits, Vec<f64>>, EvalError>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (ci, slice) in variants.chunks(chunk).enumerate() {
+                    let co_local = &co_local;
+                    let qo_local = &qo_local;
+                    let inv3 = &inv3;
+                    handles.push(scope.spawn(move || {
+                        let mut local: BTreeMap<Bits, Vec<f64>> = BTreeMap::new();
+                        for (oi, variant) in slice.iter().enumerate() {
+                            let vi = ci * chunk + oi;
+                            let mut rng = variant_rng(base_seed, vi);
+                            let data = evaluate_variant(fragment, variant, eval, &mut rng)?;
+                            accumulate_variant(
+                                &mut local, data, variant, co_local, qo_local, qo, dim, inv3,
+                            );
+                        }
+                        Ok(local)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("variant worker panicked"))
+                    .collect()
+            });
+        for partial in partials {
+            for (b, v) in partial? {
+                match m.entry(b) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        for (a, x) in e.get_mut().iter_mut().zip(&v) {
+                            *a += x;
+                        }
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    // Optional Clifford snap: conditional expectations of stabilizer states
+    // are exactly -1, 0, or +1. Noisy fragments prepare *mixed* states with
+    // fractional expectations, so the snap must not touch them.
+    let snapped = opts.clifford_snap
+        && fragment.is_clifford
+        && !fragment.circuit.has_noise()
+        && matches!(eval.mode, EvalMode::Sampled { .. });
+    if snapped {
+        for v in m.values_mut() {
+            for s in 0..(1usize << (2 * qi)) {
+                let norm = v[s * pow4_qo];
+                if norm.abs() < 1e-12 {
+                    continue;
+                }
+                for po in 1..pow4_qo {
+                    let r = v[s * pow4_qo + po] / norm;
+                    let snap = r.round().clamp(-1.0, 1.0);
+                    v[s * pow4_qo + po] = snap * norm;
+                }
+            }
+        }
+    }
+
+    // Convert each input axis from preparation-state to Pauli coordinates.
+    for v in m.values_mut() {
+        for axis in 0..qi {
+            let stride = (1usize << (2 * (qi - 1 - axis))) * pow4_qo;
+            transform_axis(v, stride, &PREP_TO_PAULI);
+        }
+    }
+
+    let mut tensor = FragmentTensor {
+        qi,
+        qo,
+        input_cuts: fragment.quantum_inputs.iter().map(|&(_, c)| c).collect(),
+        output_cuts: fragment.quantum_outputs.iter().map(|&(_, c)| c).collect(),
+        co_global,
+        entries: m,
+        totals: Vec::new(),
+        slice_max: Vec::new(),
+        marginals: Vec::new(),
+    };
+    tensor.rebuild_derived(1.0);
+    Ok(tensor)
+}
+
+/// In-place contraction of one base-4 axis (identified by its stride) with
+/// a 4×4 matrix: `new[digit=r] = Σ_c mat[r][c]·old[digit=c]`.
+fn transform_axis(v: &mut [f64], stride: usize, mat: &[[f64; 4]; 4]) {
+    let len = v.len();
+    let mut i = 0;
+    while i < len {
+        // `i` iterates over positions whose axis digit is 0.
+        let old = [v[i], v[i + stride], v[i + 2 * stride], v[i + 3 * stride]];
+        for (r, row) in mat.iter().enumerate() {
+            let mut acc = 0.0;
+            for (c, &val) in old.iter().enumerate() {
+                acc += row[c] * val;
+            }
+            v[i + r * stride] = acc;
+        }
+        // Advance to the next digit-0 position.
+        i += 1;
+        if i % stride == 0 {
+            i += 3 * stride;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::{cut_circuit, CutStrategy};
+    use qcir::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn exact_opts() -> EvalOptions {
+        EvalOptions {
+            mode: EvalMode::Exact,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn axis_transform_identity() {
+        let id = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        let mut v: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        let orig = v.clone();
+        transform_axis(&mut v, 4, &id);
+        transform_axis(&mut v, 1, &id);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn axis_transform_permutation() {
+        // Swap digits 0<->1 on the stride-1 axis of a 2-axis tensor.
+        let swap01 = [
+            [0.0, 1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        let mut v: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        transform_axis(&mut v, 1, &swap01);
+        for hi in 0..4 {
+            assert_eq!(v[hi * 4], (hi * 4 + 1) as f64);
+            assert_eq!(v[hi * 4 + 1], (hi * 4) as f64);
+            assert_eq!(v[hi * 4 + 2], (hi * 4 + 2) as f64);
+        }
+    }
+
+    /// Upstream |0>-state fragment: T[∅, I]=1, T[∅, Z]=1, X=Y=0.
+    #[test]
+    fn upstream_zero_state_tensor() {
+        // Circuit: single wire ending in a cut: "I q0 ; T q0" cut before T.
+        let mut c = Circuit::new(1);
+        c.add_gate(qcir::Gate::I, &[0]).t(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let up = cut
+            .fragments
+            .iter()
+            .find(|f| f.is_clifford && f.quantum_outputs.len() == 1)
+            .expect("upstream fragment");
+        let t = build_fragment_tensor(up, &exact_opts(), &TensorOptions::default(), &mut rng())
+            .unwrap();
+        let b = Bits::zeros(0);
+        assert!((t.value(&b, 0) - 1.0).abs() < 1e-12, "I component");
+        assert!((t.value(&b, 3) - 1.0).abs() < 1e-12, "Z component");
+        assert!(t.value(&b, 1).abs() < 1e-12, "X component");
+        assert!(t.value(&b, 2).abs() < 1e-12, "Y component");
+    }
+
+    /// Upstream |+>-state fragment: T[∅, X] = 1.
+    #[test]
+    fn upstream_plus_state_tensor() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let up = cut
+            .fragments
+            .iter()
+            .find(|f| f.is_clifford && f.quantum_outputs.len() == 1)
+            .unwrap();
+        let t = build_fragment_tensor(up, &exact_opts(), &TensorOptions::default(), &mut rng())
+            .unwrap();
+        let b = Bits::zeros(0);
+        assert!((t.value(&b, 0) - 1.0).abs() < 1e-12);
+        assert!((t.value(&b, 1) - 1.0).abs() < 1e-12, "X component of |+>");
+        assert!(t.value(&b, 3).abs() < 1e-12, "Z component of |+>");
+    }
+
+    /// Downstream identity fragment: measuring the prepared state directly.
+    #[test]
+    fn downstream_identity_tensor() {
+        let mut c = Circuit::new(1);
+        c.t(0).add_gate(qcir::Gate::I, &[0]);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let down = cut
+            .fragments
+            .iter()
+            .find(|f| f.is_clifford && f.quantum_inputs.len() == 1)
+            .expect("downstream fragment");
+        let t = build_fragment_tensor(down, &exact_opts(), &TensorOptions::default(), &mut rng())
+            .unwrap();
+        let b0 = Bits::from_u64(0, 1);
+        let b1 = Bits::from_u64(1, 1);
+        // T[0,I]=1/2, T[0,Z]=1/2, T[1,I]=1/2, T[1,Z]=-1/2, X=Y=0.
+        assert!((t.value(&b0, 0) - 0.5).abs() < 1e-12);
+        assert!((t.value(&b0, 3) - 0.5).abs() < 1e-12);
+        assert!((t.value(&b1, 0) - 0.5).abs() < 1e-12);
+        assert!((t.value(&b1, 3) + 0.5).abs() < 1e-12);
+        assert!(t.value(&b0, 1).abs() < 1e-12);
+        assert!(t.value(&b1, 2).abs() < 1e-12);
+        // Trace preservation: Σ_b T[b, P≠I] = 0, Σ_b T[b,I] = 1.
+        assert!((t.total(0) - 1.0).abs() < 1e-12);
+        for idx in 1..3 {
+            assert!(t.total(idx).abs() < 1e-12);
+        }
+    }
+
+    /// Middle fragment (T gate): verify against analytic values.
+    #[test]
+    fn middle_t_gate_tensor() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let tf = cut.fragments.iter().find(|f| !f.is_clifford).unwrap();
+        let t = build_fragment_tensor(tf, &exact_opts(), &TensorOptions::default(), &mut rng())
+            .unwrap();
+        let b = Bits::zeros(0);
+        // T[P_in, P_out] = Tr[P_out T P_in T†]/2:
+        //   I→I: 1, Z→Z: 1, X→X: cos(π/4), X→Y: sin(π/4),
+        //   Y→Y: cos(π/4), Y→X: -sin(π/4).
+        let c45 = std::f64::consts::FRAC_PI_4.cos();
+        let idx = |pi: usize, po: usize| pi * 4 + po;
+        assert!((t.value(&b, idx(0, 0)) - 1.0).abs() < 1e-12, "I->I");
+        assert!((t.value(&b, idx(3, 3)) - 1.0).abs() < 1e-12, "Z->Z");
+        assert!((t.value(&b, idx(1, 1)) - c45).abs() < 1e-12, "X->X");
+        assert!((t.value(&b, idx(1, 2)) - c45).abs() < 1e-12, "X->Y");
+        assert!((t.value(&b, idx(2, 2)) - c45).abs() < 1e-12, "Y->Y");
+        assert!((t.value(&b, idx(2, 1)) + c45).abs() < 1e-12, "Y->X");
+        assert!(t.value(&b, idx(0, 3)).abs() < 1e-12, "I->Z");
+        assert!(t.value(&b, idx(1, 3)).abs() < 1e-12, "X->Z");
+    }
+
+    #[test]
+    fn clifford_fragment_has_sparse_pauli_support() {
+        // §IX optimization 2: stabilizer states have mostly-zero Pauli
+        // coefficients. A GHZ-producing upstream fragment over 2 cut qubits
+        // has at most 1/4 of coefficients non-zero... here just check that
+        // zeros exist in abundance.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(0).t(1);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let up = cut
+            .fragments
+            .iter()
+            .find(|f| f.is_clifford && f.quantum_outputs.len() == 2)
+            .expect("two-cut upstream fragment");
+        let t = build_fragment_tensor(up, &exact_opts(), &TensorOptions::default(), &mut rng())
+            .unwrap();
+        let nonzero = t.nonzero_indices(1e-9).len();
+        assert!(nonzero <= 4, "Bell-pair upstream should have ≤4 nonzero Paulis, got {nonzero}");
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(0).t(1).cx(0, 1);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let eval = EvalOptions {
+            mode: EvalMode::Sampled { shots: 500 },
+            ..Default::default()
+        };
+        for f in &cut.fragments {
+            let seq =
+                build_fragment_tensor_threaded(f, &eval, &TensorOptions::default(), 99, 1)
+                    .unwrap();
+            let par =
+                build_fragment_tensor_threaded(f, &eval, &TensorOptions::default(), 99, 4)
+                    .unwrap();
+            assert_eq!(seq.support_len(), par.support_len());
+            for (b, v) in seq.iter() {
+                for (i, &x) in v.iter().enumerate() {
+                    assert!(
+                        (par.value(b, i) - x).abs() < 1e-12,
+                        "thread count changed results at {b}, idx {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapping_restores_exact_values_from_samples() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let up = cut.fragments.iter().find(|f| f.is_clifford).unwrap();
+        let eval = EvalOptions {
+            mode: EvalMode::Sampled { shots: 200 },
+            ..Default::default()
+        };
+        let snapped = build_fragment_tensor(
+            up,
+            &eval,
+            &TensorOptions {
+                clifford_snap: true,
+            },
+            &mut rng(),
+        )
+        .unwrap();
+        let b = Bits::zeros(0);
+        // With snapping, 200 shots recover the exact <X>=1, <Z>=0 values.
+        assert!((snapped.value(&b, 1) - 1.0).abs() < 1e-12);
+        assert!(snapped.value(&b, 3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,427 @@
+//! CH-form stabilizer states: `|φ⟩ = ω · U_C · U_H · |s⟩`.
+//!
+//! `U_C` is a C-type Clifford ([`CType`]), `U_H` a layer of Hadamards on
+//! the qubit set `v`, and `|s⟩` a computational basis state. Every
+//! stabilizer state admits this form; Clifford gates update it in
+//! polynomial time (the Hadamard gate via the desuperposition lemma), and
+//! basis-state amplitudes are computable in `O(n²)`.
+
+use crate::ctype::{CType, PhasedPauli};
+use qcir::Bits;
+use qmath::C64;
+
+/// A stabilizer state in CH form.
+#[derive(Clone, Debug)]
+pub struct ChState {
+    /// Scalar prefactor (may encode decomposition coefficients; zero means
+    /// the state vanished).
+    pub omega: C64,
+    u: CType,
+    /// The Hadamard-layer mask.
+    v: Bits,
+    /// The seed basis state.
+    s: Bits,
+}
+
+impl ChState {
+    /// The `|0…0⟩` state on `n` qubits.
+    pub fn zero_state(n: usize) -> Self {
+        ChState {
+            omega: C64::ONE,
+            u: CType::identity(n),
+            v: Bits::zeros(n),
+            s: Bits::zeros(n),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Returns `true` when the state is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.omega == C64::ZERO
+    }
+
+    /// Applies `S` on qubit `q`.
+    pub fn apply_s(&mut self, q: usize) {
+        let ph = self.u.left_s(q);
+        self.omega *= C64::i_pow(ph as i64);
+    }
+
+    /// Applies `S†` on qubit `q`.
+    pub fn apply_sdg(&mut self, q: usize) {
+        let ph = self.u.left_sdg(q);
+        self.omega *= C64::i_pow(ph as i64);
+    }
+
+    /// Applies `Z` on qubit `q`.
+    pub fn apply_z(&mut self, q: usize) {
+        let ph = self.u.left_z(q);
+        self.omega *= C64::i_pow(ph as i64);
+    }
+
+    /// Applies `X` on qubit `q`.
+    pub fn apply_x(&mut self, q: usize) {
+        self.u.left_x(q);
+    }
+
+    /// Applies `Y` on qubit `q` (`Y = i·X·Z`).
+    pub fn apply_y(&mut self, q: usize) {
+        self.apply_z(q);
+        self.apply_x(q);
+        self.omega *= C64::i();
+    }
+
+    /// Applies `CX` with control `p`, target `q`.
+    pub fn apply_cx(&mut self, p: usize, q: usize) {
+        self.u.left_cx(p, q);
+    }
+
+    /// Applies `CZ` on `p`, `q`.
+    pub fn apply_cz(&mut self, p: usize, q: usize) {
+        let ph = self.u.left_cz(p, q);
+        self.omega *= C64::i_pow(ph as i64);
+    }
+
+    /// Applies `H` on qubit `q` via the desuperposition lemma.
+    pub fn apply_h(&mut self, q: usize) {
+        if self.is_zero() {
+            return;
+        }
+        let n = self.num_qubits();
+        // H_q = (X_q + Z_q)/√2; pull each Pauli through U_C, then through
+        // the H layer, then onto |s⟩.
+        let px = self.u.pull_x_through(q);
+        let pz = self.u.pull_z_through(q);
+        let (k1, s1) = self.pauli_onto_seed(&px);
+        let (k2, s2) = self.pauli_onto_seed(&pz);
+
+        if s1 == s2 {
+            // (i^{k1} + i^{k2})/√2 scalar merge.
+            let beta = C64::i_pow(k1 as i64) + C64::i_pow(k2 as i64);
+            self.omega *= beta * std::f64::consts::FRAC_1_SQRT_2;
+            self.s = s1;
+            if self.omega.abs() < 1e-300 {
+                self.omega = C64::ZERO;
+            }
+            return;
+        }
+
+        // α1(|s1> + i^δ |s2>) with α1 = i^{k1}, δ = k2 − k1.
+        let mut alpha_k = k1;
+        let mut delta = (4 + k2 - k1) % 4;
+        let (mut s1, mut s2) = (s1, s2);
+        let mut tau = s1.clone();
+        tau.xor_assign(&s2);
+
+        // Prefer a pivot outside the H layer (case A); otherwise inside
+        // (case B).
+        let pivot_outside = (0..n).find(|&i| tau.get(i) && !self.v.get(i));
+        let pivot = pivot_outside.unwrap_or_else(|| {
+            (0..n)
+                .find(|&i| tau.get(i) && self.v.get(i))
+                .expect("tau is nonzero")
+        });
+
+        // Normalize so s1 has pivot bit 0.
+        if s1.get(pivot) {
+            std::mem::swap(&mut s1, &mut s2);
+            alpha_k = (alpha_k + delta) % 4;
+            delta = (4 - delta) % 4;
+        }
+
+        // V1 = Π_{j ∈ τ\{pivot}} CX_{pivot,j} below the H layer maps
+        // |s2⟩ → |s1 ⊕ e_pivot⟩; conjugated through U_H it becomes C-type
+        // W1, absorbed into U_C on the right.
+        for j in 0..n {
+            if j == pivot || !tau.get(j) {
+                continue;
+            }
+            match (self.v.get(pivot), self.v.get(j)) {
+                (false, false) => self.u.right_cx(pivot, j),
+                (false, true) => self.u.right_cz(pivot, j),
+                (true, true) => self.u.right_cx(j, pivot),
+                (true, false) => unreachable!("case A pivot is outside the H layer"),
+            }
+        }
+
+        self.omega *= C64::i_pow(alpha_k as i64) * std::f64::consts::FRAC_1_SQRT_2;
+        self.s = s1;
+
+        if !self.v.get(pivot) {
+            // Case A: |s1⟩ + i^δ |s1 ⊕ e_pivot⟩ = √2 · G · H_pivot |β⟩.
+            match delta {
+                0 => {}
+                1 => self.u.right_s(pivot),
+                2 => {
+                    self.s.set(pivot, true);
+                }
+                _ => self.u.right_sdg(pivot),
+            }
+            self.v.set(pivot, true);
+            self.omega *= C64::real(std::f64::consts::SQRT_2);
+        } else {
+            // Case B: pivot already carries an H; H(|0⟩ + i^δ|1⟩) resolves.
+            match delta {
+                0 => {
+                    // √2 |0⟩ — the pivot H cancels.
+                    self.v.set(pivot, false);
+                    self.s.set(pivot, false);
+                    self.omega *= C64::real(std::f64::consts::SQRT_2);
+                }
+                2 => {
+                    // √2 |1⟩.
+                    self.v.set(pivot, false);
+                    self.s.set(pivot, true);
+                    self.omega *= C64::real(std::f64::consts::SQRT_2);
+                }
+                1 => {
+                    // (1+i) S†_pivot H_pivot |0⟩.
+                    self.u.right_sdg(pivot);
+                    self.s.set(pivot, false);
+                    self.omega *= C64::new(1.0, 1.0);
+                }
+                _ => {
+                    // (1−i) S_pivot H_pivot |0⟩.
+                    self.u.right_s(pivot);
+                    self.s.set(pivot, false);
+                    self.omega *= C64::new(1.0, -1.0);
+                }
+            }
+        }
+    }
+
+    /// Pushes a `i^k Z^w X^u` Pauli through the H layer and applies it to
+    /// the seed, returning `(phase exponent, new seed)`.
+    fn pauli_onto_seed(&self, p: &PhasedPauli) -> (u8, Bits) {
+        let n = self.num_qubits();
+        let mut k = p.k as u32;
+        let mut w = p.w.clone();
+        let mut u = p.u.clone();
+        // Conjugating through H on set v swaps X/Z there with a sign for Y.
+        for jdx in 0..n {
+            if self.v.get(jdx) {
+                let (uj, wj) = (u.get(jdx), w.get(jdx));
+                if uj && wj {
+                    k += 2;
+                }
+                u.set(jdx, wj);
+                w.set(jdx, uj);
+            }
+        }
+        // (Z^w X^u)|s⟩ = (−1)^{w·(s⊕u)} |s ⊕ u⟩.
+        let mut s2 = self.s.clone();
+        s2.xor_assign(&u);
+        if w.dot(&s2) {
+            k += 2;
+        }
+        ((k % 4) as u8, s2)
+    }
+
+    /// The amplitude `⟨x|φ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the qubit count.
+    pub fn amplitude(&self, x: &Bits) -> C64 {
+        let n = self.num_qubits();
+        assert_eq!(x.len(), n, "bitstring width mismatch");
+        if self.is_zero() {
+            return C64::ZERO;
+        }
+        // ⟨x| ω U_C U_H |s⟩: U_C maps |y⟩ → i^{σ(y)} |Ay ⊕ b⟩, so the
+        // unique contributing y is A⁻¹(x ⊕ b); it must agree with s
+        // outside v.
+        let mut xb = x.clone();
+        // xb ⊕ b:
+        let y = {
+            let b_img = self.u.image(&Bits::zeros(n)); // = b
+            xb.xor_assign(&b_img);
+            self.u.preimage_linear(&xb)
+        };
+        for q in 0..n {
+            if !self.v.get(q) && y.get(q) != self.s.get(q) {
+                return C64::ZERO;
+            }
+        }
+        // H-layer amplitude: 2^{-|v|/2} (−1)^{Σ_{q∈v} s_q y_q}.
+        let mut sign = 0u32;
+        let mut vcount = 0u32;
+        for q in 0..n {
+            if self.v.get(q) {
+                vcount += 1;
+                if self.s.get(q) && y.get(q) {
+                    sign += 1;
+                }
+            }
+        }
+        let mag = 0.5f64.powi(vcount as i32 / 2)
+            * if vcount % 2 == 1 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
+        self.omega
+            * C64::i_pow(self.u.sigma(&y) as i64)
+            * C64::i_pow(2 * sign as i64)
+            * mag
+    }
+
+    /// The full state vector (test helper; `n ≤ 12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 12`.
+    pub fn to_statevector(&self) -> Vec<C64> {
+        let n = self.num_qubits();
+        assert!(n <= 12, "statevector form limited to small n");
+        (0..1usize << n)
+            .map(|x| self.amplitude(&Bits::from_u64(x as u64, n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::{Circuit, Gate, Qubit};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use svsim::StateVec;
+
+    /// Applies a Clifford gate to a CH state by name.
+    fn apply(ch: &mut ChState, gate: Gate, qs: &[usize]) {
+        match gate {
+            Gate::H => ch.apply_h(qs[0]),
+            Gate::S => ch.apply_s(qs[0]),
+            Gate::Sdg => ch.apply_sdg(qs[0]),
+            Gate::X => ch.apply_x(qs[0]),
+            Gate::Y => ch.apply_y(qs[0]),
+            Gate::Z => ch.apply_z(qs[0]),
+            Gate::Cx => ch.apply_cx(qs[0], qs[1]),
+            Gate::Cz => ch.apply_cz(qs[0], qs[1]),
+            _ => panic!("unsupported in test"),
+        }
+    }
+
+    fn assert_matches_statevector(circuit: &Circuit, label: &str) {
+        let mut ch = ChState::zero_state(circuit.num_qubits());
+        for op in circuit.ops() {
+            let g = op.as_gate().unwrap();
+            let qs: Vec<usize> = op.qubits.iter().map(|q| q.index()).collect();
+            apply(&mut ch, g, &qs);
+        }
+        let sv = StateVec::run(circuit).unwrap();
+        let got = ch.to_statevector();
+        for (i, (a, b)) in got.iter().zip(sv.amplitudes()).enumerate() {
+            assert!(
+                a.approx_eq(*b, 1e-9),
+                "{label}: amplitude {i} mismatch: CH {a} vs SV {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert_matches_statevector(&c, "H|0>");
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert_matches_statevector(&c, "HH|0>");
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert_matches_statevector(&c, "Bell");
+    }
+
+    #[test]
+    fn s_and_h_interleavings() {
+        let mut c = Circuit::new(1);
+        c.h(0).s(0).h(0);
+        assert_matches_statevector(&c, "HSH");
+        let mut c = Circuit::new(1);
+        c.h(0).s(0).s(0).h(0);
+        assert_matches_statevector(&c, "HSSH");
+        let mut c = Circuit::new(1);
+        c.h(0).sdg(0).h(0).s(0);
+        assert_matches_statevector(&c, "S·HS†H");
+    }
+
+    #[test]
+    fn ghz_and_phase_structure() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).s(2).cz(0, 2);
+        assert_matches_statevector(&c, "GHZ+phases");
+    }
+
+    #[test]
+    fn x_and_y_gates() {
+        let mut c = Circuit::new(2);
+        c.x(0).y(1).h(0).y(0);
+        assert_matches_statevector(&c, "XY layer");
+    }
+
+    #[test]
+    fn random_clifford_circuits_match_statevector() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let gates1 = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z];
+        for n in 2..5usize {
+            for trial in 0..30 {
+                let mut c = Circuit::new(n);
+                for _ in 0..30 {
+                    if rng.random::<f64>() < 0.6 {
+                        let g = gates1[rng.random_range(0..gates1.len())];
+                        c.add_gate(g, &[rng.random_range(0..n)]);
+                    } else {
+                        let a = rng.random_range(0..n);
+                        let b = (a + 1 + rng.random_range(0..n - 1)) % n;
+                        if rng.random::<bool>() {
+                            c.cx(a, b);
+                        } else {
+                            c.cz(a, b);
+                        }
+                    }
+                }
+                assert_matches_statevector(&c, &format!("random n={n} trial={trial}"));
+            }
+        }
+    }
+
+    #[test]
+    fn norm_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let n = 4;
+            let mut ch = ChState::zero_state(n);
+            for _ in 0..40 {
+                match rng.random_range(0..5) {
+                    0 => ch.apply_h(rng.random_range(0..n)),
+                    1 => ch.apply_s(rng.random_range(0..n)),
+                    2 => ch.apply_x(rng.random_range(0..n)),
+                    3 => {
+                        let a = rng.random_range(0..n);
+                        let b = (a + 1 + rng.random_range(0..n - 1)) % n;
+                        ch.apply_cx(a, b);
+                    }
+                    _ => {
+                        let a = rng.random_range(0..n);
+                        let b = (a + 1 + rng.random_range(0..n - 1)) % n;
+                        ch.apply_cz(a, b);
+                    }
+                }
+            }
+            let norm: f64 = ch.to_statevector().iter().map(|a| a.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "norm drifted: {norm} (trial {trial})");
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Extended stabilizer simulation via low-rank stabilizer decompositions —
+//! the Qiskit-extended-stabilizer substitute in SuperSim-RS.
+//!
+//! The state is maintained as a sum of CH-form stabilizer states
+//! (Bravyi–Browne–Calpin–Campbell–Gosset–Howard, the paper's reference 5):
+//! Clifford gates act on every term in polynomial time, and each
+//! non-Clifford diagonal rotation `Z^a = c₀·I + c₁·Z` *branches* the
+//! decomposition, so the rank is at most `2^t` for `t` non-Clifford gates —
+//! the exponential-in-T-count scaling the SuperSim paper compares against.
+//!
+//! Sampling uses a Metropolis chain over basis states driven by amplitude
+//! ratios, mirroring Qiskit's approximate sampler — including its
+//! characteristic fidelity collapse on sparse, weakly-connected
+//! distributions (paper Fig. 7).
+//!
+//! ```
+//! use qcir::Circuit;
+//! use extstab::StabDecomp;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).t(1);
+//! let sim = StabDecomp::run(&c, 64).unwrap();
+//! assert_eq!(sim.rank(), 2); // one T gate → two stabilizer terms
+//! ```
+
+mod chstate;
+mod ctype;
+
+pub use chstate::ChState;
+pub use ctype::{CType, PhasedPauli};
+
+use qcir::{Bits, Circuit, CliffordGate, Gate, OpKind, Qubit};
+use qmath::C64;
+use rand::Rng;
+use std::fmt;
+
+/// Errors from the extended stabilizer simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtStabError {
+    /// The decomposition rank would exceed the configured cap.
+    RankExceeded {
+        /// Required rank (`2^t`).
+        required: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// Unsupported operation (noise channels are not representable).
+    Unsupported(String),
+}
+
+impl fmt::Display for ExtStabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtStabError::RankExceeded { required, cap } => {
+                write!(f, "stabilizer rank {required} exceeds cap {cap}")
+            }
+            ExtStabError::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtStabError {}
+
+/// A quantum state as a rank-χ sum of CH-form stabilizer states.
+#[derive(Clone, Debug)]
+pub struct StabDecomp {
+    n: usize,
+    terms: Vec<ChState>,
+}
+
+impl StabDecomp {
+    /// The `|0…0⟩` state.
+    pub fn new(n: usize) -> Self {
+        StabDecomp {
+            n,
+            terms: vec![ChState::zero_state(n)],
+        }
+    }
+
+    /// Runs a circuit, branching at each non-Clifford gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtStabError::RankExceeded`] when the decomposition would
+    /// grow beyond `rank_cap`, and [`ExtStabError::Unsupported`] for noise
+    /// channels.
+    pub fn run(circuit: &Circuit, rank_cap: usize) -> Result<Self, ExtStabError> {
+        let mut sim = StabDecomp::new(circuit.num_qubits());
+        for op in circuit.ops() {
+            match &op.kind {
+                OpKind::Gate(g) => sim.apply_gate(*g, &op.qubits, rank_cap)?,
+                OpKind::Noise(c) => {
+                    return Err(ExtStabError::Unsupported(c.name()));
+                }
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Current decomposition rank (number of stabilizer terms, including
+    /// vanished ones).
+    pub fn rank(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Applies a gate, branching on non-Clifford rotations.
+    ///
+    /// # Errors
+    ///
+    /// See [`StabDecomp::run`].
+    pub fn apply_gate(
+        &mut self,
+        gate: Gate,
+        qubits: &[Qubit],
+        rank_cap: usize,
+    ) -> Result<(), ExtStabError> {
+        if let Some(c) = gate.to_clifford() {
+            self.apply_clifford(c, qubits);
+            return Ok(());
+        }
+        // Non-Clifford: reduce to diagonal Z-rotations, possibly conjugated
+        // by Clifford basis changes.
+        match gate {
+            Gate::T => self.apply_zrot(qubits[0].index(), 0.25, rank_cap),
+            Gate::Tdg => self.apply_zrot(qubits[0].index(), -0.25, rank_cap),
+            Gate::ZPow(a) => self.apply_zrot(qubits[0].index(), a, rank_cap),
+            Gate::Rz(theta) => {
+                // Rz(θ) = e^{-iθ/2} · ZPow(θ/π): track the global phase so
+                // amplitudes stay exact.
+                let a = theta / std::f64::consts::PI;
+                self.apply_zrot(qubits[0].index(), a, rank_cap)?;
+                let phase = C64::cis(-theta / 2.0);
+                for t in &mut self.terms {
+                    t.omega *= phase;
+                }
+                Ok(())
+            }
+            Gate::Rx(theta) => {
+                // Rx = H Rz H.
+                let q = qubits[0];
+                self.apply_clifford(CliffordGate::H, &[q]);
+                self.apply_gate(Gate::Rz(theta), qubits, rank_cap)?;
+                self.apply_clifford(CliffordGate::H, &[q]);
+                Ok(())
+            }
+            Gate::Ry(theta) => {
+                // Ry = S H Rz(θ) H S†.
+                let q = qubits[0];
+                self.apply_clifford(CliffordGate::Sdg, &[q]);
+                self.apply_clifford(CliffordGate::H, &[q]);
+                self.apply_gate(Gate::Rz(theta), qubits, rank_cap)?;
+                self.apply_clifford(CliffordGate::H, &[q]);
+                self.apply_clifford(CliffordGate::S, &[q]);
+                Ok(())
+            }
+            other => Err(ExtStabError::Unsupported(other.name())),
+        }
+    }
+
+    /// Applies a Clifford gate to every term.
+    pub fn apply_clifford(&mut self, gate: CliffordGate, qubits: &[Qubit]) {
+        use CliffordGate as G;
+        for t in &mut self.terms {
+            if t.is_zero() {
+                continue;
+            }
+            match gate {
+                G::I => {}
+                G::X => t.apply_x(qubits[0].index()),
+                G::Y => t.apply_y(qubits[0].index()),
+                G::Z => t.apply_z(qubits[0].index()),
+                G::H => t.apply_h(qubits[0].index()),
+                G::S => t.apply_s(qubits[0].index()),
+                G::Sdg => t.apply_sdg(qubits[0].index()),
+                G::SqrtX => {
+                    // √X = H S H exactly.
+                    let q = qubits[0].index();
+                    t.apply_h(q);
+                    t.apply_s(q);
+                    t.apply_h(q);
+                }
+                G::SqrtXdg => {
+                    let q = qubits[0].index();
+                    t.apply_h(q);
+                    t.apply_sdg(q);
+                    t.apply_h(q);
+                }
+                G::SqrtY => {
+                    // √Y = e^{iπ/4}·H·Z.
+                    let q = qubits[0].index();
+                    t.apply_z(q);
+                    t.apply_h(q);
+                    t.omega *= C64::cis(std::f64::consts::FRAC_PI_4);
+                }
+                G::SqrtYdg => {
+                    // √Y† = e^{-iπ/4}·Z·H.
+                    let q = qubits[0].index();
+                    t.apply_h(q);
+                    t.apply_z(q);
+                    t.omega *= C64::cis(-std::f64::consts::FRAC_PI_4);
+                }
+                G::Cx => t.apply_cx(qubits[0].index(), qubits[1].index()),
+                G::Cz => t.apply_cz(qubits[0].index(), qubits[1].index()),
+                G::Cy => {
+                    // CY = S_t CX S†_t.
+                    let (c, tq) = (qubits[0].index(), qubits[1].index());
+                    t.apply_sdg(tq);
+                    t.apply_cx(c, tq);
+                    t.apply_s(tq);
+                }
+                G::Swap => {
+                    let (a, b) = (qubits[0].index(), qubits[1].index());
+                    t.apply_cx(a, b);
+                    t.apply_cx(b, a);
+                    t.apply_cx(a, b);
+                }
+            }
+        }
+    }
+
+    /// Applies `ZPow(a) = diag(1, e^{iπa}) = c₀·I + c₁·Z`, doubling the
+    /// rank unless the gate is Clifford-diagonal.
+    fn apply_zrot(&mut self, q: usize, a: f64, rank_cap: usize) -> Result<(), ExtStabError> {
+        let phase = C64::cis(std::f64::consts::PI * a);
+        let c0 = (C64::ONE + phase) * 0.5;
+        let c1 = (C64::ONE - phase) * 0.5;
+        if c1.abs() < 1e-14 {
+            return Ok(()); // identity
+        }
+        if c0.abs() < 1e-14 {
+            // diag(1, e^{iπa}) with e^{iπa} = −1: plain Z, no branching.
+            for t in &mut self.terms {
+                t.apply_z(q);
+            }
+            return Ok(());
+        }
+        let required = self.terms.len() * 2;
+        if required > rank_cap {
+            return Err(ExtStabError::RankExceeded {
+                required,
+                cap: rank_cap,
+            });
+        }
+        let mut branched = Vec::with_capacity(required);
+        for t in &self.terms {
+            if t.is_zero() {
+                continue;
+            }
+            let mut a_term = t.clone();
+            a_term.omega *= c0;
+            branched.push(a_term);
+            let mut b_term = t.clone();
+            b_term.apply_z(q);
+            b_term.omega *= c1;
+            branched.push(b_term);
+        }
+        self.terms = branched;
+        Ok(())
+    }
+
+    /// The exact amplitude `⟨x|ψ⟩ = Σ_j ⟨x|φ_j⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bitstring width mismatch.
+    pub fn amplitude(&self, x: &Bits) -> C64 {
+        self.terms
+            .iter()
+            .filter(|t| !t.is_zero())
+            .map(|t| t.amplitude(x))
+            .sum()
+    }
+
+    /// The exact probability of outcome `x`.
+    pub fn probability(&self, x: &Bits) -> f64 {
+        self.amplitude(x).norm_sqr()
+    }
+
+    /// Exact sparse distribution by full enumeration (guarded to `n ≤ 22`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 22`.
+    pub fn exact_distribution(&self, tol: f64) -> Vec<(Bits, f64)> {
+        assert!(self.n <= 22, "exact enumeration limited to 22 qubits");
+        let mut out = Vec::new();
+        for x in 0..1u64 << self.n {
+            let b = Bits::from_u64(x, self.n);
+            let p = self.probability(&b);
+            if p > tol {
+                out.push((b, p));
+            }
+        }
+        out
+    }
+
+    /// Draws exact samples by enumerating the full distribution — reliable
+    /// but exponential in width (guarded to `n ≤ 22`). Useful as ground
+    /// truth when characterizing the Metropolis sampler's mixing failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 22`.
+    pub fn sample_exact(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
+        let dist = self.exact_distribution(0.0);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        (0..shots)
+            .map(|_| {
+                let mut u = rng.random::<f64>() * total;
+                for (b, p) in &dist {
+                    if u <= *p {
+                        return b.clone();
+                    }
+                    u -= p;
+                }
+                dist.last().expect("non-empty distribution").0.clone()
+            })
+            .collect()
+    }
+
+    /// Draws samples with a Metropolis chain over single-bit flips, using
+    /// exact amplitude ratios (the Qiskit extended-stabilizer sampling
+    /// strategy). `mixing` steps are taken between recorded samples; the
+    /// chain starts with `8·mixing` burn-in steps.
+    ///
+    /// This sampler is *approximate*: on distributions whose support is not
+    /// connected under single-bit flips the chain mixes poorly — the
+    /// behaviour behind the extended stabilizer's fidelity collapse in the
+    /// paper's Fig. 7.
+    pub fn sample_metropolis(&self, shots: usize, mixing: usize, rng: &mut impl Rng) -> Vec<Bits> {
+        let mut x = Bits::zeros(self.n);
+        let mut px = self.probability(&x);
+        // If |0..0> has negligible amplitude, scan for a starting point.
+        if px <= 1e-18 {
+            for _ in 0..(64 * self.n.max(1)) {
+                let mut cand = Bits::zeros(self.n);
+                for q in 0..self.n {
+                    if rng.random::<bool>() {
+                        cand.set(q, true);
+                    }
+                }
+                let pc = self.probability(&cand);
+                if pc > px {
+                    x = cand;
+                    px = pc;
+                }
+                if px > 1e-6 {
+                    break;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(shots);
+        for i in 0..(8 * mixing + shots * mixing) {
+            // Lazy chain: resting with probability 1/2 removes the parity
+            // periodicity a deterministic-accept walk would alias into the
+            // thinning interval.
+            if rng.random::<bool>() {
+                // Mostly local single-bit proposals; occasional global
+                // proposals restore ergodicity when the support is
+                // disconnected under bit flips. For wide circuits with
+                // sparse supports the global proposal almost never lands on
+                // the support, so the chain still mixes poorly there — the
+                // Fig. 7 fidelity collapse.
+                let mut cand = x.clone();
+                if rng.random::<f64>() < 0.1 {
+                    for q in 0..self.n {
+                        if rng.random::<bool>() {
+                            cand.flip(q);
+                        }
+                    }
+                } else {
+                    let q = rng.random_range(0..self.n.max(1));
+                    cand.flip(q);
+                }
+                let pc = self.probability(&cand);
+                let accept = if px <= 0.0 {
+                    pc > 0.0
+                } else {
+                    rng.random::<f64>() * px <= pc
+                };
+                if accept {
+                    x = cand;
+                    px = pc;
+                }
+            }
+            if i >= 8 * mixing && (i - 8 * mixing + 1) % mixing == 0 {
+                out.push(x.clone());
+            }
+        }
+        while out.len() < shots {
+            out.push(x.clone());
+        }
+        out.truncate(shots);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svsim::StateVec;
+
+    fn assert_amplitudes_match(c: &Circuit, label: &str) {
+        let sim = StabDecomp::run(c, 1 << 12).unwrap();
+        let sv = StateVec::run(c).unwrap();
+        for x in 0..1usize << c.num_qubits() {
+            let b = Bits::from_u64(x as u64, c.num_qubits());
+            let a = sim.amplitude(&b);
+            let e = sv.amplitude(x);
+            assert!(
+                a.approx_eq(e, 1e-9),
+                "{label}: amplitude {x:b}: CH {a} vs SV {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_gate_on_plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        assert_amplitudes_match(&c, "TH|0>");
+        let sim = StabDecomp::run(&c, 16).unwrap();
+        assert_eq!(sim.rank(), 2);
+    }
+
+    #[test]
+    fn t_sandwich() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        assert_amplitudes_match(&c, "HTH|0>");
+    }
+
+    #[test]
+    fn multi_qubit_clifford_t_mix() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2).t(2).s(0).cz(0, 2);
+        assert_amplitudes_match(&c, "3q clifford+2T");
+        let sim = StabDecomp::run(&c, 16).unwrap();
+        assert_eq!(sim.rank(), 4);
+    }
+
+    #[test]
+    fn zpow_and_rotations_match() {
+        let mut c = Circuit::new(2);
+        c.h(0).zpow(0, 0.3).cx(0, 1).rz(1, 0.9).rx(0, 0.4).ry(1, 1.2);
+        assert_amplitudes_match(&c, "generic rotations");
+    }
+
+    #[test]
+    fn sqrt_gates_match() {
+        let mut c = Circuit::new(2);
+        c.add_gate(Gate::SqrtX, &[0]);
+        c.add_gate(Gate::SqrtY, &[1]);
+        c.cx(0, 1);
+        c.add_gate(Gate::SqrtXdg, &[1]);
+        c.add_gate(Gate::SqrtYdg, &[0]);
+        c.swap(0, 1);
+        c.cy(0, 1);
+        assert_amplitudes_match(&c, "sqrt/swap/cy gates");
+    }
+
+    #[test]
+    fn random_clifford_t_circuits_match_statevector() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        use rand::Rng;
+        for n in 2..5usize {
+            for trial in 0..15 {
+                let mut c = Circuit::new(n);
+                let mut ts = 0;
+                for _ in 0..25 {
+                    match rng.random_range(0..8) {
+                        0 => c.h(rng.random_range(0..n)),
+                        1 => c.s(rng.random_range(0..n)),
+                        2 => c.x(rng.random_range(0..n)),
+                        3 if ts < 4 => {
+                            ts += 1;
+                            c.t(rng.random_range(0..n))
+                        }
+                        4 => {
+                            let a = rng.random_range(0..n);
+                            let b = (a + 1 + rng.random_range(0..n - 1)) % n;
+                            c.cz(a, b)
+                        }
+                        _ => {
+                            let a = rng.random_range(0..n);
+                            let b = (a + 1 + rng.random_range(0..n - 1)) % n;
+                            c.cx(a, b)
+                        }
+                    };
+                }
+                assert_amplitudes_match(&c, &format!("random n={n} trial={trial}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_grows_and_caps() {
+        let mut c = Circuit::new(1);
+        for _ in 0..5 {
+            c.h(0).t(0);
+        }
+        let sim = StabDecomp::run(&c, 64).unwrap();
+        assert_eq!(sim.rank(), 32);
+        let err = StabDecomp::run(&c, 16).unwrap_err();
+        assert!(matches!(err, ExtStabError::RankExceeded { .. }));
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).t(1).h(2).cz(1, 2);
+        let sim = StabDecomp::run(&c, 64).unwrap();
+        let total: f64 = sim.exact_distribution(0.0).iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total probability {total}");
+    }
+
+    #[test]
+    fn metropolis_sampling_roughly_matches_exact() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).h(1);
+        let sim = StabDecomp::run(&c, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let shots = 20_000;
+        let samples = sim.sample_metropolis(shots, 8, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for s in &samples {
+            *counts.entry(s.to_u64().unwrap()).or_insert(0usize) += 1;
+        }
+        for x in 0..4u64 {
+            let p = sim.probability(&Bits::from_u64(x, 2));
+            let freq = *counts.get(&x).unwrap_or(&0) as f64 / shots as f64;
+            assert!(
+                (p - freq).abs() < 0.05,
+                "outcome {x:02b}: exact {p:.3} vs metropolis {freq:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sampler_matches_distribution() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).cx(1, 2).h(2);
+        let sim = StabDecomp::run(&c, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let shots = 30_000;
+        let samples = sim.sample_exact(shots, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for s in &samples {
+            *counts.entry(s.to_u64().unwrap()).or_insert(0usize) += 1;
+        }
+        for x in 0..8u64 {
+            let p = sim.probability(&Bits::from_u64(x, 3));
+            let freq = *counts.get(&x).unwrap_or(&0) as f64 / shots as f64;
+            assert!((p - freq).abs() < 0.02, "outcome {x:03b}: {p} vs {freq}");
+        }
+    }
+
+    #[test]
+    fn noise_is_unsupported() {
+        let mut c = Circuit::new(1);
+        c.add_noise(qcir::NoiseChannel::BitFlip(0.1), &[0]);
+        assert!(matches!(
+            StabDecomp::run(&c, 4),
+            Err(ExtStabError::Unsupported(_))
+        ));
+    }
+}

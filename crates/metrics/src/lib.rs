@@ -1,0 +1,393 @@
+//! Probability distributions and fidelity metrics.
+//!
+//! The SuperSim paper quantifies accuracy with the Hellinger fidelity, in
+//! two flavours (§VI-C):
+//!
+//! * on *sparse* distributions (few observed outcomes): Hellinger fidelity
+//!   of the complete distributions — [`Distribution::hellinger_fidelity`];
+//! * on *dense* distributions (VQA-style): the mean Hellinger fidelity of
+//!   the single-qubit marginal distributions — [`mean_marginal_fidelity`].
+//!
+//! [`Distribution`] is a sparse map from measurement bitstrings to
+//! probabilities, suitable for the few-thousand-shot records the paper
+//! works with even on 300-qubit circuits.
+
+use qcir::Bits;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A sparse probability distribution over measurement bitstrings.
+///
+/// ```
+/// use metrics::Distribution;
+/// use qcir::Bits;
+///
+/// let d = Distribution::from_pairs(
+///     2,
+///     vec![
+///         (Bits::parse("00").unwrap(), 0.5),
+///         (Bits::parse("11").unwrap(), 0.5),
+///     ],
+/// );
+/// assert!((d.prob(&Bits::parse("00").unwrap()) - 0.5).abs() < 1e-12);
+/// assert_eq!(d.marginal(0), [0.5, 0.5]);
+/// ```
+#[derive(Clone, Debug, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Distribution {
+    n_bits: usize,
+    probs: BTreeMap<Bits, f64>,
+}
+
+impl Distribution {
+    /// Creates an empty distribution over `n_bits`-bit outcomes.
+    pub fn new(n_bits: usize) -> Self {
+        Distribution {
+            n_bits,
+            probs: BTreeMap::new(),
+        }
+    }
+
+    /// Builds an empirical distribution from measurement samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample width differs from `n_bits`.
+    pub fn from_samples(n_bits: usize, samples: &[Bits]) -> Self {
+        let mut d = Distribution::new(n_bits);
+        if samples.is_empty() {
+            return d;
+        }
+        let w = 1.0 / samples.len() as f64;
+        for s in samples {
+            assert_eq!(s.len(), n_bits, "sample width mismatch");
+            *d.probs.entry(s.clone()).or_insert(0.0) += w;
+        }
+        d
+    }
+
+    /// Builds a distribution from `(outcome, probability)` pairs, summing
+    /// duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outcome width differs from `n_bits`.
+    pub fn from_pairs(n_bits: usize, pairs: Vec<(Bits, f64)>) -> Self {
+        let mut d = Distribution::new(n_bits);
+        for (b, p) in pairs {
+            assert_eq!(b.len(), n_bits, "outcome width mismatch");
+            *d.probs.entry(b).or_insert(0.0) += p;
+        }
+        d
+    }
+
+    /// Number of bits per outcome.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of outcomes with recorded (possibly zero) probability.
+    pub fn support_len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Returns `true` when no outcome has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The probability of an outcome (0 when absent).
+    pub fn prob(&self, outcome: &Bits) -> f64 {
+        self.probs.get(outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Adds `p` to the probability of `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, outcome: Bits, p: f64) {
+        assert_eq!(outcome.len(), self.n_bits, "outcome width mismatch");
+        *self.probs.entry(outcome).or_insert(0.0) += p;
+    }
+
+    /// Iterator over `(outcome, probability)` pairs in lexicographic
+    /// outcome order (deterministic, which keeps downstream float
+    /// accumulation bit-reproducible).
+    pub fn iter(&self) -> impl Iterator<Item = (&Bits, f64)> + '_ {
+        self.probs.iter().map(|(b, &p)| (b, p))
+    }
+
+    /// Sum of all recorded probabilities.
+    pub fn total_mass(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// Clamps negative entries to zero and rescales to unit mass.
+    ///
+    /// Cut reconstruction from sampled fragment data can produce small
+    /// negative quasi-probabilities; this is the standard repair.
+    pub fn clip_and_normalize(&mut self) {
+        self.probs.retain(|_, p| {
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+            *p > 0.0
+        });
+        let mass = self.total_mass();
+        if mass > 0.0 {
+            for p in self.probs.values_mut() {
+                *p /= mass;
+            }
+        }
+    }
+
+    /// The `[p(bit=0), p(bit=1)]` marginal of one bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= n_bits`.
+    pub fn marginal(&self, bit: usize) -> [f64; 2] {
+        assert!(bit < self.n_bits, "bit out of range");
+        let mut m = [0.0; 2];
+        for (b, &p) in &self.probs {
+            m[b.get(bit) as usize] += p;
+        }
+        m
+    }
+
+    /// All single-bit marginals.
+    pub fn marginals(&self) -> Vec<[f64; 2]> {
+        (0..self.n_bits).map(|q| self.marginal(q)).collect()
+    }
+
+    /// The joint marginal over a subset of bit positions (in given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    pub fn marginal_subset(&self, bits: &[usize]) -> Distribution {
+        let mut d = Distribution::new(bits.len());
+        for (b, &p) in &self.probs {
+            d.add(b.extract(bits), p);
+        }
+        d
+    }
+
+    /// Hellinger fidelity `(Σ_x √(p(x)·q(x)))²` with another distribution.
+    ///
+    /// Negative quasi-probabilities are clamped to zero for the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn hellinger_fidelity(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.n_bits, other.n_bits, "width mismatch");
+        let mut bc = 0.0;
+        for (b, &p) in &self.probs {
+            let q = other.prob(b);
+            if p > 0.0 && q > 0.0 {
+                bc += (p * q).sqrt();
+            }
+        }
+        bc * bc
+    }
+
+    /// Total-variation distance `½·Σ_x |p(x) − q(x)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn total_variation(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.n_bits, other.n_bits, "width mismatch");
+        let mut tv = 0.0;
+        for (b, &p) in &self.probs {
+            tv += (p - other.prob(b)).abs();
+        }
+        for (b, &q) in &other.probs {
+            if !self.probs.contains_key(b) {
+                tv += q;
+            }
+        }
+        tv / 2.0
+    }
+
+    /// Expectation value of a Z-string observable `⟨Π_{q∈subset} Z_q⟩ =
+    /// Σ_x p(x)·(−1)^{parity of x over subset}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn expectation_z(&self, subset: &[usize]) -> f64 {
+        for &q in subset {
+            assert!(q < self.n_bits, "bit index {q} out of range");
+        }
+        let mut total = 0.0;
+        for (b, &p) in &self.probs {
+            let parity = subset.iter().filter(|&&q| b.get(q)).count() % 2;
+            total += if parity == 1 { -p } else { p };
+        }
+        total
+    }
+
+    /// Draws `shots` samples (requires non-negative probabilities; mass is
+    /// normalized implicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics when sampling from an empty distribution.
+    pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
+        let entries: Vec<(&Bits, f64)> =
+            self.probs.iter().map(|(b, &p)| (b, p.max(0.0))).collect();
+        let total: f64 = entries.iter().map(|(_, p)| p).sum();
+        let mut out = Vec::with_capacity(shots);
+        for _ in 0..shots {
+            let mut u = rng.random::<f64>() * total;
+            let mut chosen = entries.last().map(|(b, _)| (*b).clone());
+            for (b, p) in &entries {
+                if u <= *p {
+                    chosen = Some((*b).clone());
+                    break;
+                }
+                u -= p;
+            }
+            out.push(chosen.expect("sampling from empty distribution"));
+        }
+        out
+    }
+}
+
+/// Hellinger fidelity of two binary marginals `[p0, p1]`, `[q0, q1]`.
+pub fn binary_hellinger_fidelity(p: [f64; 2], q: [f64; 2]) -> f64 {
+    let bc = (p[0].max(0.0) * q[0].max(0.0)).sqrt() + (p[1].max(0.0) * q[1].max(0.0)).sqrt();
+    bc * bc
+}
+
+/// The paper's dense-distribution accuracy metric: the mean Hellinger
+/// fidelity of single-qubit marginal distributions.
+///
+/// # Panics
+///
+/// Panics if the two marginal lists have different lengths.
+pub fn mean_marginal_fidelity(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
+    assert_eq!(a.len(), b.len(), "marginal count mismatch");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&p, &q)| binary_hellinger_fidelity(p, q))
+        .sum();
+    total / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bits(s: &str) -> Bits {
+        Bits::parse(s).unwrap()
+    }
+
+    #[test]
+    fn empirical_distribution_counts() {
+        let samples = vec![bits("00"), bits("00"), bits("11"), bits("01")];
+        let d = Distribution::from_samples(2, &samples);
+        assert!((d.prob(&bits("00")) - 0.5).abs() < 1e-12);
+        assert!((d.prob(&bits("11")) - 0.25).abs() < 1e-12);
+        assert!((d.prob(&bits("10")) - 0.0).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_have_unit_fidelity() {
+        let d = Distribution::from_pairs(2, vec![(bits("00"), 0.3), (bits("11"), 0.7)]);
+        assert!((d.hellinger_fidelity(&d) - 1.0).abs() < 1e-12);
+        assert!(d.total_variation(&d) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_zero_fidelity() {
+        let a = Distribution::from_pairs(1, vec![(bits("0"), 1.0)]);
+        let b = Distribution::from_pairs(1, vec![(bits("1"), 1.0)]);
+        assert_eq!(a.hellinger_fidelity(&b), 0.0);
+        assert!((a.total_variation(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_known_value() {
+        // p = (1/2, 1/2), q = (1, 0): BC = √(1/2) ⇒ fidelity = 1/2.
+        let a = Distribution::from_pairs(1, vec![(bits("0"), 0.5), (bits("1"), 0.5)]);
+        let b = Distribution::from_pairs(1, vec![(bits("0"), 1.0)]);
+        assert!((a.hellinger_fidelity(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_and_subsets() {
+        let d = Distribution::from_pairs(
+            3,
+            vec![(bits("000"), 0.25), (bits("110"), 0.25), (bits("111"), 0.5)],
+        );
+        assert_eq!(d.marginal(0), [0.25, 0.75]);
+        assert_eq!(d.marginal(2), [0.5, 0.5]);
+        let m = d.marginal_subset(&[0, 1]);
+        assert!((m.prob(&bits("11")) - 0.75).abs() < 1e-12);
+        assert!((m.prob(&bits("00")) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_and_normalize_repairs_quasiprobabilities() {
+        let mut d = Distribution::from_pairs(1, vec![(bits("0"), 0.9), (bits("1"), -0.1)]);
+        d.clip_and_normalize();
+        assert!((d.prob(&bits("0")) - 1.0).abs() < 1e-12);
+        assert_eq!(d.prob(&bits("1")), 0.0);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_roundtrip() {
+        let d = Distribution::from_pairs(2, vec![(bits("01"), 0.25), (bits("10"), 0.75)]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = d.sample(8000, &mut rng);
+        let e = Distribution::from_samples(2, &samples);
+        assert!(d.hellinger_fidelity(&e) > 0.999);
+    }
+
+    #[test]
+    fn marginal_fidelity_metric() {
+        let a = vec![[0.5, 0.5], [1.0, 0.0]];
+        let b = vec![[0.5, 0.5], [1.0, 0.0]];
+        assert!((mean_marginal_fidelity(&a, &b) - 1.0).abs() < 1e-12);
+        let c = vec![[0.5, 0.5], [0.0, 1.0]];
+        // Second qubit completely wrong: (1 + 0)/2.
+        assert!((mean_marginal_fidelity(&a, &c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_hellinger_handles_clamping() {
+        assert!((binary_hellinger_fidelity([1.0, 0.0], [1.0, -0.001]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_string_expectations() {
+        // Bell-like: 00 and 11 each 1/2: <Z0 Z1> = +1, <Z0> = 0.
+        let d = Distribution::from_pairs(2, vec![(bits("00"), 0.5), (bits("11"), 0.5)]);
+        assert!((d.expectation_z(&[0, 1]) - 1.0).abs() < 1e-12);
+        assert!(d.expectation_z(&[0]).abs() < 1e-12);
+        assert!((d.expectation_z(&[]) - 1.0).abs() < 1e-12);
+        // Anticorrelated: 01 and 10: <Z0 Z1> = -1.
+        let a = Distribution::from_pairs(2, vec![(bits("01"), 0.5), (bits("10"), 0.5)]);
+        assert!((a.expectation_z(&[0, 1]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_behaviour() {
+        let d = Distribution::new(2);
+        assert!(d.is_empty());
+        assert_eq!(d.total_mass(), 0.0);
+        assert_eq!(d.prob(&bits("00")), 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Compact bitstrings for measurement outcomes.
+
+use std::fmt;
+
+/// A fixed-length bitstring packed into 64-bit words.
+///
+/// Bit `i` corresponds to qubit `i` of a measurement record. The [`Display`]
+/// form prints bit 0 leftmost, matching the qubit-ordering convention used
+/// throughout SuperSim-RS.
+///
+/// ```
+/// use qcir::Bits;
+/// let mut b = Bits::zeros(4);
+/// b.set(1, true);
+/// b.set(3, true);
+/// assert_eq!(b.to_string(), "0101");
+/// assert_eq!(b.count_ones(), 2);
+/// ```
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Bits {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero bitstring of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Bits {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a bitstring of length `len` from the low bits of `value`.
+    ///
+    /// Bit `i` of the result equals bit `i` of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut b = Bits::zeros(len);
+        if len > 0 {
+            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            b.words[0] = value & mask;
+        }
+        b
+    }
+
+    /// Creates a bitstring from a slice of booleans (`bools[i]` → bit `i`).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut b = Bits::zeros(bools.len());
+        for (i, &v) in bools.iter().enumerate() {
+            b.set(i, v);
+        }
+        b
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters (leftmost character → bit 0).
+    ///
+    /// Returns `None` when any other character is present.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut b = Bits::zeros(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => {}
+                '1' => b.set(i, true),
+                _ => return None,
+            }
+        }
+        Some(b)
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the bitstring has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        if value {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// XORs another bitstring of the same length into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Parity (mod-2 sum) of all bits.
+    pub fn parity(&self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+
+    /// Parity of the AND with `other` — the GF(2) inner product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Bits) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum::<u32>()
+            % 2
+            == 1
+    }
+
+    /// The bitstring as a `u64`, when it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.len <= 64 {
+            Some(self.words.first().copied().unwrap_or(0))
+        } else {
+            None
+        }
+    }
+
+    /// Extracts the bits at `indices` (in order) into a new bitstring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn extract(&self, indices: &[usize]) -> Bits {
+        let mut out = Bits::zeros(indices.len());
+        for (k, &i) in indices.iter().enumerate() {
+            out.set(k, self.get(i));
+        }
+        out
+    }
+
+    /// Concatenates two bitstrings (`self` occupies the low bit positions).
+    pub fn concat(&self, other: &Bits) -> Bits {
+        let mut out = Bits::zeros(self.len + other.len);
+        for i in 0..self.len {
+            out.set(i, self.get(i));
+        }
+        for i in 0..other.len {
+            out.set(self.len + i, other.get(i));
+        }
+        out
+    }
+
+    /// Iterator over the bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Scatter: writes `self`'s bits into positions `positions` of a
+    /// zero-initialized bitstring of length `total_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != self.len()` or a position is out of range.
+    pub fn scatter(&self, positions: &[usize], total_len: usize) -> Bits {
+        assert_eq!(positions.len(), self.len, "positions/len mismatch");
+        let mut out = Bits::zeros(total_len);
+        for (k, &p) in positions.iter().enumerate() {
+            out.set(p, self.get(k));
+        }
+        out
+    }
+
+    /// Writes `self`'s bits into positions `positions` of `target` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != self.len()` or a position is out of range.
+    pub fn scatter_into(&self, positions: &[usize], target: &mut Bits) {
+        assert_eq!(positions.len(), self.len, "positions/len mismatch");
+        for (k, &p) in positions.iter().enumerate() {
+            target.set(p, self.get(k));
+        }
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits(\"{self}\")")
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        Bits::from_bools(&bools)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut b = Bits::zeros(130);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        assert_eq!(b.count_ones(), 3);
+        b.flip(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let b = Bits::parse("0110010").unwrap();
+        assert_eq!(b.to_string(), "0110010");
+        assert_eq!(b.len(), 7);
+        assert!(Bits::parse("01x").is_none());
+    }
+
+    #[test]
+    fn from_u64_bit_order() {
+        let b = Bits::from_u64(0b1101, 4);
+        // bit 0 of value -> bit 0 of string (leftmost)
+        assert_eq!(b.to_string(), "1011");
+        assert_eq!(b.to_u64(), Some(0b1101));
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let a = Bits::parse("1100").unwrap();
+        let b = Bits::parse("1010").unwrap();
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        assert_eq!(c.to_string(), "0110");
+        // dot = parity of AND = parity of "1000" = 1
+        assert!(a.dot(&b));
+        assert!(!a.dot(&a.clone()) ^ (a.count_ones() % 2 == 1));
+    }
+
+    #[test]
+    fn extract_and_scatter() {
+        let b = Bits::parse("10110").unwrap();
+        let e = b.extract(&[4, 0, 2]);
+        assert_eq!(e.to_string(), "011");
+        let s = e.scatter(&[1, 3, 5], 7);
+        assert_eq!(s.to_string(), "0001010");
+    }
+
+    #[test]
+    fn concat_orders_low_then_high() {
+        let a = Bits::parse("10").unwrap();
+        let b = Bits::parse("011").unwrap();
+        assert_eq!(a.concat(&b).to_string(), "10011");
+    }
+
+    #[test]
+    fn hash_eq_in_map() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Bits::parse("01").unwrap(), 1.0);
+        *m.entry(Bits::parse("01").unwrap()).or_insert(0.0) += 1.0;
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&Bits::parse("01").unwrap()], 2.0);
+    }
+
+    #[test]
+    fn empty_bits() {
+        let b = Bits::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.to_string(), "");
+        assert_eq!(b.to_u64(), Some(0));
+        let c = b.concat(&Bits::parse("1").unwrap());
+        assert_eq!(c.to_string(), "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let b = Bits::zeros(3);
+        let _ = b.get(3);
+    }
+}

@@ -1,0 +1,465 @@
+//! The circuit container and builder.
+
+use crate::{Gate, NoiseChannel, Qubit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of a circuit operation: a unitary gate or a stochastic Pauli
+/// noise channel.
+///
+/// Measurement is implicit: every circuit is measured on all qubits in the
+/// computational basis at the end, matching the sampler-style evaluation of
+/// the SuperSim paper (5000-shot distributions).
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum OpKind {
+    /// A unitary gate.
+    Gate(Gate),
+    /// A stochastic Pauli noise channel (stabilizer-compatible noise).
+    Noise(NoiseChannel),
+}
+
+/// A single operation: an [`OpKind`] applied to an ordered list of qubits.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Operation {
+    /// What is applied.
+    pub kind: OpKind,
+    /// The qubits acted on, in gate order (control first for controlled
+    /// gates).
+    pub qubits: Vec<Qubit>,
+}
+
+impl Operation {
+    /// Creates a gate operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the gate arity or the
+    /// qubits are not distinct.
+    pub fn gate(gate: Gate, qubits: Vec<Qubit>) -> Self {
+        assert_eq!(qubits.len(), gate.arity(), "gate arity mismatch");
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "duplicate qubit operands");
+        }
+        Operation {
+            kind: OpKind::Gate(gate),
+            qubits,
+        }
+    }
+
+    /// Creates a noise operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the channel arity.
+    pub fn noise(channel: NoiseChannel, qubits: Vec<Qubit>) -> Self {
+        assert_eq!(qubits.len(), channel.arity(), "channel arity mismatch");
+        Operation {
+            kind: OpKind::Noise(channel),
+            qubits,
+        }
+    }
+
+    /// Returns the unitary gate when the operation is a gate.
+    pub fn as_gate(&self) -> Option<Gate> {
+        match self.kind {
+            OpKind::Gate(g) => Some(g),
+            OpKind::Noise(_) => None,
+        }
+    }
+
+    /// Returns `true` when the operation is a Clifford unitary or a noise
+    /// channel (noise channels are stabilizer-compatible by construction).
+    pub fn is_clifford(&self) -> bool {
+        match self.kind {
+            OpKind::Gate(g) => g.is_clifford(),
+            OpKind::Noise(_) => true,
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn name(&self) -> String {
+        match &self.kind {
+            OpKind::Gate(g) => g.name(),
+            OpKind::Noise(c) => c.name(),
+        }
+    }
+}
+
+/// An ordered sequence of operations over `n` qubit wires.
+///
+/// The builder methods take `&mut self` and return `&mut Self` so they can
+/// be chained without consuming the circuit:
+///
+/// ```
+/// use qcir::Circuit;
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// assert_eq!(bell.len(), 2);
+/// assert!(bell.is_clifford());
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` wires.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubit wires.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the circuit has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    #[inline]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Appends an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand qubit is out of range.
+    pub fn push(&mut self, op: Operation) -> &mut Self {
+        for q in &op.qubits {
+            assert!(
+                q.index() < self.num_qubits,
+                "qubit {q} out of range for {}-qubit circuit",
+                self.num_qubits
+            );
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends a gate on the given qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range qubits.
+    pub fn add_gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        let qs = qubits.iter().map(|&q| Qubit(q)).collect();
+        self.push(Operation::gate(gate, qs))
+    }
+
+    /// Appends a noise channel on the given qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range qubits.
+    pub fn add_noise(&mut self, channel: NoiseChannel, qubits: &[usize]) -> &mut Self {
+        let qs = qubits.iter().map(|&q| Qubit(q)).collect();
+        self.push(Operation::noise(channel, qs))
+    }
+
+    /// Appends every operation of `other` (qubit indices unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses qubits beyond this circuit's width.
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        for op in other.ops() {
+            self.push(op.clone());
+        }
+        self
+    }
+
+    // --- single-qubit gate builders ---
+
+    /// Appends an X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::X, &[q])
+    }
+    /// Appends a Y gate.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::Y, &[q])
+    }
+    /// Appends a Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::Z, &[q])
+    }
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::H, &[q])
+    }
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::S, &[q])
+    }
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::Sdg, &[q])
+    }
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::T, &[q])
+    }
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.add_gate(Gate::Tdg, &[q])
+    }
+    /// Appends an Rz rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.add_gate(Gate::Rz(theta), &[q])
+    }
+    /// Appends an Rx rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.add_gate(Gate::Rx(theta), &[q])
+    }
+    /// Appends an Ry rotation.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.add_gate(Gate::Ry(theta), &[q])
+    }
+    /// Appends a Z-power gate `diag(1, e^{iπa})`.
+    pub fn zpow(&mut self, q: usize, a: f64) -> &mut Self {
+        self.add_gate(Gate::ZPow(a), &[q])
+    }
+
+    // --- two-qubit gate builders ---
+
+    /// Appends a CX with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.add_gate(Gate::Cx, &[control, target])
+    }
+    /// Appends a CY with `control` and `target`.
+    pub fn cy(&mut self, control: usize, target: usize) -> &mut Self {
+        self.add_gate(Gate::Cy, &[control, target])
+    }
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.add_gate(Gate::Cz, &[a, b])
+    }
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.add_gate(Gate::Swap, &[a, b])
+    }
+
+    // --- statistics ---
+
+    /// Returns `true` when every operation is Clifford (noise channels are
+    /// stabilizer-compatible and count as Clifford).
+    pub fn is_clifford(&self) -> bool {
+        self.ops.iter().all(Operation::is_clifford)
+    }
+
+    /// Indices (into [`Circuit::ops`]) of non-Clifford operations.
+    pub fn non_clifford_indices(&self) -> Vec<usize> {
+        (0..self.ops.len())
+            .filter(|&i| !self.ops[i].is_clifford())
+            .collect()
+    }
+
+    /// Number of non-Clifford operations.
+    pub fn non_clifford_count(&self) -> usize {
+        self.non_clifford_indices().len()
+    }
+
+    /// Number of `T`/`T†` gates (including `ZPow(±1/4)`-style rotations is
+    /// deliberately *not* attempted; this counts the named gates).
+    pub fn t_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op.kind, OpKind::Gate(Gate::T) | OpKind::Gate(Gate::Tdg)))
+            .count()
+    }
+
+    /// Greedy-layered circuit depth (noise channels do not add depth).
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            if matches!(op.kind, OpKind::Noise(_)) {
+                continue;
+            }
+            let layer = op
+                .qubits
+                .iter()
+                .map(|q| frontier[q.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in &op.qubits {
+                frontier[q.index()] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Histogram of gate names to occurrence counts.
+    pub fn gate_counts(&self) -> HashMap<String, usize> {
+        let mut counts = HashMap::new();
+        for op in &self.ops {
+            *counts.entry(op.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Returns `true` when the circuit contains any noise channel.
+    pub fn has_noise(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op.kind, OpKind::Noise(_)))
+    }
+
+    /// The circuit restricted to its unitary gates (noise removed).
+    pub fn without_noise(&self) -> Circuit {
+        let ops = self
+            .ops
+            .iter()
+            .filter(|op| matches!(op.kind, OpKind::Gate(_)))
+            .cloned()
+            .collect();
+        Circuit {
+            num_qubits: self.num_qubits,
+            ops,
+        }
+    }
+
+    /// The adjoint (inverse) circuit; only defined for noise-free circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains noise channels, which are not
+    /// invertible.
+    pub fn adjoint(&self) -> Circuit {
+        let ops = self
+            .ops
+            .iter()
+            .rev()
+            .map(|op| match op.kind {
+                OpKind::Gate(g) => Operation::gate(g.adjoint(), op.qubits.clone()),
+                OpKind::Noise(_) => panic!("cannot invert a noisy circuit"),
+            })
+            .collect();
+        Circuit {
+            num_qubits: self.num_qubits,
+            ops,
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Circuit({} qubits, {} ops):", self.num_qubits, self.len())?;
+        for op in &self.ops {
+            let qs: Vec<String> = op.qubits.iter().map(|q| q.to_string()).collect();
+            writeln!(f, "  {} {}", op.name(), qs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1).rz(0, 0.5);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.t_count(), 1);
+        assert_eq!(c.non_clifford_count(), 2); // T and Rz(0.5)
+    }
+
+    #[test]
+    fn clifford_detection() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1).rz(0, std::f64::consts::PI / 2.0);
+        assert!(c.is_clifford());
+        c.t(0);
+        assert!(!c.is_clifford());
+        assert_eq!(c.non_clifford_indices(), vec![4]);
+    }
+
+    #[test]
+    fn depth_layering() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // layer 1
+        c.cx(0, 1); // layer 2
+        c.cx(1, 2); // layer 3
+        c.x(0); // fits in layer 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn noise_does_not_add_depth() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.add_noise(NoiseChannel::BitFlip(0.1), &[0]);
+        c.h(0);
+        assert_eq!(c.depth(), 2);
+        assert!(c.has_noise());
+        assert_eq!(c.without_noise().len(), 2);
+        assert!(!c.without_noise().has_noise());
+    }
+
+    #[test]
+    fn adjoint_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(0).cx(0, 1).t(1);
+        let a = c.adjoint();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.ops()[0].as_gate(), Some(Gate::Tdg));
+        assert_eq!(a.ops()[3].as_gate(), Some(Gate::H));
+    }
+
+    #[test]
+    fn gate_counts_histogram() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1).t(0);
+        let counts = c.gate_counts();
+        assert_eq!(counts["H"], 2);
+        assert_eq!(counts["CX"], 1);
+        assert_eq!(counts["T"], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(1);
+        c.h(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_two_qubit_operands_panic() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = c.to_string();
+        assert!(s.contains("H q0"));
+        assert!(s.contains("CX q0, q1"));
+    }
+}

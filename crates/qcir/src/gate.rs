@@ -1,0 +1,542 @@
+//! The unitary gate set and Pauli noise channels.
+
+use qmath::{C64, CMat};
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// The canonical Clifford gates understood by the stabilizer simulator.
+///
+/// Parameterized gates whose angle lands on a Clifford point (for example
+/// `Rz(π/2)`) normalize to one of these via [`Gate::to_clifford`]; the
+/// normalization is exact up to global phase, which is unobservable in
+/// measurement statistics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum CliffordGate {
+    /// Identity.
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `diag(1, i)`.
+    S,
+    /// Inverse phase gate `diag(1, -i)`.
+    Sdg,
+    /// Square root of X.
+    SqrtX,
+    /// Inverse square root of X.
+    SqrtXdg,
+    /// Square root of Y.
+    SqrtY,
+    /// Inverse square root of Y.
+    SqrtYdg,
+    /// Controlled-X (first qubit controls).
+    Cx,
+    /// Controlled-Y (first qubit controls).
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Swap of two qubits.
+    Swap,
+}
+
+impl CliffordGate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(self) -> usize {
+        match self {
+            CliffordGate::Cx | CliffordGate::Cy | CliffordGate::Cz | CliffordGate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// The inverse gate (still Clifford).
+    pub fn adjoint(self) -> CliffordGate {
+        match self {
+            CliffordGate::S => CliffordGate::Sdg,
+            CliffordGate::Sdg => CliffordGate::S,
+            CliffordGate::SqrtX => CliffordGate::SqrtXdg,
+            CliffordGate::SqrtXdg => CliffordGate::SqrtX,
+            CliffordGate::SqrtY => CliffordGate::SqrtYdg,
+            CliffordGate::SqrtYdg => CliffordGate::SqrtY,
+            g => g, // the rest are self-inverse
+        }
+    }
+
+    /// All single-qubit Clifford generators (useful for random circuits).
+    pub const ONE_QUBIT: [CliffordGate; 11] = [
+        CliffordGate::I,
+        CliffordGate::X,
+        CliffordGate::Y,
+        CliffordGate::Z,
+        CliffordGate::H,
+        CliffordGate::S,
+        CliffordGate::Sdg,
+        CliffordGate::SqrtX,
+        CliffordGate::SqrtXdg,
+        CliffordGate::SqrtY,
+        CliffordGate::SqrtYdg,
+    ];
+}
+
+impl From<CliffordGate> for Gate {
+    fn from(g: CliffordGate) -> Gate {
+        match g {
+            CliffordGate::I => Gate::I,
+            CliffordGate::X => Gate::X,
+            CliffordGate::Y => Gate::Y,
+            CliffordGate::Z => Gate::Z,
+            CliffordGate::H => Gate::H,
+            CliffordGate::S => Gate::S,
+            CliffordGate::Sdg => Gate::Sdg,
+            CliffordGate::SqrtX => Gate::SqrtX,
+            CliffordGate::SqrtXdg => Gate::SqrtXdg,
+            CliffordGate::SqrtY => Gate::SqrtY,
+            CliffordGate::SqrtYdg => Gate::SqrtYdg,
+            CliffordGate::Cx => Gate::Cx,
+            CliffordGate::Cy => Gate::Cy,
+            CliffordGate::Cz => Gate::Cz,
+            CliffordGate::Swap => Gate::Swap,
+        }
+    }
+}
+
+/// A unitary gate.
+///
+/// The set contains the Clifford group generators plus the non-Clifford
+/// rotations that make the gate set universal (`T`, arbitrary-angle `Rz`,
+/// `Rx`, `Ry`, and `ZPow`). Clifford membership is decided *exactly*:
+/// parameterized rotations are Clifford precisely when their angle is an
+/// integer multiple of π/2 (or, for [`Gate::ZPow`], a half-integer exponent).
+///
+/// Two-qubit gates act on `(first, second)` qubit order with the first qubit
+/// as the most significant bit of the 4-dimensional local basis, i.e.
+/// `index = 2·bit_first + bit_second`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// `diag(1, i)`.
+    S,
+    /// `diag(1, -i)`.
+    Sdg,
+    /// Square root of X.
+    SqrtX,
+    /// Inverse square root of X.
+    SqrtXdg,
+    /// Square root of Y.
+    SqrtY,
+    /// Inverse square root of Y.
+    SqrtYdg,
+    /// `diag(1, e^{iπ/4})` — the canonical non-Clifford gate.
+    T,
+    /// `diag(1, e^{-iπ/4})`.
+    Tdg,
+    /// Z rotation `diag(e^{-iθ/2}, e^{iθ/2})`.
+    Rz(f64),
+    /// X rotation `cos(θ/2)·I − i·sin(θ/2)·X`.
+    Rx(f64),
+    /// Y rotation `cos(θ/2)·I − i·sin(θ/2)·Y`.
+    Ry(f64),
+    /// Power of Z: `diag(1, e^{iπa})`; `ZPow(0.25) == T` up to representation.
+    ZPow(f64),
+    /// Controlled-X (first qubit controls).
+    Cx,
+    /// Controlled-Y (first qubit controls).
+    Cy,
+    /// Controlled-Z.
+    Cz,
+    /// Swap.
+    Swap,
+}
+
+/// Tolerance for deciding that a rotation angle lies on a Clifford point.
+const ANGLE_EPS: f64 = 1e-9;
+
+/// Returns `Some(k)` when `theta ≈ k·π/2` for integer `k`.
+fn quarter_turns(theta: f64) -> Option<i64> {
+    let k = theta / (PI / 2.0);
+    let rounded = k.round();
+    if (k - rounded).abs() < ANGLE_EPS {
+        Some(rounded as i64)
+    } else {
+        None
+    }
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::Cx | Gate::Cy | Gate::Cz | Gate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` when the gate is a Clifford operation (exactly, up to
+    /// global phase).
+    pub fn is_clifford(self) -> bool {
+        self.to_clifford().is_some()
+    }
+
+    /// Normalizes the gate to a canonical [`CliffordGate`] when it is
+    /// Clifford (up to global phase), or returns `None`.
+    pub fn to_clifford(self) -> Option<CliffordGate> {
+        use CliffordGate as C;
+        Some(match self {
+            Gate::I => C::I,
+            Gate::X => C::X,
+            Gate::Y => C::Y,
+            Gate::Z => C::Z,
+            Gate::H => C::H,
+            Gate::S => C::S,
+            Gate::Sdg => C::Sdg,
+            Gate::SqrtX => C::SqrtX,
+            Gate::SqrtXdg => C::SqrtXdg,
+            Gate::SqrtY => C::SqrtY,
+            Gate::SqrtYdg => C::SqrtYdg,
+            Gate::Cx => C::Cx,
+            Gate::Cy => C::Cy,
+            Gate::Cz => C::Cz,
+            Gate::Swap => C::Swap,
+            Gate::T | Gate::Tdg => return None,
+            Gate::Rz(theta) => match quarter_turns(theta)?.rem_euclid(4) {
+                0 => C::I,
+                1 => C::S,
+                2 => C::Z,
+                _ => C::Sdg,
+            },
+            Gate::Rx(theta) => match quarter_turns(theta)?.rem_euclid(4) {
+                0 => C::I,
+                1 => C::SqrtX,
+                2 => C::X,
+                _ => C::SqrtXdg,
+            },
+            Gate::Ry(theta) => match quarter_turns(theta)?.rem_euclid(4) {
+                0 => C::I,
+                1 => C::SqrtY,
+                2 => C::Y,
+                _ => C::SqrtYdg,
+            },
+            Gate::ZPow(a) => match quarter_turns(a * PI)?.rem_euclid(4) {
+                0 => C::I,
+                1 => C::S,
+                2 => C::Z,
+                _ => C::Sdg,
+            },
+        })
+    }
+
+    /// Returns `true` when the gate is diagonal in the computational basis.
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::ZPow(_)
+                | Gate::Cz
+        )
+    }
+
+    /// The inverse gate.
+    pub fn adjoint(self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::SqrtX => Gate::SqrtXdg,
+            Gate::SqrtXdg => Gate::SqrtX,
+            Gate::SqrtY => Gate::SqrtYdg,
+            Gate::SqrtYdg => Gate::SqrtY,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::ZPow(a) => Gate::ZPow(-a),
+            g => g, // self-inverse: I, X, Y, Z, H, Cx, Cy, Cz, Swap
+        }
+    }
+
+    /// The gate's unitary matrix (2×2 for one-qubit gates, 4×4 for
+    /// two-qubit gates, basis index `2·bit_first + bit_second`).
+    pub fn unitary(self) -> CMat {
+        let o = C64::ZERO;
+        let l = C64::ONE;
+        let i = C64::i();
+        let h = FRAC_1_SQRT_2;
+        match self {
+            Gate::I => CMat::identity(2),
+            Gate::X => CMat::from_rows(&[&[o, l], &[l, o]]),
+            Gate::Y => CMat::from_rows(&[&[o, -i], &[i, o]]),
+            Gate::Z => CMat::from_rows(&[&[l, o], &[o, -l]]),
+            Gate::H => CMat::from_rows(&[&[l * h, l * h], &[l * h, -l * h]]),
+            Gate::S => CMat::from_rows(&[&[l, o], &[o, i]]),
+            Gate::Sdg => CMat::from_rows(&[&[l, o], &[o, -i]]),
+            Gate::SqrtX => {
+                let p = C64::new(0.5, 0.5);
+                let m = C64::new(0.5, -0.5);
+                CMat::from_rows(&[&[p, m], &[m, p]])
+            }
+            Gate::SqrtXdg => Gate::SqrtX.unitary().adjoint(),
+            Gate::SqrtY => {
+                let p = C64::new(0.5, 0.5);
+                CMat::from_rows(&[&[p, -p], &[p, p]])
+            }
+            Gate::SqrtYdg => Gate::SqrtY.unitary().adjoint(),
+            Gate::T => CMat::from_rows(&[&[l, o], &[o, C64::cis(PI / 4.0)]]),
+            Gate::Tdg => CMat::from_rows(&[&[l, o], &[o, C64::cis(-PI / 4.0)]]),
+            Gate::Rz(t) => {
+                CMat::from_rows(&[&[C64::cis(-t / 2.0), o], &[o, C64::cis(t / 2.0)]])
+            }
+            Gate::Rx(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::new(0.0, -(t / 2.0).sin());
+                CMat::from_rows(&[&[c, s], &[s, c]])
+            }
+            Gate::Ry(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::real((t / 2.0).sin());
+                CMat::from_rows(&[&[c, -s], &[s, c]])
+            }
+            Gate::ZPow(a) => CMat::from_rows(&[&[l, o], &[o, C64::cis(PI * a)]]),
+            Gate::Cx => CMat::from_rows(&[
+                &[l, o, o, o],
+                &[o, l, o, o],
+                &[o, o, o, l],
+                &[o, o, l, o],
+            ]),
+            Gate::Cy => CMat::from_rows(&[
+                &[l, o, o, o],
+                &[o, l, o, o],
+                &[o, o, o, -i],
+                &[o, o, i, o],
+            ]),
+            Gate::Cz => CMat::from_rows(&[
+                &[l, o, o, o],
+                &[o, l, o, o],
+                &[o, o, l, o],
+                &[o, o, o, -l],
+            ]),
+            Gate::Swap => CMat::from_rows(&[
+                &[l, o, o, o],
+                &[o, o, l, o],
+                &[o, l, o, o],
+                &[o, o, o, l],
+            ]),
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> String {
+        match self {
+            Gate::I => "I".into(),
+            Gate::X => "X".into(),
+            Gate::Y => "Y".into(),
+            Gate::Z => "Z".into(),
+            Gate::H => "H".into(),
+            Gate::S => "S".into(),
+            Gate::Sdg => "S†".into(),
+            Gate::SqrtX => "√X".into(),
+            Gate::SqrtXdg => "√X†".into(),
+            Gate::SqrtY => "√Y".into(),
+            Gate::SqrtYdg => "√Y†".into(),
+            Gate::T => "T".into(),
+            Gate::Tdg => "T†".into(),
+            Gate::Rz(t) => format!("Rz({t:.4})"),
+            Gate::Rx(t) => format!("Rx({t:.4})"),
+            Gate::Ry(t) => format!("Ry({t:.4})"),
+            Gate::ZPow(a) => format!("Z^{a:.4}"),
+            Gate::Cx => "CX".into(),
+            Gate::Cy => "CY".into(),
+            Gate::Cz => "CZ".into(),
+            Gate::Swap => "SWAP".into(),
+        }
+    }
+}
+
+/// A stochastic Pauli noise channel.
+///
+/// These are the only noise processes a stabilizer simulator can represent
+/// (the paper's §III-A); the Pauli-frame simulator applies them per shot.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum NoiseChannel {
+    /// Applies X with probability `p`.
+    BitFlip(f64),
+    /// Applies Z with probability `p`.
+    PhaseFlip(f64),
+    /// Applies Y with probability `p`.
+    YFlip(f64),
+    /// Applies a uniformly random non-identity Pauli with probability `p`.
+    Depolarize1(f64),
+    /// Applies a uniformly random non-identity two-qubit Pauli with
+    /// probability `p`.
+    Depolarize2(f64),
+}
+
+impl NoiseChannel {
+    /// Number of qubits the channel acts on.
+    pub fn arity(self) -> usize {
+        match self {
+            NoiseChannel::Depolarize2(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// The error probability parameter.
+    pub fn probability(self) -> f64 {
+        match self {
+            NoiseChannel::BitFlip(p)
+            | NoiseChannel::PhaseFlip(p)
+            | NoiseChannel::YFlip(p)
+            | NoiseChannel::Depolarize1(p)
+            | NoiseChannel::Depolarize2(p) => p,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> String {
+        match self {
+            NoiseChannel::BitFlip(p) => format!("X_ERR({p})"),
+            NoiseChannel::PhaseFlip(p) => format!("Z_ERR({p})"),
+            NoiseChannel::YFlip(p) => format!("Y_ERR({p})"),
+            NoiseChannel::Depolarize1(p) => format!("DEP1({p})"),
+            NoiseChannel::Depolarize2(p) => format!("DEP2({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clifford_classification_of_fixed_gates() {
+        assert!(Gate::H.is_clifford());
+        assert!(Gate::S.is_clifford());
+        assert!(Gate::Cx.is_clifford());
+        assert!(!Gate::T.is_clifford());
+        assert!(!Gate::Tdg.is_clifford());
+    }
+
+    #[test]
+    fn rotation_clifford_points() {
+        assert_eq!(Gate::Rz(PI / 2.0).to_clifford(), Some(CliffordGate::S));
+        assert_eq!(Gate::Rz(PI).to_clifford(), Some(CliffordGate::Z));
+        assert_eq!(Gate::Rz(-PI / 2.0).to_clifford(), Some(CliffordGate::Sdg));
+        assert_eq!(Gate::Rz(2.0 * PI).to_clifford(), Some(CliffordGate::I));
+        assert_eq!(Gate::Rz(PI / 4.0).to_clifford(), None);
+        assert_eq!(Gate::Rx(PI / 2.0).to_clifford(), Some(CliffordGate::SqrtX));
+        assert_eq!(Gate::Ry(-PI / 2.0).to_clifford(), Some(CliffordGate::SqrtYdg));
+        assert_eq!(Gate::ZPow(0.5).to_clifford(), Some(CliffordGate::S));
+        assert_eq!(Gate::ZPow(1.0).to_clifford(), Some(CliffordGate::Z));
+        assert_eq!(Gate::ZPow(0.25).to_clifford(), None);
+    }
+
+    #[test]
+    fn unitaries_are_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::SqrtX,
+            Gate::SqrtXdg,
+            Gate::SqrtY,
+            Gate::SqrtYdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rz(0.3),
+            Gate::Rx(1.1),
+            Gate::Ry(-0.7),
+            Gate::ZPow(0.33),
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Swap,
+        ];
+        for g in gates {
+            assert!(g.unitary().is_unitary(1e-12), "{} not unitary", g.name());
+        }
+    }
+
+    #[test]
+    fn adjoint_inverts() {
+        let gates = [
+            Gate::S,
+            Gate::T,
+            Gate::SqrtX,
+            Gate::SqrtY,
+            Gate::Rz(0.37),
+            Gate::Rx(1.2),
+            Gate::ZPow(0.8),
+            Gate::Cx,
+            Gate::H,
+        ];
+        for g in gates {
+            let n = 1 << g.arity();
+            let prod = g.unitary().mul(&g.adjoint().unitary());
+            assert!(
+                prod.approx_eq(&CMat::identity(n), 1e-12),
+                "{} adjoint failed",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        let sx = Gate::SqrtX.unitary();
+        let x = Gate::X.unitary();
+        // (√X)² = X up to global phase — compare via |tr(A†B)| = 2.
+        let overlap = sx.mul(&sx).adjoint().mul(&x).trace().abs();
+        assert!((overlap - 2.0).abs() < 1e-12);
+        let sy = Gate::SqrtY.unitary();
+        let y = Gate::Y.unitary();
+        let overlap = sy.mul(&sy).adjoint().mul(&y).trace().abs();
+        assert!((overlap - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_matches_zpow_quarter() {
+        assert!(Gate::T
+            .unitary()
+            .approx_eq(&Gate::ZPow(0.25).unitary(), 1e-12));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let u = Gate::Cx.unitary();
+        // |10> -> |11>
+        assert_eq!(u[(3, 2)], C64::ONE);
+        assert_eq!(u[(2, 2)], C64::ZERO);
+        // |01> -> |01> (control is the first/most-significant bit)
+        assert_eq!(u[(1, 1)], C64::ONE);
+    }
+
+    #[test]
+    fn noise_channel_properties() {
+        assert_eq!(NoiseChannel::Depolarize2(0.01).arity(), 2);
+        assert_eq!(NoiseChannel::BitFlip(0.125).probability(), 0.125);
+    }
+}

@@ -1,0 +1,518 @@
+//! Phase-tracked Pauli algebra.
+
+use crate::{CliffordGate, Qubit};
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The index order `I, X, Y, Z` (0..4) is the convention used for the
+/// 4-valued cut indices in the circuit-cutting tensors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl Pauli {
+    /// All Paulis in index order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The cut-tensor index of this Pauli (`I=0, X=1, Y=2, Z=3`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Pauli::I => 0,
+            Pauli::X => 1,
+            Pauli::Y => 2,
+            Pauli::Z => 3,
+        }
+    }
+
+    /// Inverse of [`Pauli::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub fn from_index(i: usize) -> Pauli {
+        Pauli::ALL[i]
+    }
+
+    /// The `(x, z)` symplectic components, with `Y = iXZ ↦ (1, 1)`.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from symplectic components (`Y = (1, 1)`).
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns `true` when the two Paulis commute.
+    #[inline]
+    pub fn commutes(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        // Symplectic form: they anticommute iff x1·z2 + z1·x2 = 1 (mod 2).
+        !((x1 & z2) ^ (z1 & x2))
+    }
+
+    /// Product `self · other = i^k · result`; returns `(k mod 4, result)`.
+    pub fn mul(self, other: Pauli) -> (u8, Pauli) {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        let x = x1 ^ x2;
+        let z = z1 ^ z2;
+        let result = Pauli::from_xz(x, z);
+        // Using P = i^{x z} X^x Z^z:
+        //   P1·P2 = i^{x1 z1 + x2 z2 + 2 z1 x2 - x z} · (canonical result rep)
+        let k = (x1 as i8 & z1 as i8) + (x2 as i8 & z2 as i8) + 2 * (z1 as i8 & x2 as i8)
+            - (x as i8 & z as i8);
+        (k.rem_euclid(4) as u8, result)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A phase-tracked tensor product of single-qubit Paulis.
+///
+/// Represents `i^phase · P₀ ⊗ P₁ ⊗ … ⊗ Pₙ₋₁`. Supports multiplication and
+/// exact conjugation by Clifford gates, which is the algebra underlying
+/// both the Pauli-frame simulator and the Clifford-specific cutting
+/// optimizations.
+///
+/// ```
+/// use qcir::{Pauli, PauliString, CliffordGate, Qubit};
+/// let mut p = PauliString::single(3, 0, Pauli::X);
+/// p.conjugate_by(CliffordGate::H, &[Qubit(0)]);
+/// assert_eq!(p.pauli(0), Pauli::Z);
+/// assert_eq!(p.phase(), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PauliString {
+    phase: u8, // exponent of i, mod 4
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            phase: 0,
+            paulis: vec![Pauli::I; n],
+        }
+    }
+
+    /// A single-qubit Pauli embedded in an `n`-qubit string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn single(n: usize, qubit: usize, p: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.paulis[qubit] = p;
+        s
+    }
+
+    /// Builds a string from per-qubit Paulis with zero phase.
+    pub fn from_paulis(paulis: Vec<Pauli>) -> Self {
+        PauliString { phase: 0, paulis }
+    }
+
+    /// Parses a string such as `"XIZY"`; returns `None` on invalid input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let paulis = s
+            .chars()
+            .map(|c| match c {
+                'I' => Some(Pauli::I),
+                'X' => Some(Pauli::X),
+                'Y' => Some(Pauli::Y),
+                'Z' => Some(Pauli::Z),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(PauliString { phase: 0, paulis })
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// Returns `true` for the zero-qubit string.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.paulis.is_empty()
+    }
+
+    /// The global phase exponent `k` in `i^k` (mod 4).
+    #[inline]
+    pub fn phase(&self) -> u8 {
+        self.phase
+    }
+
+    /// Sets the global phase exponent (mod 4).
+    pub fn set_phase(&mut self, k: u8) {
+        self.phase = k % 4;
+    }
+
+    /// The Pauli on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn pauli(&self, q: usize) -> Pauli {
+        self.paulis[q]
+    }
+
+    /// Sets the Pauli on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_pauli(&mut self, q: usize, p: Pauli) {
+        self.paulis[q] = p;
+    }
+
+    /// Number of non-identity positions.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// Indices of non-identity positions.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&q| self.paulis[q] != Pauli::I).collect()
+    }
+
+    /// Returns `true` when the string is `±i^k · I⊗…⊗I`.
+    pub fn is_identity(&self) -> bool {
+        self.weight() == 0
+    }
+
+    /// Multiplies by another string in place: `self := self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let mut phase = self.phase + other.phase;
+        for q in 0..self.len() {
+            let (k, r) = self.paulis[q].mul(other.paulis[q]);
+            phase += k;
+            self.paulis[q] = r;
+        }
+        self.phase = phase % 4;
+    }
+
+    /// Returns `self · other`.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// Returns `true` when the two strings commute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let anti = (0..self.len())
+            .filter(|&q| !self.paulis[q].commutes(other.paulis[q]))
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Conjugates in place by a Clifford gate: `self := G · self · G†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubit arguments does not match the gate
+    /// arity, or a qubit is out of range.
+    pub fn conjugate_by(&mut self, gate: CliffordGate, qubits: &[Qubit]) {
+        assert_eq!(qubits.len(), gate.arity(), "arity mismatch");
+        use CliffordGate as G;
+        match gate {
+            G::I => {}
+            G::X | G::Y | G::Z | G::H | G::S | G::Sdg | G::SqrtX | G::SqrtXdg | G::SqrtY
+            | G::SqrtYdg => {
+                let q = qubits[0].index();
+                let (x, z) = self.paulis[q].xz();
+                let (x, z, extra) = match gate {
+                    G::X => (x, z, 2 * (z as u8)),
+                    G::Y => (x, z, 2 * ((x ^ z) as u8)),
+                    G::Z => (x, z, 2 * (x as u8)),
+                    G::H => (z, x, 2 * ((x & z) as u8)),
+                    G::S => (x, z ^ x, 2 * ((x & z) as u8)),
+                    G::Sdg => (x, z ^ x, 2 * ((x & !z) as u8)),
+                    G::SqrtX => (x ^ z, z, 2 * ((z & !x) as u8)),
+                    G::SqrtXdg => (x ^ z, z, 2 * ((z & x) as u8)),
+                    G::SqrtY => (z, x, 2 * ((x & !z) as u8)),
+                    G::SqrtYdg => (z, x, 2 * ((z & !x) as u8)),
+                    _ => unreachable!(),
+                };
+                self.paulis[q] = Pauli::from_xz(x, z);
+                self.phase = (self.phase + extra) % 4;
+            }
+            G::Cx => {
+                let (c, t) = (qubits[0].index(), qubits[1].index());
+                assert_ne!(c, t, "control equals target");
+                let (xc, zc) = self.paulis[c].xz();
+                let (xt, zt) = self.paulis[t].xz();
+                // Aaronson–Gottesman sign rule.
+                let extra = 2 * ((xc & zt & !(xt ^ zc)) as u8);
+                self.paulis[c] = Pauli::from_xz(xc, zc ^ zt);
+                self.paulis[t] = Pauli::from_xz(xt ^ xc, zt);
+                self.phase = (self.phase + extra) % 4;
+            }
+            G::Cz => {
+                let (a, b) = (qubits[0].index(), qubits[1].index());
+                assert_ne!(a, b, "control equals target");
+                let (xa, za) = self.paulis[a].xz();
+                let (xb, zb) = self.paulis[b].xz();
+                let extra = 2 * ((xa & xb & (za ^ zb)) as u8);
+                self.paulis[a] = Pauli::from_xz(xa, za ^ xb);
+                self.paulis[b] = Pauli::from_xz(xb, zb ^ xa);
+                self.phase = (self.phase + extra) % 4;
+            }
+            G::Cy => {
+                // CY = S_t · CX · S†_t  ⇒ conjugation composes accordingly.
+                let (c, t) = (qubits[0], qubits[1]);
+                self.conjugate_by(G::Sdg, &[t]);
+                self.conjugate_by(G::Cx, &[c, t]);
+                self.conjugate_by(G::S, &[t]);
+            }
+            G::Swap => {
+                let (a, b) = (qubits[0].index(), qubits[1].index());
+                self.paulis.swap(a, b);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.phase {
+            0 => write!(f, "+")?,
+            1 => write!(f, "+i")?,
+            2 => write!(f, "-")?,
+            _ => write!(f, "-i")?,
+        }
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pauli_products() {
+        // XY = iZ
+        assert_eq!(Pauli::X.mul(Pauli::Y), (1, Pauli::Z));
+        // YX = -iZ
+        assert_eq!(Pauli::Y.mul(Pauli::X), (3, Pauli::Z));
+        // ZX = iY
+        assert_eq!(Pauli::Z.mul(Pauli::X), (1, Pauli::Y));
+        // XZ = -iY
+        assert_eq!(Pauli::X.mul(Pauli::Z), (3, Pauli::Y));
+        // YZ = iX
+        assert_eq!(Pauli::Y.mul(Pauli::Z), (1, Pauli::X));
+        // X·X = I
+        assert_eq!(Pauli::X.mul(Pauli::X), (0, Pauli::I));
+        // I·P = P
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::I.mul(p), (0, p));
+            assert_eq!(p.mul(Pauli::I), (0, p));
+        }
+    }
+
+    #[test]
+    fn commutation_relations() {
+        assert!(Pauli::X.commutes(Pauli::X));
+        assert!(Pauli::X.commutes(Pauli::I));
+        assert!(!Pauli::X.commutes(Pauli::Y));
+        assert!(!Pauli::X.commutes(Pauli::Z));
+        assert!(!Pauli::Y.commutes(Pauli::Z));
+    }
+
+    #[test]
+    fn string_multiplication_phases() {
+        let x = PauliString::parse("X").unwrap();
+        let y = PauliString::parse("Y").unwrap();
+        let xy = x.mul(&y);
+        assert_eq!(xy.pauli(0), Pauli::Z);
+        assert_eq!(xy.phase(), 1); // i·Z
+        let yx = y.mul(&x);
+        assert_eq!(yx.phase(), 3); // -i·Z
+
+        // (X⊗Z)(Z⊗X) = (XZ)⊗(ZX) = (-iY)(iY) = Y⊗Y with phase 0
+        let a = PauliString::parse("XZ").unwrap();
+        let b = PauliString::parse("ZX").unwrap();
+        let ab = a.mul(&b);
+        assert_eq!(ab.pauli(0), Pauli::Y);
+        assert_eq!(ab.pauli(1), Pauli::Y);
+        assert_eq!(ab.phase(), 0);
+    }
+
+    #[test]
+    fn string_commutation() {
+        let xx = PauliString::parse("XX").unwrap();
+        let zz = PauliString::parse("ZZ").unwrap();
+        let zi = PauliString::parse("ZI").unwrap();
+        assert!(xx.commutes_with(&zz)); // two anticommuting sites
+        assert!(!xx.commutes_with(&zi)); // one anticommuting site
+    }
+
+    #[test]
+    fn hadamard_conjugation() {
+        let q = [Qubit(0)];
+        for (from, to, ph) in [
+            (Pauli::X, Pauli::Z, 0u8),
+            (Pauli::Z, Pauli::X, 0),
+            (Pauli::Y, Pauli::Y, 2), // H Y H = -Y
+        ] {
+            let mut p = PauliString::single(1, 0, from);
+            p.conjugate_by(CliffordGate::H, &q);
+            assert_eq!((p.pauli(0), p.phase()), (to, ph), "H conj of {from}");
+        }
+    }
+
+    #[test]
+    fn s_gate_conjugation() {
+        let q = [Qubit(0)];
+        // S X S† = Y
+        let mut p = PauliString::single(1, 0, Pauli::X);
+        p.conjugate_by(CliffordGate::S, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::Y, 0));
+        // S Y S† = -X
+        let mut p = PauliString::single(1, 0, Pauli::Y);
+        p.conjugate_by(CliffordGate::S, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::X, 2));
+        // S† X S = -Y
+        let mut p = PauliString::single(1, 0, Pauli::X);
+        p.conjugate_by(CliffordGate::Sdg, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::Y, 2));
+    }
+
+    #[test]
+    fn sqrt_gate_conjugation() {
+        let q = [Qubit(0)];
+        // √X Y √X† = Z ; √X Z √X† = -Y
+        let mut p = PauliString::single(1, 0, Pauli::Y);
+        p.conjugate_by(CliffordGate::SqrtX, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::Z, 0));
+        let mut p = PauliString::single(1, 0, Pauli::Z);
+        p.conjugate_by(CliffordGate::SqrtX, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::Y, 2));
+        // √Y Z √Y† = X ; √Y X √Y† = -Z
+        let mut p = PauliString::single(1, 0, Pauli::Z);
+        p.conjugate_by(CliffordGate::SqrtY, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::X, 0));
+        let mut p = PauliString::single(1, 0, Pauli::X);
+        p.conjugate_by(CliffordGate::SqrtY, &q);
+        assert_eq!((p.pauli(0), p.phase()), (Pauli::Z, 2));
+    }
+
+    #[test]
+    fn cx_conjugation() {
+        let qs = [Qubit(0), Qubit(1)];
+        // CX (X⊗I) CX = X⊗X
+        let mut p = PauliString::parse("XI").unwrap();
+        p.conjugate_by(CliffordGate::Cx, &qs);
+        assert_eq!(p.to_string(), "+XX");
+        // CX (I⊗Z) CX = Z⊗Z
+        let mut p = PauliString::parse("IZ").unwrap();
+        p.conjugate_by(CliffordGate::Cx, &qs);
+        assert_eq!(p.to_string(), "+ZZ");
+        // CX (X⊗Z) CX = -Y⊗Y
+        let mut p = PauliString::parse("XZ").unwrap();
+        p.conjugate_by(CliffordGate::Cx, &qs);
+        assert_eq!(p.to_string(), "-YY");
+        // CX (I⊗X) CX = I⊗X
+        let mut p = PauliString::parse("IX").unwrap();
+        p.conjugate_by(CliffordGate::Cx, &qs);
+        assert_eq!(p.to_string(), "+IX");
+    }
+
+    #[test]
+    fn cz_and_cy_conjugation() {
+        let qs = [Qubit(0), Qubit(1)];
+        // CZ (X⊗I) CZ = X⊗Z
+        let mut p = PauliString::parse("XI").unwrap();
+        p.conjugate_by(CliffordGate::Cz, &qs);
+        assert_eq!(p.to_string(), "+XZ");
+        // CZ (X⊗X) CZ = Y⊗Y
+        let mut p = PauliString::parse("XX").unwrap();
+        p.conjugate_by(CliffordGate::Cz, &qs);
+        assert_eq!(p.to_string(), "+YY");
+        // CY (X⊗I) CY = X⊗Y
+        let mut p = PauliString::parse("XI").unwrap();
+        p.conjugate_by(CliffordGate::Cy, &qs);
+        assert_eq!(p.to_string(), "+XY");
+        // CY (I⊗Z) CY = Z⊗Z
+        let mut p = PauliString::parse("IZ").unwrap();
+        p.conjugate_by(CliffordGate::Cy, &qs);
+        assert_eq!(p.to_string(), "+ZZ");
+    }
+
+    #[test]
+    fn swap_conjugation() {
+        let mut p = PauliString::parse("XZ").unwrap();
+        p.conjugate_by(CliffordGate::Swap, &[Qubit(0), Qubit(1)]);
+        assert_eq!(p.to_string(), "+ZX");
+    }
+
+    #[test]
+    fn conjugation_preserves_commutation() {
+        // Conjugation is an automorphism: commutation must be preserved.
+        let pairs = [("XI", "ZI"), ("XX", "ZZ"), ("XY", "YZ")];
+        for gate in [CliffordGate::Cx, CliffordGate::Cz, CliffordGate::Cy] {
+            for (a, b) in pairs {
+                let mut pa = PauliString::parse(a).unwrap();
+                let mut pb = PauliString::parse(b).unwrap();
+                let before = pa.commutes_with(&pb);
+                pa.conjugate_by(gate, &[Qubit(0), Qubit(1)]);
+                pb.conjugate_by(gate, &[Qubit(0), Qubit(1)]);
+                assert_eq!(before, pa.commutes_with(&pb), "{gate:?} {a} {b}");
+            }
+        }
+    }
+}

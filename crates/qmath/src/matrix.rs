@@ -1,0 +1,380 @@
+//! Dense row-major complex matrices.
+
+use crate::C64;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major complex matrix.
+///
+/// The simulators only ever manipulate small matrices (gate unitaries,
+/// fragment Choi matrices, MPS bond blocks), so the representation favours
+/// simplicity: a flat `Vec<C64>` with explicit dimensions.
+///
+/// ```
+/// use qmath::{CMat, C64};
+/// let x = CMat::from_rows(&[
+///     &[C64::ZERO, C64::ONE],
+///     &[C64::ONE, C64::ZERO],
+/// ]);
+/// assert!(x.mul(&x).approx_eq(&CMat::identity(2), 1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for each entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        let mut m = CMat::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "ragged rows");
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix that owns `data` interpreted in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Entry-wise sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        CMat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Entry-wise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        CMat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scales every entry by the complex factor `s`.
+    pub fn scale(&self, s: C64) -> CMat {
+        let data = self.data.iter().map(|&a| a * s).collect();
+        CMat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Conjugate transpose (dagger).
+    pub fn adjoint(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose.
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> CMat {
+        let data = self.data.iter().map(|a| a.conj()).collect();
+        CMat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if the matrix is Hermitian within `eps`.
+    pub fn is_hermitian(&self, eps: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the matrix is unitary within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.adjoint()
+            .mul(self)
+            .approx_eq(&CMat::identity(self.rows), eps)
+    }
+
+    /// Entry-wise approximate equality within `eps`.
+    pub fn approx_eq(&self, other: &CMat, eps: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| a.approx_eq(b, eps))
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMat {
+        CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> CMat {
+        CMat::from_rows(&[&[C64::ZERO, -C64::i()], &[C64::i(), C64::ZERO]])
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]])
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        // XY = iZ
+        assert!(x.mul(&y).approx_eq(&z.scale(C64::i()), 1e-12));
+        // X² = I
+        assert!(x.mul(&x).approx_eq(&CMat::identity(2), 1e-12));
+        assert!(x.is_hermitian(1e-12) && y.is_hermitian(1e-12));
+        assert!(y.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.kron(&z);
+        assert_eq!((xz.rows(), xz.cols()), (4, 4));
+        assert_eq!(xz[(0, 2)], C64::ONE);
+        assert_eq!(xz[(1, 3)], -C64::ONE);
+        assert_eq!(xz[(0, 0)], C64::ZERO);
+        // (X⊗Z)(X⊗Z) = I₄
+        assert!(xz.mul(&xz).approx_eq(&CMat::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn trace_and_norm() {
+        let z = pauli_z();
+        assert!(z.trace().approx_eq(C64::ZERO, 1e-12));
+        assert!((z.frobenius_norm() - 2f64.sqrt()).abs() < 1e-12);
+        assert!(CMat::identity(3).trace().approx_eq(C64::real(3.0), 1e-12));
+    }
+
+    #[test]
+    fn adjoint_reverses_product() {
+        let a = CMat::from_fn(3, 3, |i, j| C64::new(i as f64, j as f64 * 0.5));
+        let b = CMat::from_fn(3, 3, |i, j| C64::new(j as f64 - i as f64, 1.0));
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_mul() {
+        let a = CMat::from_fn(2, 3, |i, j| C64::new((i * 3 + j) as f64, 0.0));
+        let v = vec![C64::real(1.0), C64::real(-1.0), C64::real(2.0)];
+        let got = a.matvec(&v);
+        assert!(got[0].approx_eq(C64::real(0.0 - 1.0 + 4.0), 1e-12));
+        assert!(got[1].approx_eq(C64::real(3.0 - 4.0 + 10.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mul_shape_mismatch_panics() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+}

@@ -1,0 +1,224 @@
+//! Complex singular value decomposition via one-sided Jacobi.
+
+use crate::{C64, CMat};
+
+/// Result of a singular value decomposition `A = U · diag(s) · V†`.
+///
+/// With `A` of shape `m × n` and `k = min(m, n)`:
+/// `u` is `m × k` with orthonormal columns, `s` has `k` non-negative entries
+/// in descending order, and `v` is `n × k` with orthonormal columns.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: CMat,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (columns); `A = U diag(s) V†`.
+    pub v: CMat,
+}
+
+impl Svd {
+    /// Rebuilds `U · diag(s) · V†`.
+    pub fn reconstruct(&self) -> CMat {
+        let k = self.s.len();
+        let mut d = CMat::zeros(k, k);
+        for i in 0..k {
+            d[(i, i)] = C64::real(self.s[i]);
+        }
+        self.u.mul(&d).mul(&self.v.adjoint())
+    }
+
+    /// Number of singular values above `threshold`.
+    pub fn rank(&self, threshold: f64) -> usize {
+        self.s.iter().filter(|&&x| x > threshold).count()
+    }
+}
+
+/// Computes the SVD of a complex matrix with the one-sided Jacobi method.
+///
+/// One-sided Jacobi orthogonalizes pairs of columns of `A` with unitary
+/// rotations accumulated into `V`; on convergence the column norms are the
+/// singular values and the normalized columns form `U`. It is slower than
+/// Golub–Kahan but numerically robust and simple — appropriate for the small
+/// MPS bond matrices this workspace decomposes.
+pub fn svd(a: &CMat) -> Svd {
+    if a.rows() < a.cols() {
+        // Work on the adjoint so that m >= n, then swap factors:
+        // A† = U' S V'† ⇒ A = V' S U'†.
+        let dec = svd(&a.adjoint());
+        return Svd {
+            u: dec.v,
+            s: dec.s,
+            v: dec.u,
+        };
+    }
+
+    let m = a.rows();
+    let n = a.cols();
+    let mut w = a.clone(); // columns get orthogonalized in place
+    let mut v = CMat::identity(n);
+
+    let scale = a.frobenius_norm().max(1e-300);
+    let tol = 1e-15 * scale * scale;
+
+    for _sweep in 0..60 {
+        let mut rotated = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // Gram entries for the column pair.
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = C64::ZERO;
+                for k in 0..m {
+                    let wi = w[(k, i)];
+                    let wj = w[(k, j)];
+                    alpha += wi.norm_sqr();
+                    beta += wj.norm_sqr();
+                    gamma += wi.conj() * wj;
+                }
+                if gamma.abs() <= tol.max(1e-15 * (alpha * beta).sqrt()) {
+                    continue;
+                }
+                rotated = true;
+                // Diagonalize the Hermitian 2×2 Gram block
+                // [[alpha, gamma], [gamma*, beta]].
+                let phi = gamma.arg();
+                let g = gamma.abs();
+                let theta = 0.5 * (2.0 * g).atan2(alpha - beta);
+                let c = theta.cos();
+                let s = theta.sin();
+                let e_pos = C64::cis(phi);
+                let e_neg = e_pos.conj();
+                // Columns := columns · U with U = [[c, -s e^{iφ}],[s e^{-iφ}, c]].
+                for k in 0..m {
+                    let wi = w[(k, i)];
+                    let wj = w[(k, j)];
+                    w[(k, i)] = wi * c + wj * (s * e_neg);
+                    w[(k, j)] = wj * c - wi * (s * e_pos);
+                }
+                for k in 0..n {
+                    let vi = v[(k, i)];
+                    let vj = v[(k, j)];
+                    v[(k, i)] = vi * c + vj * (s * e_neg);
+                    v[(k, j)] = vj * c - vi * (s * e_pos);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and left vectors.
+    let mut entries: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm: f64 = (0..m).map(|k| w[(k, j)].norm_sqr()).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let k = n; // == min(m, n) because m >= n here
+    let mut u = CMat::zeros(m, k);
+    let mut s = Vec::with_capacity(k);
+    let mut vs = CMat::zeros(n, k);
+    for (col, &(norm, j)) in entries.iter().enumerate() {
+        s.push(norm);
+        if norm > 1e-300 {
+            for r in 0..m {
+                u[(r, col)] = w[(r, j)] / norm;
+            }
+        }
+        for r in 0..n {
+            vs[(r, col)] = v[(r, j)];
+        }
+    }
+    Svd { u, s, v: vs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_mat(m: usize, n: usize, seed: u64) -> CMat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        CMat::from_fn(m, n, |_, _| C64::new(next(), next()))
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let a = random_mat(6, 4, 3);
+        let dec = svd(&a);
+        assert!(dec.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn reconstructs_wide_matrix() {
+        let a = random_mat(3, 7, 11);
+        let dec = svd(&a);
+        assert_eq!(dec.s.len(), 3);
+        assert!(dec.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn factors_are_isometries() {
+        let a = random_mat(5, 5, 21);
+        let dec = svd(&a);
+        let k = dec.s.len();
+        assert!(dec.u.adjoint().mul(&dec.u).approx_eq(&CMat::identity(k), 1e-9));
+        assert!(dec.v.adjoint().mul(&dec.v).approx_eq(&CMat::identity(k), 1e-9));
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = random_mat(8, 5, 5);
+        let dec = svd(&a);
+        for w in dec.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(dec.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rank_detects_low_rank() {
+        // Outer product: rank 1.
+        let u = random_mat(6, 1, 9);
+        let vt = random_mat(1, 6, 13);
+        let a = u.mul(&vt);
+        let dec = svd(&a);
+        assert_eq!(dec.rank(1e-10), 1);
+        assert!(dec.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn identity_svd() {
+        let a = CMat::identity(4);
+        let dec = svd(&a);
+        for &x in &dec.s {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = CMat::zeros(3, 3);
+        let dec = svd(&a);
+        assert!(dec.s.iter().all(|&x| x == 0.0));
+        assert!(dec.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn frobenius_matches_singular_values() {
+        let a = random_mat(5, 4, 77);
+        let dec = svd(&a);
+        let fro = a.frobenius_norm();
+        let ssum: f64 = dec.s.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((fro - ssum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use qmath::{eigh, psd_project_with_trace, svd, C64, CMat};
+
+/// Strategy: a complex matrix with entries in [-1, 1]².
+fn cmat(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), rows * cols).prop_map(
+        move |entries| {
+            CMat::from_vec(
+                rows,
+                cols,
+                entries.into_iter().map(|(re, im)| C64::new(re, im)).collect(),
+            )
+        },
+    )
+}
+
+/// Strategy: a Hermitian matrix.
+fn hermitian(n: usize) -> impl Strategy<Value = CMat> {
+    cmat(n, n).prop_map(|a| a.add(&a.adjoint()).scale(C64::real(0.5)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn svd_reconstructs(a in cmat(5, 3)) {
+        let dec = svd(&a);
+        prop_assert!(dec.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_reconstructs_wide(a in cmat(2, 6)) {
+        let dec = svd(&a);
+        prop_assert!(dec.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_factors_are_isometries(a in cmat(4, 4)) {
+        let dec = svd(&a);
+        let k = dec.s.len();
+        prop_assert!(dec.u.adjoint().mul(&dec.u).approx_eq(&CMat::identity(k), 1e-8));
+        prop_assert!(dec.v.adjoint().mul(&dec.v).approx_eq(&CMat::identity(k), 1e-8));
+        for w in dec.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_match_gram_eigenvalues(a in cmat(4, 4)) {
+        // σ_i² are the eigenvalues of A†A.
+        let dec = svd(&a);
+        let gram = a.adjoint().mul(&a);
+        let eig = eigh(&gram);
+        let mut sv_sq: Vec<f64> = dec.s.iter().map(|x| x * x).collect();
+        sv_sq.reverse(); // ascending to match eigh
+        for (s2, l) in sv_sq.iter().zip(&eig.values) {
+            prop_assert!((s2 - l).abs() < 1e-7, "σ² {} vs λ {}", s2, l);
+        }
+    }
+
+    #[test]
+    fn eigh_reconstructs_and_is_real(a in hermitian(5)) {
+        let dec = eigh(&a);
+        prop_assert!(dec.reconstruct().approx_eq(&a, 1e-8));
+        prop_assert!(dec.vectors.is_unitary(1e-8));
+        // Trace preserved by the spectrum.
+        let spectral_trace: f64 = dec.values.iter().sum();
+        prop_assert!((spectral_trace - a.trace().re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn psd_trace_projection_invariants(a in hermitian(4), t in 0.0f64..3.0) {
+        let p = psd_project_with_trace(&a, t);
+        let dec = eigh(&p);
+        prop_assert!(dec.values.iter().all(|&l| l >= -1e-9), "not PSD");
+        prop_assert!((p.trace().re - t).abs() < 1e-8, "trace not matched");
+        // Projection is idempotent.
+        let pp = psd_project_with_trace(&p, t);
+        prop_assert!(pp.approx_eq(&p, 1e-7));
+    }
+
+    #[test]
+    fn kron_mixed_product(a in cmat(2, 2), b in cmat(2, 2), c in cmat(2, 2), d in cmat(2, 2)) {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = a.kron(&b).mul(&c.kron(&d));
+        let rhs = a.mul(&c).kron(&b.mul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn adjoint_is_involution(a in cmat(3, 4)) {
+        prop_assert!(a.adjoint().adjoint().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn frobenius_norm_unitary_invariance(a in hermitian(3)) {
+        // ‖U†AU‖_F = ‖A‖_F for the eigenvector unitary.
+        let dec = eigh(&a);
+        let rotated = dec.vectors.adjoint().mul(&a).mul(&dec.vectors);
+        prop_assert!((rotated.frobenius_norm() - a.frobenius_norm()).abs() < 1e-8);
+    }
+}

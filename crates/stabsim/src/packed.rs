@@ -1,0 +1,153 @@
+//! Bit-packed Pauli rows used by Gaussian elimination and sampling.
+
+use qcir::{Bits, Pauli, PauliString};
+
+/// A Pauli operator in packed `i^k · X^x · Z^z` form.
+///
+/// `k` is the exponent of the global `i` phase (mod 4). In this
+/// representation `Y = i·X·Z` on a qubit contributes one `X` bit, one `Z`
+/// bit, and `+1` to `k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedPauli {
+    /// X-component mask over qubits.
+    pub x: Bits,
+    /// Z-component mask over qubits.
+    pub z: Bits,
+    /// Exponent of the global `i` phase (mod 4).
+    pub k: u8,
+}
+
+impl PackedPauli {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PackedPauli {
+            x: Bits::zeros(n),
+            z: Bits::zeros(n),
+            k: 0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` for the zero-qubit operator.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Converts from a phase-tracked [`PauliString`].
+    pub fn from_string(p: &PauliString) -> Self {
+        let n = p.len();
+        let mut x = Bits::zeros(n);
+        let mut z = Bits::zeros(n);
+        let mut extra = 0u8;
+        for q in 0..n {
+            let (xb, zb) = p.pauli(q).xz();
+            x.set(q, xb);
+            z.set(q, zb);
+            if xb && zb {
+                extra += 1;
+            }
+        }
+        PackedPauli {
+            x,
+            z,
+            k: (p.phase() + extra) % 4,
+        }
+    }
+
+    /// Converts back to a [`PauliString`].
+    pub fn to_string_form(&self) -> PauliString {
+        let n = self.len();
+        let mut s = PauliString::identity(n);
+        let mut y_count = 0u8;
+        for q in 0..n {
+            let p = Pauli::from_xz(self.x.get(q), self.z.get(q));
+            if p == Pauli::Y {
+                y_count += 1;
+            }
+            s.set_pauli(q, p);
+        }
+        // i^k X^x Z^z = i^{k - #Y} · Π P_q  (each Y = i·XZ)
+        s.set_phase((self.k + 4 - y_count % 4) % 4);
+        s
+    }
+
+    /// In-place product `self := self · other`.
+    ///
+    /// Uses `(X^{x1}Z^{z1})(X^{x2}Z^{z2}) = (-1)^{z1·x2} X^{x1⊕x2} Z^{z1⊕z2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn mul_assign(&mut self, other: &PackedPauli) {
+        let cross = self.z.dot(&other.x);
+        self.x.xor_assign(&other.x);
+        self.z.xor_assign(&other.z);
+        self.k = (self.k + other.k + if cross { 2 } else { 0 }) % 4;
+    }
+
+    /// Returns `true` when the two Paulis commute.
+    pub fn commutes_with(&self, other: &PackedPauli) -> bool {
+        !(self.x.dot(&other.z) ^ self.z.dot(&other.x))
+    }
+
+    /// Returns `true` when the X-component is zero (a pure Z-type operator).
+    pub fn is_z_type(&self) -> bool {
+        self.x.count_ones() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_string() {
+        for s in ["XYZI", "IIII", "YYYY", "ZXZX"] {
+            let p = PauliString::parse(s).unwrap();
+            let packed = PackedPauli::from_string(&p);
+            assert_eq!(packed.to_string_form(), p, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_pauli_string() {
+        let cases = [("XI", "ZI"), ("XY", "YZ"), ("YY", "XZ"), ("ZZ", "XX")];
+        for (a, b) in cases {
+            let pa = PauliString::parse(a).unwrap();
+            let pb = PauliString::parse(b).unwrap();
+            let mut packed = PackedPauli::from_string(&pa);
+            packed.mul_assign(&PackedPauli::from_string(&pb));
+            assert_eq!(
+                packed.to_string_form(),
+                pa.mul(&pb),
+                "product {a}·{b} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn commutation_matches_pauli_string() {
+        let cases = [("XI", "ZI"), ("XX", "ZZ"), ("XY", "YZ"), ("IZ", "ZI")];
+        for (a, b) in cases {
+            let pa = PauliString::parse(a).unwrap();
+            let pb = PauliString::parse(b).unwrap();
+            assert_eq!(
+                PackedPauli::from_string(&pa).commutes_with(&PackedPauli::from_string(&pb)),
+                pa.commutes_with(&pb),
+                "commutation {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn z_type_detection() {
+        let p = PackedPauli::from_string(&PauliString::parse("IZZI").unwrap());
+        assert!(p.is_z_type());
+        let q = PackedPauli::from_string(&PauliString::parse("IYZI").unwrap());
+        assert!(!q.is_z_type());
+    }
+}

@@ -1,0 +1,679 @@
+//! Dense statevector simulation — the qsim/Cirq-SV substitute in SuperSim-RS.
+//!
+//! [`StateVec`] stores all `2^n` complex amplitudes and applies gates with
+//! specialized kernels. It is the *exact* reference backend: SuperSim uses
+//! it for small non-Clifford fragments, the benchmark harness uses it as the
+//! paper's "SV simulator" baseline, and the test-suite uses it as ground
+//! truth for every other engine.
+//!
+//! Basis convention: qubit `q` is bit `q` of the amplitude index, matching
+//! [`qcir::Bits`] (bit 0 printed leftmost).
+//!
+//! ```
+//! use qcir::Circuit;
+//! use svsim::StateVec;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let psi = StateVec::run(&bell).unwrap();
+//! assert!((psi.probability_of_index(0b00) - 0.5).abs() < 1e-12);
+//! assert!((psi.probability_of_index(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+use qcir::{Bits, Circuit, Gate, OpKind, PauliString, Qubit};
+use qmath::{C64, CMat};
+use rand::Rng;
+use std::fmt;
+
+/// Hard cap on qubit count to avoid accidental out-of-memory aborts.
+pub const MAX_QUBITS: usize = 30;
+
+/// Error raised when a circuit is too wide for dense simulation or contains
+/// an operation the statevector engine cannot apply deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvError {
+    /// The circuit has more qubits than [`MAX_QUBITS`].
+    TooManyQubits(usize),
+    /// The circuit contains a noise channel but no RNG was provided.
+    NoiseWithoutRng,
+}
+
+impl fmt::Display for SvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvError::TooManyQubits(n) => {
+                write!(f, "{n} qubits exceeds dense statevector limit {MAX_QUBITS}")
+            }
+            SvError::NoiseWithoutRng => {
+                write!(f, "circuit contains noise channels; use run_noisy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvError {}
+
+/// A dense `2^n`-amplitude quantum state.
+#[derive(Clone)]
+pub struct StateVec {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVec {
+    /// Creates `|0…0⟩` on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= MAX_QUBITS, "{n} qubits exceeds limit {MAX_QUBITS}");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        StateVec { n, amps }
+    }
+
+    /// Runs a noise-free circuit from `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvError`] if the circuit is too wide or contains noise
+    /// channels.
+    pub fn run(circuit: &Circuit) -> Result<Self, SvError> {
+        if circuit.num_qubits() > MAX_QUBITS {
+            return Err(SvError::TooManyQubits(circuit.num_qubits()));
+        }
+        let mut sv = StateVec::new(circuit.num_qubits());
+        for op in circuit.ops() {
+            match &op.kind {
+                OpKind::Gate(g) => sv.apply_gate(*g, &op.qubits),
+                OpKind::Noise(_) => return Err(SvError::NoiseWithoutRng),
+            }
+        }
+        Ok(sv)
+    }
+
+    /// Runs a circuit, applying noise channels as one stochastic trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvError::TooManyQubits`] if the circuit is too wide.
+    pub fn run_noisy(circuit: &Circuit, rng: &mut impl Rng) -> Result<Self, SvError> {
+        if circuit.num_qubits() > MAX_QUBITS {
+            return Err(SvError::TooManyQubits(circuit.num_qubits()));
+        }
+        let mut sv = StateVec::new(circuit.num_qubits());
+        for op in circuit.ops() {
+            match &op.kind {
+                OpKind::Gate(g) => sv.apply_gate(*g, &op.qubits),
+                OpKind::Noise(ch) => {
+                    use qcir::NoiseChannel as N;
+                    match *ch {
+                        N::BitFlip(p) => {
+                            if rng.random::<f64>() < p {
+                                sv.apply_gate(Gate::X, &op.qubits);
+                            }
+                        }
+                        N::PhaseFlip(p) => {
+                            if rng.random::<f64>() < p {
+                                sv.apply_gate(Gate::Z, &op.qubits);
+                            }
+                        }
+                        N::YFlip(p) => {
+                            if rng.random::<f64>() < p {
+                                sv.apply_gate(Gate::Y, &op.qubits);
+                            }
+                        }
+                        N::Depolarize1(p) => {
+                            if rng.random::<f64>() < p {
+                                let g = [Gate::X, Gate::Y, Gate::Z][rng.random_range(0..3)];
+                                sv.apply_gate(g, &op.qubits);
+                            }
+                        }
+                        N::Depolarize2(p) => {
+                            if rng.random::<f64>() < p {
+                                let k = rng.random_range(1..16u8);
+                                for (shift, q) in [(0u8, op.qubits[0]), (2u8, op.qubits[1])] {
+                                    match (k >> shift) & 0b11 {
+                                        0b01 => sv.apply_gate(Gate::X, &[q]),
+                                        0b10 => sv.apply_gate(Gate::Z, &[q]),
+                                        0b11 => sv.apply_gate(Gate::Y, &[q]),
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(sv)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow of the amplitude vector (index bit `q` = qubit `q`).
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// The amplitude of a basis state given as an index.
+    #[inline]
+    pub fn amplitude(&self, index: usize) -> C64 {
+        self.amps[index]
+    }
+
+    /// Applies a unitary gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range qubits.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[Qubit]) {
+        assert_eq!(qubits.len(), gate.arity(), "arity mismatch");
+        match gate {
+            Gate::I => {}
+            Gate::X => self.apply_x(qubits[0].index()),
+            Gate::Z => self.apply_phase(qubits[0].index(), -C64::ONE),
+            Gate::S => self.apply_phase(qubits[0].index(), C64::i()),
+            Gate::Sdg => self.apply_phase(qubits[0].index(), -C64::i()),
+            Gate::T => self.apply_phase(qubits[0].index(), C64::cis(std::f64::consts::FRAC_PI_4)),
+            Gate::Tdg => {
+                self.apply_phase(qubits[0].index(), C64::cis(-std::f64::consts::FRAC_PI_4))
+            }
+            Gate::ZPow(a) => {
+                self.apply_phase(qubits[0].index(), C64::cis(std::f64::consts::PI * a))
+            }
+            Gate::Rz(t) => {
+                let neg = C64::cis(-t / 2.0);
+                let pos = C64::cis(t / 2.0);
+                let q = qubits[0].index();
+                let bit = 1usize << q;
+                for i in 0..self.amps.len() {
+                    self.amps[i] *= if i & bit == 0 { neg } else { pos };
+                }
+            }
+            Gate::Cz => {
+                let (a, b) = (qubits[0].index(), qubits[1].index());
+                let mask = (1usize << a) | (1usize << b);
+                for i in 0..self.amps.len() {
+                    if i & mask == mask {
+                        self.amps[i] = -self.amps[i];
+                    }
+                }
+            }
+            Gate::Cx => {
+                let (c, t) = (qubits[0].index(), qubits[1].index());
+                let cbit = 1usize << c;
+                let tbit = 1usize << t;
+                for i in 0..self.amps.len() {
+                    if i & cbit != 0 && i & tbit == 0 {
+                        self.amps.swap(i, i | tbit);
+                    }
+                }
+            }
+            Gate::Swap => {
+                let (a, b) = (qubits[0].index(), qubits[1].index());
+                let abit = 1usize << a;
+                let bbit = 1usize << b;
+                for i in 0..self.amps.len() {
+                    if i & abit != 0 && i & bbit == 0 {
+                        self.amps.swap(i, (i ^ abit) | bbit);
+                    }
+                }
+            }
+            _ => {
+                let u = gate.unitary();
+                if gate.arity() == 1 {
+                    self.apply_1q_matrix(&u, qubits[0].index());
+                } else {
+                    self.apply_2q_matrix(&u, qubits[0].index(), qubits[1].index());
+                }
+            }
+        }
+    }
+
+    fn apply_x(&mut self, q: usize) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                self.amps.swap(i, i | bit);
+            }
+        }
+    }
+
+    fn apply_phase(&mut self, q: usize, phase: C64) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit != 0 {
+                self.amps[i] *= phase;
+            }
+        }
+    }
+
+    /// Applies an arbitrary 2×2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not 2×2 or `q` is out of range.
+    pub fn apply_1q_matrix(&mut self, u: &CMat, q: usize) {
+        assert_eq!((u.rows(), u.cols()), (2, 2), "need a 2x2 matrix");
+        assert!(q < self.n, "qubit out of range");
+        let bit = 1usize << q;
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i | bit];
+                self.amps[i] = u00 * a0 + u01 * a1;
+                self.amps[i | bit] = u10 * a0 + u11 * a1;
+            }
+        }
+    }
+
+    /// Applies an arbitrary 4×4 unitary to qubits `(a, b)`, with `a` the
+    /// most-significant local bit (the [`qcir::Gate`] convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not 4×4 or the qubits coincide / are out of range.
+    pub fn apply_2q_matrix(&mut self, u: &CMat, a: usize, b: usize) {
+        assert_eq!((u.rows(), u.cols()), (4, 4), "need a 4x4 matrix");
+        assert!(a < self.n && b < self.n && a != b, "bad qubit operands");
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & abit == 0 && i & bbit == 0 {
+                // Local basis: index = 2*bit_a + bit_b.
+                let idx = [i, i | bbit, i | abit, i | abit | bbit];
+                let old = [
+                    self.amps[idx[0]],
+                    self.amps[idx[1]],
+                    self.amps[idx[2]],
+                    self.amps[idx[3]],
+                ];
+                for (r, &target) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (c, &o) in old.iter().enumerate() {
+                        acc += u[(r, c)] * o;
+                    }
+                    self.amps[target] = acc;
+                }
+            }
+        }
+    }
+
+    /// `‖ψ‖²` — should be 1 up to rounding for any unitary circuit.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Probability of the basis state with the given index.
+    #[inline]
+    pub fn probability_of_index(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Probability of a measurement outcome given as a bitstring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != num_qubits`.
+    pub fn probability_of(&self, bits: &Bits) -> f64 {
+        assert_eq!(bits.len(), self.n, "bitstring width mismatch");
+        self.probability_of_index(bits.to_u64().expect("n <= 30 fits in u64") as usize)
+    }
+
+    /// The full probability vector (`2^n` entries).
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Sparse distribution: basis states with probability above `tol`.
+    pub fn distribution(&self, tol: f64) -> Vec<(Bits, f64)> {
+        let mut out = Vec::new();
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > tol {
+                out.push((Bits::from_u64(i as u64, self.n), p));
+            }
+        }
+        out
+    }
+
+    /// Draws `shots` measurement samples without materializing the
+    /// probability vector (single cumulative pass against sorted uniforms).
+    pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
+        let mut targets: Vec<(f64, usize)> =
+            (0..shots).map(|k| (rng.random::<f64>(), k)).collect();
+        targets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut out = vec![Bits::zeros(self.n); shots];
+        let mut cumulative = 0.0;
+        let mut t = 0;
+        for (i, a) in self.amps.iter().enumerate() {
+            cumulative += a.norm_sqr();
+            while t < shots && targets[t].0 <= cumulative {
+                out[targets[t].1] = Bits::from_u64(i as u64, self.n);
+                t += 1;
+            }
+            if t == shots {
+                break;
+            }
+        }
+        // Guard against rounding at the tail: map leftovers to the last state.
+        while t < shots {
+            out[targets[t].1] = Bits::from_u64((self.amps.len() - 1) as u64, self.n);
+            t += 1;
+        }
+        out
+    }
+
+    /// Exact expectation value `⟨ψ|P|ψ⟩` of a Pauli string (real for
+    /// Hermitian `P`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != num_qubits`.
+    pub fn expectation_pauli(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.len(), self.n, "operator width mismatch");
+        // P = i^k X^xm Z^zm with k counting Y's plus the string phase.
+        let mut xm = 0usize;
+        let mut zm = 0usize;
+        let mut k = p.phase() as u32;
+        for q in 0..self.n {
+            let (x, z) = p.pauli(q).xz();
+            if x {
+                xm |= 1 << q;
+            }
+            if z {
+                zm |= 1 << q;
+            }
+            if x && z {
+                k += 1;
+            }
+        }
+        let phase = C64::i_pow(k as i64);
+        let mut acc = C64::ZERO;
+        for x in 0..self.amps.len() {
+            let ax = self.amps[x];
+            if ax == C64::ZERO {
+                continue;
+            }
+            // X^xm Z^zm |x> = (-1)^{zm·x} |x ⊕ xm>
+            let sign = ((zm & x).count_ones() % 2) as i64;
+            let term = self.amps[x ^ xm].conj() * ax * C64::i_pow(2 * sign);
+            acc += term;
+        }
+        let val = phase * acc;
+        debug_assert!(val.im.abs() < 1e-9, "non-real Pauli expectation");
+        val.re
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn inner_product(&self, other: &StateVec) -> C64 {
+        assert_eq!(self.n, other.n, "state width mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVec) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+}
+
+impl fmt::Debug for StateVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateVec({} qubits, norm² = {:.6})", self.n, self.norm_sqr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::CliffordGate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_state_is_zero_ket() {
+        let sv = StateVec::new(3);
+        assert_eq!(sv.amplitude(0), C64::ONE);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVec::run(&c).unwrap();
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(sv.amplitude(0b00).approx_eq(C64::real(r), 1e-12));
+        assert!(sv.amplitude(0b11).approx_eq(C64::real(r), 1e-12));
+        assert!(sv.amplitude(0b01).approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn gate_identities_on_random_states() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).ry(2, 0.7).cz(1, 2).rx(0, 1.1);
+        let base = StateVec::run(&c).unwrap();
+
+        // H² = I
+        let mut s = base.clone();
+        s.apply_gate(Gate::H, &[Qubit(1)]);
+        s.apply_gate(Gate::H, &[Qubit(1)]);
+        assert!((s.fidelity(&base) - 1.0).abs() < 1e-10);
+
+        // S·S = Z
+        let mut s1 = base.clone();
+        s1.apply_gate(Gate::S, &[Qubit(0)]);
+        s1.apply_gate(Gate::S, &[Qubit(0)]);
+        let mut s2 = base.clone();
+        s2.apply_gate(Gate::Z, &[Qubit(0)]);
+        assert!((s1.fidelity(&s2) - 1.0).abs() < 1e-10);
+
+        // T·T = S
+        let mut t1 = base.clone();
+        t1.apply_gate(Gate::T, &[Qubit(2)]);
+        t1.apply_gate(Gate::T, &[Qubit(2)]);
+        let mut t2 = base.clone();
+        t2.apply_gate(Gate::S, &[Qubit(2)]);
+        assert!((t1.fidelity(&t2) - 1.0).abs() < 1e-10);
+
+        // CX self-inverse
+        let mut x = base.clone();
+        x.apply_gate(Gate::Cx, &[Qubit(2), Qubit(0)]);
+        x.apply_gate(Gate::Cx, &[Qubit(2), Qubit(0)]);
+        assert!((x.fidelity(&base) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fast_paths_match_generic_matrix_path() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(0, 2).s(2).cz(1, 2);
+        let base = StateVec::run(&c).unwrap();
+        for gate in [Gate::X, Gate::Z, Gate::S, Gate::T, Gate::Sdg] {
+            let mut fast = base.clone();
+            fast.apply_gate(gate, &[Qubit(1)]);
+            let mut slow = base.clone();
+            slow.apply_1q_matrix(&gate.unitary(), 1);
+            for i in 0..8 {
+                assert!(
+                    fast.amplitude(i).approx_eq(slow.amplitude(i), 1e-12),
+                    "{} fast path mismatch",
+                    gate.name()
+                );
+            }
+        }
+        for gate in [Gate::Cx, Gate::Cz, Gate::Swap] {
+            let mut fast = base.clone();
+            fast.apply_gate(gate, &[Qubit(2), Qubit(0)]);
+            let mut slow = base.clone();
+            slow.apply_2q_matrix(&gate.unitary(), 2, 0);
+            for i in 0..8 {
+                assert!(
+                    fast.amplitude(i).approx_eq(slow.amplitude(i), 1e-12),
+                    "{} fast path mismatch",
+                    gate.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        let mut c = Circuit::new(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            match rng.random_range(0..6) {
+                0 => c.h(rng.random_range(0..4)),
+                1 => c.t(rng.random_range(0..4)),
+                2 => c.rx(rng.random_range(0..4), rng.random::<f64>() * std::f64::consts::TAU),
+                3 => c.rz(rng.random_range(0..4), rng.random::<f64>() * std::f64::consts::TAU),
+                4 => {
+                    let a = rng.random_range(0..4);
+                    let b = (a + 1 + rng.random_range(0..3)) % 4;
+                    c.cx(a, b)
+                }
+                _ => {
+                    let a = rng.random_range(0..4);
+                    let b = (a + 1 + rng.random_range(0..3)) % 4;
+                    c.cz(a, b)
+                }
+            };
+        }
+        let sv = StateVec::run(&c).unwrap();
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_expectations_on_known_states() {
+        // |+> : <X>=1, <Z>=0 ; after T: <X>=cos(π/4)
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = StateVec::run(&c).unwrap();
+        assert!((sv.expectation_pauli(&PauliString::parse("X").unwrap()) - 1.0).abs() < 1e-12);
+        assert!(sv.expectation_pauli(&PauliString::parse("Z").unwrap()).abs() < 1e-12);
+
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let sv = StateVec::run(&c).unwrap();
+        let expected = (std::f64::consts::FRAC_PI_4).cos();
+        assert!(
+            (sv.expectation_pauli(&PauliString::parse("X").unwrap()) - expected).abs() < 1e-12
+        );
+        assert!(
+            (sv.expectation_pauli(&PauliString::parse("Y").unwrap()) - expected).abs() < 1e-12
+        );
+
+        // Bell: <XX> = <ZZ> = 1, <YY> = -1
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVec::run(&c).unwrap();
+        for (s, v) in [("XX", 1.0), ("ZZ", 1.0), ("YY", -1.0), ("XI", 0.0)] {
+            assert!(
+                (sv.expectation_pauli(&PauliString::parse(s).unwrap()) - v).abs() < 1e-12,
+                "<{s}>"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_statistics_match_probabilities() {
+        let mut c = Circuit::new(2);
+        c.ry(0, 1.0).cx(0, 1);
+        let sv = StateVec::run(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let shots = 20_000;
+        let samples = sv.sample(shots, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for s in samples {
+            *counts.entry(s.to_u64().unwrap()).or_insert(0usize) += 1;
+        }
+        for idx in 0..4usize {
+            let p = sv.probability_of_index(idx);
+            let freq = *counts.get(&(idx as u64)).unwrap_or(&0) as f64 / shots as f64;
+            assert!((p - freq).abs() < 0.02, "index {idx}: p={p} freq={freq}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_sparse_and_normalized() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let sv = StateVec::run(&c).unwrap();
+        let dist = sv.distribution(1e-12);
+        assert_eq!(dist.len(), 2);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_trajectories_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Circuit::new(1);
+        c.add_noise(qcir::NoiseChannel::BitFlip(1.0), &[0]);
+        let sv = StateVec::run_noisy(&c, &mut rng).unwrap();
+        assert!((sv.probability_of_index(1) - 1.0).abs() < 1e-12);
+        assert!(StateVec::run(&c).is_err());
+    }
+
+    #[test]
+    fn rz_equals_zpow_up_to_global_phase() {
+        let mut a = StateVec::new(1);
+        a.apply_gate(Gate::H, &[Qubit(0)]);
+        let mut b = a.clone();
+        a.apply_gate(Gate::Rz(0.7), &[Qubit(0)]);
+        b.apply_gate(Gate::ZPow(0.7 / std::f64::consts::PI), &[Qubit(0)]);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_with_clifford_conjugation() {
+        // Statevector and PauliString conjugation must agree:
+        // <ψ|G†PG|ψ> computed both ways.
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        let sv = StateVec::run(&c).unwrap();
+        for s in ["XI", "IZ", "YY", "ZX"] {
+            let p = PauliString::parse(s).unwrap();
+            let mut svg = sv.clone();
+            svg.apply_gate(Gate::Cz, &[Qubit(0), Qubit(1)]);
+            let lhs = svg.expectation_pauli(&p);
+            let mut pc = p.clone();
+            pc.conjugate_by(CliffordGate::Cz, &[Qubit(0), Qubit(1)]);
+            let rhs_sign = match pc.phase() {
+                0 => 1.0,
+                2 => -1.0,
+                _ => panic!("Hermitian conjugate must stay Hermitian"),
+            };
+            let mut bare = qcir::PauliString::identity(2);
+            for q in 0..2 {
+                bare.set_pauli(q, pc.pauli(q));
+            }
+            let rhs = rhs_sign * sv.expectation_pauli(&bare);
+            assert!((lhs - rhs).abs() < 1e-10, "conjugation mismatch for {s}");
+        }
+    }
+
+    #[test]
+    fn probability_of_bits_uses_qubit_bit_order() {
+        let mut c = Circuit::new(3);
+        c.x(1);
+        let sv = StateVec::run(&c).unwrap();
+        let b = Bits::parse("010").unwrap();
+        assert!((sv.probability_of(&b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,399 @@
+//! Benchmark circuit generators for the SuperSim evaluation (paper §VI-B).
+//!
+//! * [`random_clifford`] — random Clifford circuits with depth = width
+//!   (Fig. 1's Stim-vs-statevector comparison);
+//! * [`hwea`] — the near-Clifford hardware-efficient VQE ansatz with
+//!   CAFQA-style Clifford parameterization (Figs. 3, 4, 5);
+//! * [`qaoa_sk`] — one round of QAOA for MaxCut on the
+//!   Sherrington–Kirkpatrick model: all-to-all ±1 couplings at Clifford
+//!   angles (Fig. 6);
+//! * [`phase_repetition`] — a single phase-flip repetition-code cycle in the
+//!   style of SupermarQ (Fig. 7);
+//! * [`inject_t_gates`] — the paper's "one randomly injected T gate"
+//!   protocol, applicable to any Clifford base circuit.
+//!
+//! Every generator is deterministic given its seed so experiments are
+//! reproducible point-by-point.
+
+use qcir::{Circuit, CliffordGate, NoiseChannel, Operation, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated benchmark circuit plus provenance metadata.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The circuit itself.
+    pub circuit: Circuit,
+    /// Human-readable benchmark name.
+    pub name: String,
+    /// Indices (into `circuit.ops()`) of injected non-Clifford gates.
+    pub injected: Vec<usize>,
+}
+
+/// Generates a random Clifford circuit of the Fig. 1 family.
+///
+/// Each of `depth` layers applies a uniformly random single-qubit Clifford
+/// to every qubit followed by CX gates on a random disjoint pairing.
+pub fn random_clifford(n: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..depth {
+        for q in 0..n {
+            let g = CliffordGate::ONE_QUBIT[rng.random_range(0..CliffordGate::ONE_QUBIT.len())];
+            c.push(Operation::gate(g.into(), vec![Qubit(q)]));
+        }
+        // Random disjoint pairing for the entangling sublayer.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        for pair in order.chunks_exact(2) {
+            c.cx(pair[0], pair[1]);
+        }
+    }
+    c
+}
+
+/// A random Clifford angle `k·π/2`.
+fn clifford_angle(rng: &mut impl Rng) -> f64 {
+    std::f64::consts::FRAC_PI_2 * rng.random_range(0..4) as f64
+}
+
+/// Generates the near-Clifford hardware-efficient ansatz (HWEA) used by the
+/// VQE experiments (Figs. 3–5).
+///
+/// Each round is a layer of single-qubit `Ry`/`Rz` rotations at Clifford
+/// angles (the CAFQA discretization) followed by a linear CX entangling
+/// chain; a final rotation layer closes the circuit. `t_gates` T gates are
+/// then injected at random positions.
+pub fn hwea(n: usize, rounds: usize, t_gates: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..rounds {
+        for q in 0..n {
+            c.ry(q, clifford_angle(&mut rng));
+            c.rz(q, clifford_angle(&mut rng));
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    for q in 0..n {
+        c.ry(q, clifford_angle(&mut rng));
+        c.rz(q, clifford_angle(&mut rng));
+    }
+    let injected = inject_t_gates(&mut c, t_gates, &mut rng);
+    Workload {
+        circuit: c,
+        name: format!("hwea-n{n}-r{rounds}-t{t_gates}"),
+        injected,
+    }
+}
+
+/// Generates one round of QAOA for MaxCut on the Sherrington–Kirkpatrick
+/// model (Fig. 6).
+///
+/// Edge weights are drawn uniformly from {−1, +1} on the complete graph;
+/// the cost layer applies `exp(-iγ w_ij Z_i Z_j)` for every pair with the
+/// Clifford angle γ = π/4 (implemented as CX·Rz·CX), and the mixer applies
+/// `Rx` at a Clifford angle. `t_gates` T gates are then injected.
+pub fn qaoa_sk(n: usize, rounds: usize, t_gates: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..rounds {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w: f64 = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                // exp(-i γ w Z⊗Z) with γ = π/4 ⇒ Rz(2γw) = Rz(±π/2): Clifford.
+                c.cx(i, j);
+                c.rz(j, w * std::f64::consts::FRAC_PI_2);
+                c.cx(i, j);
+            }
+        }
+        for q in 0..n {
+            c.rx(q, clifford_angle(&mut rng));
+        }
+    }
+    let injected = inject_t_gates(&mut c, t_gates, &mut rng);
+    Workload {
+        circuit: c,
+        name: format!("qaoa-sk-n{n}-r{rounds}-t{t_gates}"),
+        injected,
+    }
+}
+
+/// Configuration for [`phase_repetition`].
+#[derive(Clone, Copy, Debug)]
+pub struct RepetitionConfig {
+    /// Number of data qubits (ancilla count is `data - 1`).
+    pub data_qubits: usize,
+    /// Optional phase-flip noise probability applied to each data qubit
+    /// before syndrome extraction.
+    pub phase_noise: Option<f64>,
+    /// Number of injected T gates.
+    pub t_gates: usize,
+    /// RNG seed for noise placement and T injection.
+    pub seed: u64,
+}
+
+/// Generates a single phase-flip repetition-code cycle (Fig. 7).
+///
+/// Data qubits (indices `0..data`) are prepared in `|+⟩`; each adjacent
+/// pair's `X_i X_{i+1}` stabilizer is measured into an ancilla (indices
+/// `data..2·data-1`) via the H–CX–CX–H construction. Total width is
+/// `2·data − 1` qubits.
+pub fn phase_repetition(config: RepetitionConfig) -> Workload {
+    let d = config.data_qubits;
+    assert!(d >= 2, "need at least two data qubits");
+    let n = 2 * d - 1;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut c = Circuit::new(n);
+    for q in 0..d {
+        c.h(q);
+    }
+    if let Some(p) = config.phase_noise {
+        for q in 0..d {
+            c.add_noise(NoiseChannel::PhaseFlip(p), &[q]);
+        }
+    }
+    for i in 0..d - 1 {
+        let anc = d + i;
+        c.h(anc);
+        c.cx(anc, i);
+        c.cx(anc, i + 1);
+        c.h(anc);
+    }
+    // Rotate data back so that phase information is visible in the
+    // computational-basis readout.
+    for q in 0..d {
+        c.h(q);
+    }
+    let injected = inject_t_gates(&mut c, config.t_gates, &mut rng);
+    Workload {
+        circuit: c,
+        name: format!("phase-rep-d{d}-t{}", config.t_gates),
+        injected,
+    }
+}
+
+/// Generates a SupercheQ-IE fingerprint circuit (paper §IV-D).
+///
+/// SupercheQ's Incremental Encoding maps a file — a sequence of updates —
+/// to a stabilizer state: each update appends a layer of random Clifford
+/// gates determined by the update's content (here: a `u64` hash used as
+/// the layer seed). Two files are equal iff their fingerprint states are
+/// equal, which is checkable in polynomial time with the stabilizer
+/// simulator (see `examples/fingerprinting.rs`).
+pub fn supercheq_ie(n: usize, updates: &[u64]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &update in updates {
+        let mut rng = StdRng::seed_from_u64(update);
+        for q in 0..n {
+            let g = CliffordGate::ONE_QUBIT[rng.random_range(0..CliffordGate::ONE_QUBIT.len())];
+            c.push(Operation::gate(g.into(), vec![Qubit(q)]));
+        }
+        // One entangling pass per update keeps fingerprints sensitive to
+        // update order.
+        for q in 0..n.saturating_sub(1) {
+            if rng.random::<bool>() {
+                c.cz(q, q + 1);
+            } else {
+                c.cx(q, q + 1);
+            }
+        }
+    }
+    c
+}
+
+/// Prepares an `n`-qubit GHZ state.
+pub fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    if n == 0 {
+        return c;
+    }
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// Prepares a Bell pair.
+pub fn bell() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    c
+}
+
+/// Injects `count` T gates at uniformly random positions (random qubit,
+/// random point in program order), in place. Returns the op indices of the
+/// injected gates.
+///
+/// This reproduces the paper's "one randomly injected T gate" protocol; the
+/// position strongly influences SuperSim runtime (Fig. 5's non-monotonic
+/// curve) because it changes how the circuit fragments.
+pub fn inject_t_gates(circuit: &mut Circuit, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut indices = Vec::with_capacity(count);
+    for _ in 0..count {
+        let q = rng.random_range(0..n);
+        let pos = rng.random_range(0..=circuit.len());
+        let mut rebuilt = Circuit::new(n);
+        for (i, op) in circuit.ops().iter().enumerate() {
+            if i == pos {
+                rebuilt.t(q);
+            }
+            rebuilt.push(op.clone());
+        }
+        if pos == circuit.len() {
+            rebuilt.t(q);
+        }
+        *circuit = rebuilt;
+        indices.push(pos);
+    }
+    indices
+}
+
+/// Counts the operations a workload would feed each fragment class: the
+/// number of Clifford vs non-Clifford gates. Convenience for reports.
+pub fn clifford_split(circuit: &Circuit) -> (usize, usize) {
+    let non = circuit.non_clifford_count();
+    (circuit.len() - non, non)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_clifford_is_clifford() {
+        for seed in 0..5 {
+            let c = random_clifford(6, 6, seed);
+            assert!(c.is_clifford(), "seed {seed} produced non-Clifford ops");
+            assert_eq!(c.num_qubits(), 6);
+            assert!(c.depth() >= 6, "depth should scale with layer count");
+        }
+    }
+
+    #[test]
+    fn random_clifford_is_reproducible() {
+        assert_eq!(random_clifford(5, 5, 42), random_clifford(5, 5, 42));
+        assert_ne!(random_clifford(5, 5, 42), random_clifford(5, 5, 43));
+    }
+
+    #[test]
+    fn hwea_structure() {
+        let w = hwea(8, 5, 1, 7);
+        assert_eq!(w.circuit.num_qubits(), 8);
+        assert_eq!(w.circuit.t_count(), 1);
+        assert_eq!(w.circuit.non_clifford_count(), 1, "rotations must be Clifford");
+        assert_eq!(w.injected.len(), 1);
+        // 5 rounds × (2·8 rotations + 7 CX) + final 16 rotations + 1 T
+        assert_eq!(w.circuit.len(), 5 * (16 + 7) + 16 + 1);
+    }
+
+    #[test]
+    fn hwea_without_t_is_clifford() {
+        let w = hwea(6, 3, 0, 1);
+        assert!(w.circuit.is_clifford());
+        assert!(w.injected.is_empty());
+    }
+
+    #[test]
+    fn qaoa_all_to_all_connectivity() {
+        let n = 5;
+        let w = qaoa_sk(n, 1, 1, 3);
+        assert_eq!(w.circuit.t_count(), 1);
+        assert_eq!(w.circuit.non_clifford_count(), 1);
+        // Every pair should appear: n(n-1)/2 ZZ interactions, 2 CX each.
+        let counts = w.circuit.gate_counts();
+        assert_eq!(counts["CX"], 2 * n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn repetition_code_width_and_cliffordness() {
+        let w = phase_repetition(RepetitionConfig {
+            data_qubits: 4,
+            phase_noise: None,
+            t_gates: 1,
+            seed: 0,
+        });
+        assert_eq!(w.circuit.num_qubits(), 7);
+        assert_eq!(w.circuit.t_count(), 1);
+        let clean = phase_repetition(RepetitionConfig {
+            data_qubits: 4,
+            phase_noise: None,
+            t_gates: 0,
+            seed: 0,
+        });
+        assert!(clean.circuit.is_clifford());
+    }
+
+    #[test]
+    fn repetition_code_certain_noise_present_in_circuit() {
+        // The full syndrome-firing check (a Z error between two ancillas
+        // fires both) lives in the workspace integration tests where the
+        // stabilizer simulator is available; here we validate the circuit
+        // shape: noise channels sit between preparation and extraction.
+        let w = phase_repetition(RepetitionConfig {
+            data_qubits: 3,
+            phase_noise: Some(0.25),
+            t_gates: 0,
+            seed: 0,
+        });
+        assert!(w.circuit.has_noise());
+        let noise_ops: Vec<usize> = w
+            .circuit
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op.kind, qcir::OpKind::Noise(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(noise_ops.len(), 3, "one channel per data qubit");
+        // All noise after the 3 preparation Hadamards, before extraction.
+        assert!(noise_ops.iter().all(|&i| i >= 3 && i < 3 + 3));
+    }
+
+    #[test]
+    fn t_injection_counts_and_positions() {
+        let mut c = ghz(4);
+        let before = c.len();
+        let mut rng = StdRng::seed_from_u64(9);
+        let injected = inject_t_gates(&mut c, 3, &mut rng);
+        assert_eq!(c.len(), before + 3);
+        assert_eq!(c.t_count(), 3);
+        assert_eq!(injected.len(), 3);
+    }
+
+    #[test]
+    fn ghz_and_bell_shapes() {
+        assert_eq!(ghz(5).len(), 5);
+        assert!(ghz(5).is_clifford());
+        assert_eq!(bell().num_qubits(), 2);
+        assert_eq!(ghz(0).len(), 0);
+    }
+
+    #[test]
+    fn supercheq_fingerprints_are_clifford_and_order_sensitive() {
+        let a = supercheq_ie(6, &[1, 2, 3]);
+        assert!(a.is_clifford());
+        let b = supercheq_ie(6, &[1, 3, 2]);
+        assert_ne!(a, b, "update order must matter");
+        assert_eq!(a, supercheq_ie(6, &[1, 2, 3]), "deterministic encoding");
+    }
+
+    #[test]
+    fn clifford_split_counts() {
+        let w = hwea(4, 2, 2, 11);
+        let (cliff, non) = clifford_split(&w.circuit);
+        assert_eq!(non, 2);
+        assert_eq!(cliff + non, w.circuit.len());
+    }
+}

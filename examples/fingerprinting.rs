@@ -1,0 +1,73 @@
+//! SupercheQ-IE quantum fingerprinting (paper §IV-D).
+//!
+//! Each "file" (a sequence of updates) is incrementally encoded into a
+//! stabilizer state by appending a random Clifford layer per update. Two
+//! files are equal iff their fingerprint states coincide — and because the
+//! encoding is all-Clifford, the comparison runs in polynomial time on the
+//! stabilizer simulator even for hundreds of qubits:
+//!
+//! run `E_A` (encode file A) followed by `E_B†` (decode with file B); the
+//! result is `|0…0⟩` exactly when the fingerprints match, which the
+//! tableau's support reveals deterministically.
+//!
+//! ```sh
+//! cargo run --release --example fingerprinting
+//! ```
+
+use qcir::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stabsim::TableauSim;
+
+/// Returns `true` when the two update sequences produce identical
+/// fingerprint states on `n` qubits.
+fn fingerprints_equal(n: usize, file_a: &[u64], file_b: &[u64]) -> bool {
+    let encode_a = workloads::supercheq_ie(n, file_a);
+    let encode_b = workloads::supercheq_ie(n, file_b);
+    let mut test = Circuit::new(n);
+    test.append(&encode_a);
+    test.append(&encode_b.adjoint());
+    let mut rng = StdRng::seed_from_u64(0);
+    let sim = TableauSim::run(&test, &mut rng).expect("Clifford circuit");
+    let support = sim.support();
+    // |ψ⟩ = |0…0⟩ iff the measurement distribution is the single point 0.
+    support.dim() == 0 && support.base().count_ones() == 0
+}
+
+fn main() {
+    let n = 128; // fingerprint register width — far beyond dense simulation
+    println!("SupercheQ-IE fingerprinting on {n} qubits\n");
+
+    let file_v1: Vec<u64> = vec![0xA11CE, 0xB0B, 0xC0FFEE, 0xD00D];
+    let mut file_v1_copy = file_v1.clone();
+    let mut file_v2 = file_v1.clone();
+    file_v2[2] = 0xDECAF; // one changed update
+    let mut file_swapped = file_v1.clone();
+    file_swapped.swap(1, 2); // same updates, different order
+
+    let t0 = std::time::Instant::now();
+    println!(
+        "identical files:          equal = {}",
+        fingerprints_equal(n, &file_v1, &file_v1_copy)
+    );
+    println!(
+        "one update changed:       equal = {}",
+        fingerprints_equal(n, &file_v1, &file_v2)
+    );
+    println!(
+        "updates reordered:        equal = {}",
+        fingerprints_equal(n, &file_v1, &file_swapped)
+    );
+    // Incrementality: extending a fingerprint does not require re-encoding.
+    file_v1_copy.push(0xFEED);
+    let mut extended = file_v1.clone();
+    extended.push(0xFEED);
+    println!(
+        "both extended by +1 update: equal = {}",
+        fingerprints_equal(n, &extended, &file_v1_copy)
+    );
+    println!(
+        "\nall four checks in {:?} — {n}-qubit states compared exactly, no sampling",
+        t0.elapsed()
+    );
+}

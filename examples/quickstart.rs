@@ -1,0 +1,61 @@
+//! Quickstart: cut a near-Clifford circuit, simulate it with SuperSim, and
+//! compare against exact statevector simulation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use metrics::Distribution;
+use qcir::{Bits, Circuit};
+use supersim::{SuperSim, SuperSimConfig};
+
+fn main() {
+    // A 4-qubit near-Clifford circuit: mostly Clifford gates, one T gate.
+    let mut circuit = Circuit::new(4);
+    circuit.h(0).cx(0, 1).cx(1, 2).cx(2, 3); // GHZ backbone (Clifford)
+    circuit.t(2); // the single non-Clifford gate
+    circuit.h(2).cz(2, 3).s(0); // more Clifford structure
+
+    println!("circuit:\n{circuit}");
+    println!(
+        "clifford ops: {}, non-Clifford ops: {}",
+        circuit.len() - circuit.non_clifford_count(),
+        circuit.non_clifford_count()
+    );
+
+    // Run the SuperSim pipeline: cut → evaluate fragments → recombine.
+    let sim = SuperSim::new(SuperSimConfig {
+        shots: 5000, // the paper's default sampling budget
+        ..SuperSimConfig::default()
+    });
+    let result = sim.run(&circuit).expect("pipeline runs");
+
+    let report = &result.report;
+    println!(
+        "\ncut into {} fragments ({} Clifford) joined by {} cuts; {} fragment variants executed",
+        report.num_fragments, report.clifford_fragments, report.num_cuts, report.num_variants
+    );
+    println!(
+        "stage times: cut {:?}, evaluate {:?}, recombine {:?}",
+        report.cut_time, report.eval_time, report.recombine_time
+    );
+
+    // Compare the reconstructed distribution with exact simulation.
+    let sv = svsim::StateVec::run(&circuit).expect("small circuit");
+    let reference = Distribution::from_pairs(4, sv.distribution(1e-12));
+    let reconstructed = result.distribution.as_ref().expect("joint available");
+
+    println!("\noutcome   supersim   exact");
+    for x in 0..16u64 {
+        let b = Bits::from_u64(x, 4);
+        let p = reconstructed.prob(&b);
+        let e = reference.prob(&b);
+        if p > 1e-3 || e > 1e-3 {
+            println!("{b}      {p:.4}     {e:.4}");
+        }
+    }
+    println!(
+        "\nHellinger fidelity vs exact: {:.5}",
+        reference.hellinger_fidelity(reconstructed)
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the SuperSim-RS workspace.
+//!
+//! Re-exports the individual crates so that examples and integration tests
+//! can use a single dependency. Library users should depend on the
+//! individual crates ([`supersim`], [`qcir`], …) directly.
+
+pub use cutkit;
+pub use extstab;
+pub use metrics;
+pub use mpssim;
+pub use qcir;
+pub use qmath;
+pub use stabsim;
+pub use supersim;
+pub use svsim;
+pub use workloads;

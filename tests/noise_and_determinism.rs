@@ -1,0 +1,137 @@
+//! Noisy near-Clifford circuits through the cut pipeline, and determinism
+//! guarantees of the seeded API.
+
+use metrics::Distribution;
+use qcir::{Bits, Circuit, NoiseChannel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use supersim::{SuperSim, SuperSimConfig};
+
+/// Reference distribution for a noisy circuit: average many statevector
+/// noise trajectories.
+fn trajectory_reference(c: &Circuit, trajectories: usize, seed: u64) -> Distribution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = c.num_qubits();
+    let mut acc = Distribution::new(n);
+    for _ in 0..trajectories {
+        let sv = svsim::StateVec::run_noisy(c, &mut rng).unwrap();
+        for (b, p) in sv.distribution(1e-14) {
+            acc.add(b, p / trajectories as f64);
+        }
+    }
+    acc
+}
+
+#[test]
+fn noisy_clifford_fragments_cut_correctly() {
+    // Noise lives in the Clifford part (frame-simulated); the T fragment
+    // stays noise-free. The reconstruction must match the trajectory-
+    // averaged statevector.
+    let mut c = Circuit::new(3);
+    c.h(0);
+    c.add_noise(NoiseChannel::BitFlip(0.2), &[1]);
+    c.cx(0, 1);
+    c.add_noise(NoiseChannel::PhaseFlip(0.15), &[0]);
+    c.cx(1, 2);
+    c.t(2);
+    c.h(2);
+    let reference = trajectory_reference(&c, 3000, 5);
+    let sim = SuperSim::new(SuperSimConfig {
+        shots: 30_000,
+        seed: 9,
+        ..SuperSimConfig::default()
+    });
+    let result = sim.run(&c).unwrap();
+    let dist = result.distribution.as_ref().unwrap();
+    let f = reference.hellinger_fidelity(dist);
+    assert!(f > 0.995, "noisy cut fidelity {f}");
+}
+
+#[test]
+fn depolarizing_noise_through_the_pipeline() {
+    let mut c = Circuit::new(2);
+    c.h(0);
+    c.add_noise(NoiseChannel::Depolarize2(0.3), &[0, 1]);
+    c.cx(0, 1);
+    c.t(1);
+    let reference = trajectory_reference(&c, 4000, 11);
+    let sim = SuperSim::new(SuperSimConfig {
+        shots: 30_000,
+        seed: 2,
+        ..SuperSimConfig::default()
+    });
+    let dist = sim.run(&c).unwrap().distribution.unwrap();
+    let f = reference.hellinger_fidelity(&dist);
+    assert!(f > 0.99, "depolarizing cut fidelity {f}");
+}
+
+#[test]
+fn identical_seeds_give_identical_results() {
+    let w = workloads::hwea(6, 3, 2, 7);
+    let cfg = SuperSimConfig {
+        shots: 400,
+        seed: 1234,
+        ..SuperSimConfig::default()
+    };
+    let a = SuperSim::new(cfg.clone()).run(&w.circuit).unwrap();
+    let b = SuperSim::new(cfg).run(&w.circuit).unwrap();
+    assert_eq!(a.marginals, b.marginals, "same seed must reproduce exactly");
+    let (da, db) = (a.distribution.unwrap(), b.distribution.unwrap());
+    for x in 0..64u64 {
+        let bits = Bits::from_u64(x, 6);
+        assert_eq!(da.prob(&bits), db.prob(&bits));
+    }
+}
+
+#[test]
+fn different_seeds_differ_in_sampled_mode() {
+    let w = workloads::hwea(6, 3, 1, 7);
+    let mk = |seed| SuperSimConfig {
+        shots: 200,
+        seed,
+        mlft: false,
+        clifford_snap: false,
+        ..SuperSimConfig::default()
+    };
+    let a = SuperSim::new(mk(1)).run(&w.circuit).unwrap();
+    let b = SuperSim::new(mk(2)).run(&w.circuit).unwrap();
+    assert_ne!(
+        a.marginals, b.marginals,
+        "different seeds should perturb low-shot estimates"
+    );
+}
+
+#[test]
+fn parallel_flag_is_deterministic_too() {
+    let w = workloads::hwea(6, 3, 2, 3);
+    let base = SuperSimConfig {
+        shots: 500,
+        seed: 77,
+        ..SuperSimConfig::default()
+    };
+    let seq = SuperSim::new(base.clone()).run(&w.circuit).unwrap();
+    let par = SuperSim::new(SuperSimConfig {
+        parallel: true,
+        ..base
+    })
+    .run(&w.circuit)
+    .unwrap();
+    assert_eq!(seq.marginals, par.marginals, "thread count must not change results");
+}
+
+#[test]
+fn frame_and_trajectory_noise_models_agree() {
+    // The frame simulator (batched) and statevector trajectories implement
+    // the same noise channel semantics.
+    let mut c = Circuit::new(2);
+    c.h(0);
+    c.add_noise(NoiseChannel::Depolarize1(0.4), &[0]);
+    c.cx(0, 1);
+    c.add_noise(NoiseChannel::YFlip(0.2), &[1]);
+    let reference = trajectory_reference(&c, 5000, 3);
+    let mut rng = StdRng::seed_from_u64(8);
+    let samples = stabsim::FrameSim::sample(&c, 60_000, &mut rng).unwrap();
+    let frame_dist = Distribution::from_samples(2, &samples);
+    let f = reference.hellinger_fidelity(&frame_dist);
+    assert!(f > 0.998, "noise model mismatch: fidelity {f}");
+}

@@ -1,0 +1,243 @@
+//! Property-based tests over the core invariants (see DESIGN.md).
+
+use proptest::prelude::*;
+use qcir::{Bits, Circuit, CliffordGate, Pauli, PauliString, Qubit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a Pauli operator.
+fn pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
+}
+
+/// Strategy: a Pauli string on `n` qubits.
+fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(pauli(), n).prop_map(PauliString::from_paulis)
+}
+
+/// Strategy: a random Clifford circuit description on `n` qubits.
+fn clifford_ops(n: usize, len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+    proptest::collection::vec(
+        (0u8..7, 0..n, 0..n.saturating_sub(1).max(1)),
+        1..=len,
+    )
+}
+
+fn build_clifford(n: usize, ops: &[(u8, usize, usize)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, boff) in ops {
+        let b = (a + 1 + boff) % n;
+        match kind {
+            0 => c.h(a),
+            1 => c.s(a),
+            2 => c.x(a),
+            3 => c.sdg(a),
+            4 => c.cz(a, b),
+            5 => c.swap(a, b),
+            _ => c.cx(a, b),
+        };
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pauli multiplication is associative (with phases).
+    #[test]
+    fn pauli_string_mul_associative(
+        a in pauli_string(4),
+        b in pauli_string(4),
+        c in pauli_string(4),
+    ) {
+        let left = a.mul(&b).mul(&c);
+        let right = a.mul(&b.mul(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// P·P = I for every (phase-free) Pauli string.
+    #[test]
+    fn pauli_string_self_inverse(a in pauli_string(5)) {
+        let sq = a.mul(&a);
+        prop_assert!(sq.is_identity());
+        prop_assert_eq!(sq.phase(), 0);
+    }
+
+    /// Clifford conjugation preserves commutation relations.
+    #[test]
+    fn conjugation_preserves_commutation(
+        a in pauli_string(3),
+        b in pauli_string(3),
+        gate_pick in 0u8..6,
+    ) {
+        let before = a.commutes_with(&b);
+        let (mut ac, mut bc) = (a, b);
+        let apply = |p: &mut PauliString| match gate_pick {
+            0 => p.conjugate_by(CliffordGate::H, &[Qubit(0)]),
+            1 => p.conjugate_by(CliffordGate::S, &[Qubit(1)]),
+            2 => p.conjugate_by(CliffordGate::SqrtX, &[Qubit(2)]),
+            3 => p.conjugate_by(CliffordGate::Cx, &[Qubit(0), Qubit(1)]),
+            4 => p.conjugate_by(CliffordGate::Cz, &[Qubit(1), Qubit(2)]),
+            _ => p.conjugate_by(CliffordGate::Cy, &[Qubit(2), Qubit(0)]),
+        };
+        apply(&mut ac);
+        apply(&mut bc);
+        prop_assert_eq!(before, ac.commutes_with(&bc));
+    }
+
+    /// Bits: xor is an involution; extract/scatter round-trips.
+    #[test]
+    fn bits_xor_involution(x in proptest::collection::vec(any::<bool>(), 1..80),
+                           y in proptest::collection::vec(any::<bool>(), 1..80)) {
+        let n = x.len().min(y.len());
+        let a = Bits::from_bools(&x[..n]);
+        let b = Bits::from_bools(&y[..n]);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        prop_assert_eq!(a, c);
+    }
+
+    /// Tableau invariants hold after arbitrary Clifford circuits:
+    /// stabilizers commute pairwise, destabilizer i anticommutes exactly
+    /// with stabilizer i.
+    #[test]
+    fn tableau_symplectic_invariants(ops in clifford_ops(4, 24)) {
+        let c = build_clifford(4, &ops);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sim = stabsim::TableauSim::run(&c, &mut rng).unwrap();
+        let stabs = sim.stabilizers();
+        let destabs = sim.destabilizers();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!(stabs[i].commutes_with(&stabs[j]));
+                prop_assert_eq!(destabs[i].commutes_with(&stabs[j]), i != j);
+            }
+        }
+    }
+
+    /// The tableau's sampled support matches statevector probabilities:
+    /// every enumerated support point has probability 2^{-dim}, everything
+    /// else zero.
+    #[test]
+    fn tableau_support_matches_statevector(ops in clifford_ops(4, 20)) {
+        let c = build_clifford(4, &ops);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = stabsim::TableauSim::run(&c, &mut rng).unwrap();
+        let sup = sim.support();
+        let sv = svsim::StateVec::run(&c).unwrap();
+        let expected = 1.0 / (1u64 << sup.dim()) as f64;
+        for x in 0..16usize {
+            let b = Bits::from_u64(x as u64, 4);
+            let p = sv.probability_of_index(x);
+            if sup.contains(&b) {
+                prop_assert!((p - expected).abs() < 1e-9, "in-support {}", b);
+            } else {
+                prop_assert!(p < 1e-9, "out-of-support {} has p={}", b, p);
+            }
+        }
+    }
+
+    /// Tableau Pauli expectations match the statevector.
+    #[test]
+    fn tableau_expectations_match_statevector(
+        ops in clifford_ops(3, 16),
+        p in pauli_string(3),
+    ) {
+        let c = build_clifford(3, &ops);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sim = stabsim::TableauSim::run(&c, &mut rng).unwrap();
+        let sv = svsim::StateVec::run(&c).unwrap();
+        let tableau_val = sim.expectation(&p) as f64;
+        let sv_val = sv.expectation_pauli(&p);
+        prop_assert!((tableau_val - sv_val).abs() < 1e-9,
+            "<{}> tableau {} vs sv {}", p, tableau_val, sv_val);
+    }
+
+    /// CH-form amplitudes match the statevector on Clifford+T circuits.
+    #[test]
+    fn chform_amplitudes_match_statevector(
+        ops in clifford_ops(3, 14),
+        t_qubits in proptest::collection::vec(0usize..3, 0..3),
+    ) {
+        let mut c = build_clifford(3, &ops);
+        for &q in &t_qubits {
+            c.t(q);
+        }
+        let sim = extstab::StabDecomp::run(&c, 64).unwrap();
+        let sv = svsim::StateVec::run(&c).unwrap();
+        for x in 0..8usize {
+            let b = Bits::from_u64(x as u64, 3);
+            let a = sim.amplitude(&b);
+            prop_assert!(a.approx_eq(sv.amplitude(x), 1e-9),
+                "amplitude {:03b}: {} vs {}", x, a, sv.amplitude(x));
+        }
+    }
+
+    /// MPS amplitudes match the statevector (exact mode).
+    #[test]
+    fn mps_amplitudes_match_statevector(ops in clifford_ops(4, 16)) {
+        let c = build_clifford(4, &ops);
+        let mps = mpssim::MpsState::run(&c, &mpssim::MpsConfig::default()).unwrap();
+        let sv = svsim::StateVec::run(&c).unwrap();
+        for x in 0..16usize {
+            let b = Bits::from_u64(x as u64, 4);
+            prop_assert!(mps.amplitude(&b).approx_eq(sv.amplitude(x), 1e-8));
+        }
+    }
+
+    /// Hellinger fidelity is symmetric, bounded, and 1 on identical inputs.
+    #[test]
+    fn hellinger_fidelity_properties(
+        probs in proptest::collection::vec(0.0f64..1.0, 4),
+        probs2 in proptest::collection::vec(0.0f64..1.0, 4),
+    ) {
+        use metrics::Distribution;
+        let norm = |v: &[f64]| {
+            let total: f64 = v.iter().sum::<f64>().max(1e-12);
+            Distribution::from_pairs(
+                2,
+                v.iter()
+                    .enumerate()
+                    .map(|(i, &p)| (Bits::from_u64(i as u64, 2), p / total))
+                    .collect(),
+            )
+        };
+        let a = norm(&probs);
+        let b = norm(&probs2);
+        let fab = a.hellinger_fidelity(&b);
+        let fba = b.hellinger_fidelity(&a);
+        prop_assert!((fab - fba).abs() < 1e-10);
+        prop_assert!((0.0..=1.0 + 1e-10).contains(&fab));
+        prop_assert!((a.hellinger_fidelity(&a) - 1.0).abs() < 1e-10);
+    }
+
+    /// Cut + exact reconstruction equals direct simulation for random
+    /// near-Clifford circuits (the paper's core claim, property-tested).
+    #[test]
+    fn cutting_is_exact_on_random_near_clifford(
+        ops in clifford_ops(3, 12),
+        t_qubit in 0usize..3,
+    ) {
+        let mut c = build_clifford(3, &ops);
+        c.t(t_qubit);
+        c.h(t_qubit);
+        let result = supersim::SuperSim::new(supersim::SuperSimConfig {
+            exact: true,
+            ..supersim::SuperSimConfig::default()
+        })
+        .run(&c)
+        .unwrap();
+        let sv = svsim::StateVec::run(&c).unwrap();
+        let dist = result.distribution.as_ref().unwrap();
+        for x in 0..8usize {
+            let b = Bits::from_u64(x as u64, 3);
+            prop_assert!((dist.prob(&b) - sv.probability_of_index(x)).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! QEC-oriented integration tests: syndrome extraction correctness of the
+//! phase repetition code under the stabilizer engines.
+
+use qcir::{Circuit, NoiseChannel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stabsim::{FrameSim, TableauSim};
+
+/// Builds a d-data-qubit phase-code cycle with a deterministic Z error on
+/// `error_qubit` (replacing stochastic noise for exact syndrome checks).
+fn cycle_with_z_error(d: usize, error_qubit: usize) -> Circuit {
+    let n = 2 * d - 1;
+    let mut c = Circuit::new(n);
+    for q in 0..d {
+        c.h(q);
+    }
+    c.z(error_qubit);
+    for i in 0..d - 1 {
+        let anc = d + i;
+        c.h(anc);
+        c.cx(anc, i);
+        c.cx(anc, i + 1);
+        c.h(anc);
+    }
+    for q in 0..d {
+        c.h(q);
+    }
+    c
+}
+
+#[test]
+fn interior_z_error_fires_two_adjacent_syndromes() {
+    let d = 5;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sim = TableauSim::run(&cycle_with_z_error(d, 2), &mut rng).unwrap();
+    let syndromes: Vec<bool> = (d..2 * d - 1).map(|q| sim.measure(q, &mut rng)).collect();
+    // Z on data qubit 2 flips X₁X₂ and X₂X₃ checks: ancillas 1 and 2.
+    assert_eq!(syndromes, vec![false, true, true, false]);
+}
+
+#[test]
+fn boundary_z_error_fires_one_syndrome() {
+    let d = 5;
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sim = TableauSim::run(&cycle_with_z_error(d, 0), &mut rng).unwrap();
+    let syndromes: Vec<bool> = (d..2 * d - 1).map(|q| sim.measure(q, &mut rng)).collect();
+    assert_eq!(syndromes, vec![true, false, false, false]);
+}
+
+#[test]
+fn no_error_fires_nothing_and_data_returns_to_zero() {
+    let d = 4;
+    let w = workloads::phase_repetition(workloads::RepetitionConfig {
+        data_qubits: d,
+        phase_noise: None,
+        t_gates: 0,
+        seed: 0,
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sim = TableauSim::run(&w.circuit, &mut rng).unwrap();
+    for q in 0..2 * d - 1 {
+        assert!(!sim.measure(q, &mut rng), "qubit {q} should read 0");
+    }
+}
+
+#[test]
+fn frame_simulator_syndrome_rate_scales_with_noise() {
+    let d = 7;
+    let shots = 30_000;
+    let mut rates = Vec::new();
+    for &p in &[0.02, 0.1, 0.3] {
+        let w = workloads::phase_repetition(workloads::RepetitionConfig {
+            data_qubits: d,
+            phase_noise: Some(p),
+            t_gates: 0,
+            seed: 4,
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = FrameSim::sample(&w.circuit, shots, &mut rng).unwrap();
+        let fired: f64 = samples
+            .iter()
+            .map(|s| (d..2 * d - 1).filter(|&q| s.get(q)).count() as f64)
+            .sum::<f64>()
+            / shots as f64;
+        rates.push(fired);
+    }
+    assert!(
+        rates[0] < rates[1] && rates[1] < rates[2],
+        "syndrome rate must grow with noise: {rates:?}"
+    );
+    // Analytic check at p: each adjacent pair's syndrome fires when exactly
+    // one of the two data qubits flipped: 2p(1-p). Expected fired count =
+    // (d-1)·2p(1-p).
+    let p = 0.02;
+    let expect = (d as f64 - 1.0) * 2.0 * p * (1.0 - p);
+    assert!(
+        (rates[0] - expect).abs() < 0.05,
+        "rate at p=0.02: got {} want {expect}",
+        rates[0]
+    );
+}
+
+#[test]
+fn depolarizing_noise_on_ancilla_corrupts_syndromes() {
+    let d = 4;
+    let n = 2 * d - 1;
+    let mut c = Circuit::new(n);
+    for q in 0..d {
+        c.h(q);
+    }
+    for i in 0..d - 1 {
+        let anc = d + i;
+        c.h(anc);
+        c.cx(anc, i);
+        c.cx(anc, i + 1);
+        c.h(anc);
+        // Measurement-adjacent ancilla noise.
+        c.add_noise(NoiseChannel::Depolarize1(0.5), &[anc]);
+    }
+    for q in 0..d {
+        c.h(q);
+    }
+    let mut rng = StdRng::seed_from_u64(6);
+    let shots = 20_000;
+    let samples = FrameSim::sample(&c, shots, &mut rng).unwrap();
+    let fired: f64 = samples
+        .iter()
+        .map(|s| (d..n).filter(|&q| s.get(q)).count() as f64)
+        .sum::<f64>()
+        / shots as f64;
+    // Depolarize(0.5) flips the measured bit with probability 1/3 (X or Y).
+    let expect = (d as f64 - 1.0) / 3.0;
+    assert!((fired - expect).abs() < 0.1, "fired {fired} want {expect}");
+}

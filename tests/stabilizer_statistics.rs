@@ -1,0 +1,134 @@
+//! Statistical agreement between the stabilizer engines and exact
+//! simulation, beyond what the per-crate unit tests cover.
+
+use metrics::Distribution;
+use qcir::{Bits, Circuit, PauliString};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stabsim::{FrameSim, TableauSim};
+use svsim::StateVec;
+
+fn sv_reference(c: &Circuit) -> Distribution {
+    let sv = StateVec::run(c).unwrap();
+    Distribution::from_pairs(c.num_qubits(), sv.distribution(1e-14))
+}
+
+#[test]
+fn bulk_sampler_matches_exact_distribution_statistically() {
+    for seed in 0..4u64 {
+        let c = workloads::random_clifford(7, 7, seed);
+        let reference = sv_reference(&c);
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let sim = TableauSim::run(&c, &mut rng).unwrap();
+        let samples = sim.sample_all(40_000, &mut rng);
+        let empirical = Distribution::from_samples(7, &samples);
+        let f = reference.hellinger_fidelity(&empirical);
+        assert!(f > 0.995, "seed {seed}: bulk sampler fidelity {f}");
+    }
+}
+
+#[test]
+fn frame_sampler_matches_bulk_sampler_noiselessly() {
+    for seed in 0..3u64 {
+        let c = workloads::random_clifford(6, 6, 40 + seed);
+        let mut rng = StdRng::seed_from_u64(7 + seed);
+        let frame = FrameSim::sample(&c, 40_000, &mut rng).unwrap();
+        let frame_dist = Distribution::from_samples(6, &frame);
+        let reference = sv_reference(&c);
+        let f = reference.hellinger_fidelity(&frame_dist);
+        assert!(f > 0.995, "seed {seed}: frame sampler fidelity {f}");
+    }
+}
+
+#[test]
+fn collapse_measurement_is_consistent_with_support() {
+    // Measuring all qubits sequentially must land inside the pre-measured
+    // support, and repeating on the collapsed state must reproduce it.
+    for seed in 0..5u64 {
+        let c = workloads::random_clifford(6, 5, 60 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = TableauSim::run(&c, &mut rng).unwrap();
+        let support = sim.support();
+        let outcome: Vec<bool> = (0..6).map(|q| sim.measure(q, &mut rng)).collect();
+        let outcome = Bits::from_bools(&outcome);
+        assert!(support.contains(&outcome), "collapse left the support");
+        // Post-collapse the state is the measured basis state.
+        let post = sim.support();
+        assert_eq!(post.dim(), 0, "post-measurement state must be definite");
+        assert_eq!(post.base(), &outcome);
+    }
+}
+
+#[test]
+fn expectation_is_multiplicative_on_stabilizer_elements() {
+    // If P and Q are both ±1-valued on the state and commute, then
+    // <PQ> = <P>·<Q>.
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).cx(1, 2).s(2);
+    let mut rng = StdRng::seed_from_u64(1);
+    let sim = TableauSim::run(&c, &mut rng).unwrap();
+    let candidates = ["XXY", "ZZI", "IZZ", "YXX", "ZIZ"];
+    for a in candidates {
+        for b in candidates {
+            let pa = PauliString::parse(a).unwrap();
+            let pb = PauliString::parse(b).unwrap();
+            let (ea, eb) = (sim.expectation(&pa), sim.expectation(&pb));
+            if ea == 0 || eb == 0 || !pa.commutes_with(&pb) {
+                continue;
+            }
+            let prod = pa.mul(&pb);
+            let sign = match prod.phase() {
+                0 => 1,
+                2 => -1,
+                _ => continue, // non-Hermitian representative
+            };
+            let mut bare = PauliString::identity(3);
+            for q in 0..3 {
+                bare.set_pauli(q, prod.pauli(q));
+            }
+            assert_eq!(
+                sign * sim.expectation(&bare),
+                ea * eb,
+                "<{a}·{b}> != <{a}><{b}>"
+            );
+        }
+    }
+}
+
+#[test]
+fn extstab_exact_distribution_matches_tableau_on_clifford_circuits() {
+    for seed in 0..3u64 {
+        let c = workloads::random_clifford(5, 4, 90 + seed);
+        let ext = extstab::StabDecomp::run(&c, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tab = TableauSim::run(&c, &mut rng).unwrap();
+        let support = tab.support();
+        let expected_p = 1.0 / (1u64 << support.dim()) as f64;
+        for x in 0..32u64 {
+            let b = Bits::from_u64(x, 5);
+            let p = ext.probability(&b);
+            if support.contains(&b) {
+                assert!((p - expected_p).abs() < 1e-9, "seed {seed} at {b}: {p}");
+            } else {
+                assert!(p < 1e-12, "seed {seed}: {b} outside support has p={p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mps_handles_clifford_circuits_exactly() {
+    for seed in 0..3u64 {
+        let c = workloads::random_clifford(6, 5, 120 + seed);
+        let mps = mpssim::MpsState::run(&c, &mpssim::MpsConfig::default()).unwrap();
+        let sv = StateVec::run(&c).unwrap();
+        for x in 0..64usize {
+            let b = Bits::from_u64(x as u64, 6);
+            assert!(
+                (mps.probability(&b) - sv.probability_of_index(x)).abs() < 1e-8,
+                "seed {seed} at {b}"
+            );
+        }
+        assert!(mps.truncation_weight() < 1e-12);
+    }
+}
