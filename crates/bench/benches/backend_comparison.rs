@@ -23,7 +23,13 @@ fn backends(c: &mut Criterion) {
         b.iter(|| black_box(sim.run_marginals(&w.circuit, shots, 3).unwrap()))
     });
     group.bench_function("statevector", |b| {
-        b.iter(|| black_box(StatevectorBackend.run_marginals(&w.circuit, shots, 3).unwrap()))
+        b.iter(|| {
+            black_box(
+                StatevectorBackend
+                    .run_marginals(&w.circuit, shots, 3)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("mps", |b| {
         b.iter(|| {

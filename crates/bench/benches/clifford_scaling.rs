@@ -21,13 +21,17 @@ fn clifford_scaling(c: &mut Criterion) {
             })
         });
         if n <= 16 {
-            group.bench_with_input(BenchmarkId::new("statevector", n), &circuit, |b, circuit| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    let sv = svsim::StateVec::run(circuit).unwrap();
-                    black_box(sv.sample(1000, &mut rng))
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("statevector", n),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        let sv = svsim::StateVec::run(circuit).unwrap();
+                        black_box(sv.sample(1000, &mut rng))
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -39,8 +39,8 @@ fn main() {
             .collect();
         let total = 1u64 << (2 * cut.num_cuts);
         let sparse = Reconstructor::new(&tensors, cut.num_cuts, cut.original_qubits);
-        let dense = Reconstructor::new(&tensors, cut.num_cuts, cut.original_qubits)
-            .with_sparse(false);
+        let dense =
+            Reconstructor::new(&tensors, cut.num_cuts, cut.original_qubits).with_sparse(false);
         let visited = sparse.visited_assignments();
         let t0 = Instant::now();
         let _ = dense.marginals();
@@ -57,7 +57,11 @@ fn main() {
     println!();
     println!("# ablation_clifford_opts part 2: sampled vs zero-shot Clifford fragments");
     println!("qubits\tmode\tseconds");
-    let sizes: &[usize] = if full { &[10, 14, 18, 22, 26, 30] } else { &[10, 14, 18] };
+    let sizes: &[usize] = if full {
+        &[10, 14, 18, 22, 26, 30]
+    } else {
+        &[10, 14, 18]
+    };
     for &n in sizes {
         let w = workloads::hwea(n, 3, 1, 77 + n as u64);
         for (label, exact_clifford) in [("sampled", false), ("zero-shot", true)] {

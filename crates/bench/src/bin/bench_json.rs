@@ -1,0 +1,258 @@
+//! Perf-trajectory benchmark: parallel recombination + fragment
+//! evaluation, written as `BENCH_recombine.json` at the repo root.
+//!
+//! Three measurements per `k` (number of cuts):
+//!
+//! * `seed_ms` — a faithful replica of the seed implementation's
+//!   sequential `4^k` marginals loop (per-assignment prefix/suffix
+//!   allocations, per-tensor `slice_max_abs` checks), timed through the
+//!   same public `FragmentTensor` API it used;
+//! * `engine_1t_ms` — the chunked contraction engine at one thread;
+//! * `engine_mt_ms` — the engine with one worker per available core.
+//!
+//! Plus a (fragment × variant) evaluation-pool comparison and the §IX
+//! sparse-contraction ablation. Every engine result is checked
+//! bit-identical between thread counts before timing is reported.
+//!
+//! Environment knobs: `REPS` (samples per point, default 3; the best is
+//! kept), `MAX_K` (default 12).
+
+use cutkit::{
+    cut_circuit, synthetic_dense_chain, CutStrategy, EvalMode, EvalOptions, FragmentTensor,
+    Reconstructor, TensorOptions,
+};
+use qcir::Circuit;
+use std::time::Instant;
+
+/// The seed implementation's marginals loop, reproduced verbatim against
+/// the public tensor API: one `4^k` sweep, fresh prefix/suffix vectors per
+/// assignment, `slice_max_abs` checked per tensor per assignment.
+fn seed_marginals(tensors: &[FragmentTensor], num_cuts: usize, n_qubits: usize) -> Vec<[f64; 2]> {
+    let nf = tensors.len();
+    let tol = 1e-12;
+    let mut marg = vec![[0.0f64; 2]; n_qubits];
+    let mut mass = 0.0;
+    let total = 1u64 << (2 * num_cuts);
+    let mut indices = vec![0usize; nf];
+    for kappa in 0..total {
+        let digit = |cut: usize| ((kappa >> (2 * cut)) & 0b11) as usize;
+        let mut skip = false;
+        for (fi, t) in tensors.iter().enumerate() {
+            let idx = t.pauli_index(digit);
+            if t.slice_max_abs(idx) <= tol {
+                skip = true;
+                break;
+            }
+            indices[fi] = idx;
+        }
+        if skip {
+            continue;
+        }
+        let mut prefix = vec![1.0; nf + 1];
+        for f in 0..nf {
+            prefix[f + 1] = prefix[f] * tensors[f].total(indices[f]);
+        }
+        let mut suffix = vec![1.0; nf + 1];
+        for f in (0..nf).rev() {
+            suffix[f] = suffix[f + 1] * tensors[f].total(indices[f]);
+        }
+        mass += prefix[nf];
+        for (f, t) in tensors.iter().enumerate() {
+            let excl = prefix[f] * suffix[f + 1];
+            if excl == 0.0 {
+                continue;
+            }
+            for (bit, &global) in t.output_globals().iter().enumerate() {
+                for v in 0..2 {
+                    marg[global][v] += excl * t.marginal(bit, v == 1, indices[f]);
+                }
+            }
+        }
+    }
+    if mass.abs() > 1e-12 {
+        for m in &mut marg {
+            m[0] /= mass;
+            m[1] /= mass;
+        }
+    }
+    for m in &mut marg {
+        m[0] = m[0].clamp(0.0, 1.0);
+        m[1] = m[1].clamp(0.0, 1.0);
+        let s = m[0] + m[1];
+        if s > 0.0 {
+            m[0] /= s;
+            m[1] /= s;
+        }
+    }
+    marg
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn max_abs_diff(a: &[[f64; 2]], b: &[[f64; 2]]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x[0] - y[0]).abs().max((x[1] - y[1]).abs()))
+        .fold(0.0, f64::max)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = env_usize("REPS", 3);
+    let max_k = env_usize("MAX_K", 12);
+
+    // --- Recombination: marginals at k = 4 / 8 / 12 ------------------
+    let mut recombine_rows = Vec::new();
+    for k in [4usize, 8, 12] {
+        if k > max_k {
+            continue;
+        }
+        let point_reps = if k >= 12 { 1 } else { reps };
+        let (tensors, n_qubits) = synthetic_dense_chain(k, 1);
+        let (seed_ms, seed_marg) = time_best(point_reps, || seed_marginals(&tensors, k, n_qubits));
+        let (one_ms, one_marg) = time_best(point_reps, || {
+            Reconstructor::new(&tensors, k, n_qubits)
+                .with_threads(1)
+                .marginals()
+        });
+        let (multi_ms, multi_marg) = time_best(point_reps, || {
+            Reconstructor::new(&tensors, k, n_qubits)
+                .with_threads(0)
+                .marginals()
+        });
+        let identical = one_marg == multi_marg;
+        let seed_diff = max_abs_diff(&seed_marg, &one_marg);
+        assert!(identical, "k={k}: parallel result differs from sequential");
+        assert!(
+            seed_diff < 1e-9,
+            "k={k}: engine diverged from seed algorithm"
+        );
+        let speedup_1t = seed_ms / one_ms;
+        let speedup_mt = seed_ms / multi_ms;
+        println!(
+            "recombine k={k}: seed {seed_ms:.2} ms, engine(1t) {one_ms:.2} ms \
+             ({speedup_1t:.2}x), engine({cores} workers) {multi_ms:.2} ms ({speedup_mt:.2}x)"
+        );
+        recombine_rows.push(format!(
+            "    {{\"k\": {k}, \"seed_ms\": {seed_ms:.3}, \"engine_1t_ms\": {one_ms:.3}, \
+             \"engine_mt_ms\": {multi_ms:.3}, \"speedup_1t\": {speedup_1t:.3}, \
+             \"speedup_mt\": {speedup_mt:.3}, \"bit_identical_across_threads\": {identical}, \
+             \"max_abs_diff_vs_seed\": {seed_diff:e}}}"
+        ));
+    }
+
+    // --- Fragment evaluation: shared (fragment × variant) pool -------
+    let mut circuit = Circuit::new(6);
+    circuit.h(0);
+    for q in 1..6 {
+        circuit.cx(q - 1, q);
+    }
+    for q in [1usize, 3, 5] {
+        circuit.t(q);
+    }
+    for q in 0..6 {
+        circuit.h(q);
+    }
+    let cut = cut_circuit(&circuit, CutStrategy::default()).unwrap();
+    let eval = EvalOptions {
+        mode: EvalMode::Sampled { shots: 4000 },
+        ..Default::default()
+    };
+    let opts = TensorOptions::default();
+    let seeds: Vec<u64> = (0..cut.fragments.len() as u64).map(|i| 77 + i).collect();
+    let (eval_1t_ms, seq_tensors) = time_best(reps, || {
+        cutkit::evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, 1).unwrap()
+    });
+    let (eval_mt_ms, par_tensors) = time_best(reps, || {
+        cutkit::evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, cores).unwrap()
+    });
+    let eval_identical = seq_tensors.iter().zip(&par_tensors).all(|(s, p)| {
+        s.iter()
+            .all(|(b, v)| v.iter().enumerate().all(|(i, &x)| p.value(b, i) == x))
+    });
+    assert!(eval_identical, "evaluation pool changed results");
+    let eval_speedup = eval_1t_ms / eval_mt_ms;
+    println!(
+        "fragment eval ({} fragments, {} variants): 1t {eval_1t_ms:.2} ms, \
+         {cores} workers {eval_mt_ms:.2} ms ({eval_speedup:.2}x)",
+        cut.fragments.len(),
+        cut.fragments
+            .iter()
+            .map(|f| f.num_variants())
+            .sum::<usize>(),
+    );
+
+    // --- §IX sparse-contraction ablation ------------------------------
+    let mut ghz_t = Circuit::new(4);
+    ghz_t.h(0);
+    for q in 1..4 {
+        ghz_t.cx(q - 1, q);
+    }
+    ghz_t.t(3).h(3);
+    let sparse_cut = cut_circuit(&ghz_t, CutStrategy::default()).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let sparse_tensors: Vec<FragmentTensor> = sparse_cut
+        .fragments
+        .iter()
+        .map(|f| {
+            cutkit::build_fragment_tensor(
+                f,
+                &EvalOptions {
+                    mode: EvalMode::Exact,
+                    ..Default::default()
+                },
+                &opts,
+                &mut rng,
+            )
+            .unwrap()
+        })
+        .collect();
+    let rec = Reconstructor::new(
+        &sparse_tensors,
+        sparse_cut.num_cuts,
+        sparse_cut.original_qubits,
+    );
+    let visited_sparse = rec.visited_assignments();
+    let visited_dense = rec.clone().with_sparse(false).visited_assignments();
+    println!(
+        "sparse ablation (k={}): visited {visited_sparse} of {visited_dense}",
+        sparse_cut.num_cuts
+    );
+
+    // --- JSON report ---------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 1,\n  \
+         \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
+         \"recombine_marginals\": [\n{}\n  ],\n  \
+         \"fragment_eval\": {{\"fragments\": {}, \"variants\": {}, \
+         \"engine_1t_ms\": {eval_1t_ms:.3}, \"engine_mt_ms\": {eval_mt_ms:.3}, \
+         \"speedup_mt\": {eval_speedup:.3}, \"bit_identical_across_threads\": {eval_identical}}},\n  \
+         \"sparse_contraction\": {{\"k\": {}, \"visited_sparse\": {visited_sparse}, \
+         \"visited_dense\": {visited_dense}}}\n}}\n",
+        recombine_rows.join(",\n"),
+        cut.fragments.len(),
+        cut.fragments.iter().map(|f| f.num_variants()).sum::<usize>(),
+        sparse_cut.num_cuts,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recombine.json");
+    std::fs::write(path, &json).expect("write BENCH_recombine.json");
+    println!("wrote {path}");
+}

@@ -4,8 +4,8 @@
 //! Paper protocol: 10k shots, averaged over 100 random circuits, n = 2..20.
 //! The quick grid uses fewer instances; `FULL=1` restores paper scale.
 
+use supersim::{Simulator, StabilizerBackend, StatevectorBackend};
 use supersim_bench::{HarnessConfig, Sweep};
-use supersim::{StabilizerBackend, StatevectorBackend, Simulator};
 
 fn main() {
     let mut config = HarnessConfig::from_env();
@@ -16,10 +16,8 @@ fn main() {
     let instances = if config.full { 100 } else { 10 };
     config.reps = instances;
 
-    let backends: Vec<Box<dyn Simulator>> = vec![
-        Box::new(StabilizerBackend),
-        Box::new(StatevectorBackend),
-    ];
+    let backends: Vec<Box<dyn Simulator>> =
+        vec![Box::new(StabilizerBackend), Box::new(StatevectorBackend)];
     let mut sweep = Sweep::new(config, backends);
     sweep.header(
         "fig1",

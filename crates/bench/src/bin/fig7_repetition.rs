@@ -27,7 +27,10 @@ fn main() {
     // The paper annotates fidelity on the *complete* distribution here
     // (sparse metric), which is what exposes the extended stabilizer.
     sweep.sparse_fidelity = true;
-    sweep.header("fig7", "phase repetition code, 1 cycle, 1 T gate (size = total qubits)");
+    sweep.header(
+        "fig7",
+        "phase repetition code, 1 cycle, 1 T gate (size = total qubits)",
+    );
     let max_data = if config.full { 16 } else { 10 };
     for d in 2..=max_data {
         let n = 2 * d - 1;

@@ -90,8 +90,8 @@ impl Simulator for StatevectorBackend {
         shots: usize,
         seed: u64,
     ) -> Result<Distribution, BackendError> {
-        let sv = svsim::StateVec::run(circuit)
-            .map_err(|e| BackendError::TooLarge(e.to_string()))?;
+        let sv =
+            svsim::StateVec::run(circuit).map_err(|e| BackendError::TooLarge(e.to_string()))?;
         let mut rng = StdRng::seed_from_u64(seed);
         let samples = sv.sample(shots, &mut rng);
         Ok(Distribution::from_samples(circuit.num_qubits(), &samples))

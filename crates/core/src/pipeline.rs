@@ -1,4 +1,27 @@
 //! The SuperSim pipeline: cut → evaluate → recombine.
+//!
+//! # Threading model
+//!
+//! With [`SuperSimConfig::parallel`] enabled, the two expensive stages run
+//! on worker pools sized by [`SuperSimConfig::threads`] (`0` = one worker
+//! per available core):
+//!
+//! * **Fragment evaluation** schedules every (fragment × variant) pair
+//!   onto one shared pool ([`cutkit::evaluate_fragment_tensors`]) — the
+//!   paper's §X "embarrassingly parallel" variant simulations, lifted
+//!   above the per-fragment level so one expensive fragment cannot
+//!   serialize the stage.
+//! * **Recombination** splits the `4^k` cut-assignment range into
+//!   fixed-size chunks contracted in parallel and merged in chunk order
+//!   ([`cutkit::Reconstructor::with_threads`]).
+//!
+//! **Determinism-in-seed guarantee:** both stages produce bit-identical
+//! results for a given [`SuperSimConfig::seed`] regardless of thread
+//! count. Fragment evaluation derives one RNG stream per (fragment,
+//! variant) from the seed and folds per-variant accumulators in variant
+//! order; recombination's chunk decomposition and merge order are
+//! independent of the worker count. `parallel: false` is therefore purely
+//! a scheduling choice, never a numerical one.
 
 use cutkit::{
     correct_tensor, cut_circuit, CutBudgetError, CutStrategy, EvalError, EvalMode, EvalOptions,
@@ -38,8 +61,13 @@ pub struct SuperSimConfig {
     /// Skip identically-zero Pauli assignments during recombination
     /// (paper §IX optimization 2).
     pub sparse_contraction: bool,
-    /// Evaluate fragments on separate threads.
+    /// Run fragment evaluation and recombination on worker pools (see the
+    /// module docs for the threading model).
     pub parallel: bool,
+    /// Worker-pool size when [`SuperSimConfig::parallel`] is set
+    /// (`0` = one worker per available core). Ignored when `parallel` is
+    /// `false`. Results are bit-identical for every value.
+    pub threads: usize,
     /// Base RNG seed (each fragment derives its own stream).
     pub seed: u64,
     /// Build the full joint distribution only when the product of fragment
@@ -61,6 +89,7 @@ impl Default for SuperSimConfig {
             exact_clifford: false,
             sparse_contraction: true,
             parallel: false,
+            threads: 0,
             seed: 0,
             joint_support_limit: 2_000_000,
             exact_support_limit: 16,
@@ -143,6 +172,9 @@ pub struct RunResult {
     num_cuts: usize,
     n_qubits: usize,
     sparse: bool,
+    /// Contraction pool size for follow-up queries (1 = sequential,
+    /// 0 = one worker per core), mirroring the config this run used.
+    threads: usize,
 }
 
 impl RunResult {
@@ -155,6 +187,7 @@ impl RunResult {
     pub fn probability_of(&self, bits: &Bits) -> f64 {
         Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
             .with_sparse(self.sparse)
+            .with_threads(self.threads)
             .probability_of(bits)
     }
 
@@ -183,6 +216,7 @@ impl RunResult {
     pub fn expectation_z(&self, subset: &[usize]) -> f64 {
         Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
             .with_sparse(self.sparse)
+            .with_threads(self.threads)
             .expectation_z(subset)
     }
 }
@@ -261,8 +295,10 @@ impl SuperSim {
         let eval_time = t1.elapsed();
 
         let t2 = Instant::now();
+        let pool = if cfg.parallel { cfg.threads } else { 1 };
         let rec = Reconstructor::new(&tensors, cut.num_cuts, cut.original_qubits)
-            .with_sparse(cfg.sparse_contraction);
+            .with_sparse(cfg.sparse_contraction)
+            .with_threads(pool);
         let marginals = rec.marginals();
         let support: usize = tensors
             .iter()
@@ -294,6 +330,7 @@ impl SuperSim {
             num_cuts: cut.num_cuts,
             n_qubits: cut.original_qubits,
             sparse: cfg.sparse_contraction,
+            threads: pool,
         })
     }
 
@@ -305,24 +342,33 @@ impl SuperSim {
     ) -> Result<Vec<FragmentTensor>, SuperSimError> {
         let seed = self.config.seed;
         // Paper §X: per-variant simulations are embarrassingly parallel.
-        // Fragments are processed in order; each fragment's variants fan
-        // out across worker threads. Results are deterministic in `seed`
-        // regardless of thread count.
+        // All (fragment × variant) pairs are scheduled onto one shared
+        // worker pool; each fragment derives its own base seed from the
+        // config seed, and each variant its own RNG stream from that, so
+        // results are deterministic in `seed` regardless of thread count.
         let threads = if self.config.parallel {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            if self.config.threads > 0 {
+                self.config.threads
+            } else {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
         } else {
             1
         };
-        let mut out = Vec::with_capacity(fragments.len());
-        for (i, frag) in fragments.iter().enumerate() {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            let base_seed: u64 = rng.random();
-            out.push(cutkit::build_fragment_tensor_threaded(
-                frag, eval, topts, base_seed, threads,
-            )?);
-        }
-        Ok(out)
+        let base_seeds: Vec<u64> = (0..fragments.len())
+            .map(|i| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                rng.random()
+            })
+            .collect();
+        Ok(cutkit::evaluate_fragment_tensors(
+            fragments,
+            eval,
+            topts,
+            &base_seeds,
+            threads,
+        )?)
     }
 }
 
@@ -438,8 +484,7 @@ mod tests {
         assert!(r.distribution.is_none());
         assert_eq!(r.marginals.len(), 4);
         let sv = StateVec::run(&c).unwrap();
-        let sv_dist =
-            Distribution::from_pairs(4, sv.distribution(1e-12));
+        let sv_dist = Distribution::from_pairs(4, sv.distribution(1e-12));
         for q in 0..4 {
             let m = sv_dist.marginal(q);
             assert!(
@@ -466,7 +511,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2).t(2);
         let cfg = SuperSimConfig {
-            shots: 50, // tiny shot budget...
+            shots: 50,            // tiny shot budget...
             exact_clifford: true, // ...but Clifford fragments evaluated exactly
             mlft: false,
             seed: 3,

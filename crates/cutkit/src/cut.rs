@@ -87,8 +87,7 @@ impl Fragment {
     /// Number of fragment variants required for tomography:
     /// `4^inputs · 3^outputs`.
     pub fn num_variants(&self) -> usize {
-        4usize.pow(self.quantum_inputs.len() as u32)
-            * 3usize.pow(self.quantum_outputs.len() as u32)
+        4usize.pow(self.quantum_inputs.len() as u32) * 3usize.pow(self.quantum_outputs.len() as u32)
     }
 }
 
@@ -144,8 +143,14 @@ impl CutCircuit {
             assert!(starts.iter().all(|&c| c == 1), "each wire needs one start");
             assert!(ends.iter().all(|&c| c == 1), "each wire needs one end");
         }
-        assert!(outs.iter().all(|&c| c == 1), "each cut needs one upstream end");
-        assert!(ins.iter().all(|&c| c == 1), "each cut needs one downstream end");
+        assert!(
+            outs.iter().all(|&c| c == 1),
+            "each cut needs one upstream end"
+        );
+        assert!(
+            ins.iter().all(|&c| c == 1),
+            "each cut needs one downstream end"
+        );
         globals.sort_unstable();
         assert_eq!(
             globals,
@@ -225,10 +230,7 @@ impl UnionFind {
 ///
 /// With [`CutStrategy::Manual`], panics if a cut point references an
 /// operation that does not act on the given qubit.
-pub fn cut_circuit(
-    circuit: &Circuit,
-    strategy: CutStrategy,
-) -> Result<CutCircuit, CutBudgetError> {
+pub fn cut_circuit(circuit: &Circuit, strategy: CutStrategy) -> Result<CutCircuit, CutBudgetError> {
     match strategy {
         CutStrategy::None => Ok(single_fragment(circuit)),
         CutStrategy::IsolateNonClifford { max_cuts } => isolate(circuit, max_cuts),

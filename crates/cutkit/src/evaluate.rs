@@ -69,7 +69,10 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::FragmentTooWide(n) => {
-                write!(f, "non-Clifford fragment with {n} qubits exceeds statevector limit")
+                write!(
+                    f,
+                    "non-Clifford fragment with {n} qubits exceeds statevector limit"
+                )
             }
             EvalError::SupportTooLarge { dim, limit } => write!(
                 f,
@@ -124,7 +127,10 @@ pub fn evaluate_variant(
             // graceful fall-through to sampling when the zero-shot
             // optimization was merely opportunistic.
             if let EvalMode::Sampled { shots } = options.mode {
-                return Ok(count_samples(&support.sample_many(shots, rng)));
+                return Ok(counts_to_frequencies(
+                    support.sample_counts(shots, rng),
+                    shots,
+                ));
             }
             Err(EvalError::SupportTooLarge {
                 dim,
@@ -135,15 +141,19 @@ pub fn evaluate_variant(
                 EvalMode::Sampled { shots } => shots,
                 EvalMode::Exact => unreachable!("exact handled above"),
             };
-            let samples = if noisy {
-                stabsim::FrameSim::sample(&circuit, shots, rng)
-                    .expect("clifford fragment must run on the frame simulator")
+            if noisy {
+                let samples = stabsim::FrameSim::sample(&circuit, shots, rng)
+                    .expect("clifford fragment must run on the frame simulator");
+                Ok(count_samples(&samples))
             } else {
-                stabsim::TableauSim::run(&circuit, rng)
+                // Bulk sampling through the counting path reuses one
+                // scratch row instead of allocating per shot.
+                let counts = stabsim::TableauSim::run(&circuit, rng)
                     .expect("clifford fragment must run on the tableau")
-                    .sample_all(shots, rng)
-            };
-            Ok(count_samples(&samples))
+                    .support()
+                    .sample_counts(shots, rng);
+                Ok(counts_to_frequencies(counts, shots))
+            }
         }
     } else {
         if circuit.num_qubits() > svsim::MAX_QUBITS {
@@ -178,7 +188,16 @@ fn count_samples(samples: &[Bits]) -> Vec<(Bits, f64)> {
     for s in samples {
         *counts.entry(s.clone()).or_insert(0) += 1;
     }
-    let total = samples.len().max(1) as f64;
+    counts_to_frequencies(counts, samples.len())
+}
+
+/// Converts outcome counts (already in lexicographic order) to
+/// frequencies.
+fn counts_to_frequencies(
+    counts: std::collections::BTreeMap<Bits, usize>,
+    shots: usize,
+) -> Vec<(Bits, f64)> {
+    let total = shots.max(1) as f64;
     counts
         .into_iter()
         .map(|(b, c)| (b, c as f64 / total))
@@ -212,7 +231,10 @@ mod tests {
         for v in enumerate_variants(cliff) {
             let data = evaluate_variant(cliff, &v, &opts, &mut r).unwrap();
             let total: f64 = data.iter().map(|(_, p)| p).sum();
-            assert!((total - 1.0).abs() < 1e-12, "variant distribution not normalized");
+            assert!(
+                (total - 1.0).abs() < 1e-12,
+                "variant distribution not normalized"
+            );
         }
     }
 
@@ -269,7 +291,10 @@ mod tests {
                 .find(|(sb, _)| sb == b)
                 .map(|(_, q)| *q)
                 .unwrap_or(0.0);
-            assert!((p - q).abs() < 0.02, "outcome {b}: exact {p} vs sampled {q}");
+            assert!(
+                (p - q).abs() < 0.02,
+                "outcome {b}: exact {p} vs sampled {q}"
+            );
         }
     }
 
@@ -293,7 +318,10 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12);
         for (_, p) in &data {
             let inv = 1.0 / p;
-            assert!((inv - inv.round()).abs() < 1e-9, "non-dyadic probability {p}");
+            assert!(
+                (inv - inv.round()).abs() < 1e-9,
+                "non-dyadic probability {p}"
+            );
         }
     }
 

@@ -44,9 +44,9 @@ mod variants;
 pub use cut::{cut_circuit, CutBudgetError, CutCircuit, CutPoint, CutStrategy, Fragment};
 pub use evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
 pub use mlft::{correct_tensor, MlftOptions};
-pub use recombine::{Reconstructor, MAX_CONTRACTION_CUTS};
+pub use recombine::{Reconstructor, ASSIGNMENTS_PER_CHUNK, MAX_CONTRACTION_CUTS};
 pub use tensor::{
-    build_fragment_tensor, build_fragment_tensor_threaded, FragmentTensor, TensorOptions,
-    PREP_TO_PAULI,
+    build_fragment_tensor, build_fragment_tensor_threaded, evaluate_fragment_tensors,
+    synthetic_dense_chain, FragmentTensor, TensorOptions, PREP_TO_PAULI,
 };
 pub use variants::{enumerate_variants, variant_circuit, MeasBasis, PrepState, Variant};

@@ -17,7 +17,7 @@
 
 use crate::tensor::FragmentTensor;
 use qcir::{Bits, Pauli};
-use qmath::{psd_project_with_trace, C64, CMat};
+use qmath::{psd_project_with_trace, CMat, C64};
 use std::collections::BTreeMap;
 
 /// Options for the MLFT correction.
@@ -94,10 +94,8 @@ pub fn correct_tensor(tensor: &mut FragmentTensor, opts: &MlftOptions) -> f64 {
         // Precompute the Pauli basis matrices once per fragment shape.
         let basis: Vec<CMat> = (0..dim).map(|idx| basis_matrix(idx, qi, qo)).collect();
 
-        let snapshot: Vec<(Bits, Vec<f64>)> = tensor
-            .iter()
-            .map(|(b, v)| (b.clone(), v.clone()))
-            .collect();
+        let snapshot: Vec<(Bits, Vec<f64>)> =
+            tensor.iter().map(|(b, v)| (b.clone(), v.clone())).collect();
         let mut corrected: BTreeMap<Bits, Vec<f64>> = BTreeMap::new();
         for (b, coeffs) in snapshot {
             // J_b = Σ_idx T[idx]/do · basis[idx]
@@ -306,6 +304,9 @@ mod tests {
         let z = t.value(&b, 3);
         let x = t.value(&b, 1);
         let norm = (z * z + x * x).sqrt();
-        assert!(norm <= 1.0 + 1e-9, "Bloch vector must be physical, got {norm}");
+        assert!(
+            norm <= 1.0 + 1e-9,
+            "Bloch vector must be physical, got {norm}"
+        );
     }
 }

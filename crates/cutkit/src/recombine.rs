@@ -22,13 +22,57 @@
 //! (paper §IX) skips every `κ` containing a Pauli with identically-zero
 //! fragment weight, which prunes most of the `4^k` terms for stabilizer
 //! fragments.
+//!
+//! # Parallel contraction
+//!
+//! The `4^k` assignment range is split into fixed-size chunks
+//! ([`ASSIGNMENTS_PER_CHUNK`]), each contracted into its own accumulator;
+//! accumulators are merged in chunk order. Because the chunking is
+//! independent of the worker count, every query is **bit-identical for any
+//! thread count** (including the sequential path, which runs the same
+//! chunks in the same merge order). Configure workers with
+//! [`Reconstructor::with_threads`].
+//!
+//! Sparse skipping precomputes one bitmask of non-vanishing Pauli slices
+//! per tensor, turning the per-assignment check into a single bit test.
 
 use crate::tensor::FragmentTensor;
 use metrics::Distribution;
-use qcir::Bits;
+use qcir::{Bits, IndexPlan};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Hard cap on cuts for dense `4^k` contraction.
 pub const MAX_CONTRACTION_CUTS: usize = 13;
+
+/// Assignments contracted per work chunk. Fixed (not derived from the
+/// thread count) so that results are bit-identical for any parallelism;
+/// `4096 = 4^6` keeps single-chunk contractions (k ≤ 6) on the zero-overhead
+/// sequential path while giving enough chunks at k ≥ 8 to balance load.
+pub const ASSIGNMENTS_PER_CHUNK: u64 = 4096;
+
+/// Per-tensor bitmask of Pauli indices whose slice is not identically zero.
+#[derive(Clone, Debug)]
+struct NonzeroMask {
+    words: Vec<u64>,
+}
+
+impl NonzeroMask {
+    fn build(tensor: &FragmentTensor, tol: f64) -> Self {
+        let dim = tensor.pauli_dim();
+        let mut words = vec![0u64; dim.div_ceil(64)];
+        for idx in 0..dim {
+            if tensor.slice_max_abs(idx) > tol {
+                words[idx >> 6] |= 1u64 << (idx & 63);
+            }
+        }
+        NonzeroMask { words }
+    }
+
+    #[inline]
+    fn test(&self, idx: usize) -> bool {
+        (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+}
 
 /// Contracts a set of fragment tensors over their shared cuts.
 #[derive(Clone, Debug)]
@@ -37,7 +81,22 @@ pub struct Reconstructor<'a> {
     num_cuts: usize,
     n_qubits: usize,
     sparse: bool,
-    tol: f64,
+    /// Worker threads for the chunked contraction (0 = all available).
+    threads: usize,
+    /// Precomputed sparse-skip masks, one per tensor.
+    nonzero: Vec<NonzeroMask>,
+    /// For each cut, the `(tensor, base-4 place value)` pairs its digit
+    /// contributes to — the incremental-update table of the assignment
+    /// sweep (each cut has exactly one upstream and one downstream end).
+    cut_tensors: Vec<Vec<(usize, usize)>>,
+}
+
+/// Per-worker scratch for the assignment sweep.
+struct SweepScratch {
+    /// Current composite Pauli index per tensor.
+    indices: Vec<usize>,
+    /// Current base-4 digit per cut.
+    digits: Vec<u8>,
 }
 
 impl<'a> Reconstructor<'a> {
@@ -52,12 +111,29 @@ impl<'a> Reconstructor<'a> {
             num_cuts <= MAX_CONTRACTION_CUTS,
             "contraction over {num_cuts} cuts exceeds the 4^k budget"
         );
+        let tol = 1e-12;
+        let nonzero = tensors.iter().map(|t| NonzeroMask::build(t, tol)).collect();
+        let mut cut_tensors: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_cuts];
+        for (fi, t) in tensors.iter().enumerate() {
+            let axes: Vec<usize> = t
+                .input_cuts()
+                .iter()
+                .chain(t.output_cuts())
+                .copied()
+                .collect();
+            let m = axes.len();
+            for (j, &c) in axes.iter().enumerate() {
+                cut_tensors[c].push((fi, 1usize << (2 * (m - 1 - j))));
+            }
+        }
         Reconstructor {
             tensors,
             num_cuts,
             n_qubits,
             sparse: true,
-            tol: 1e-12,
+            threads: 1,
+            nonzero,
+            cut_tensors,
         }
     }
 
@@ -67,49 +143,189 @@ impl<'a> Reconstructor<'a> {
         self
     }
 
-    /// Iterates over all `4^k` cut assignments, calling `f` with the
-    /// per-fragment Pauli indices. Skips zero-weight assignments when the
-    /// sparse optimization is active. Returns the number of assignments
-    /// actually visited.
-    fn for_each_assignment(&self, mut f: impl FnMut(&[usize])) -> usize {
+    /// Sets the number of contraction worker threads (`0` = one per
+    /// available core). Results are bit-identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of fixed-size chunks the `4^k` assignment range splits into.
+    fn num_chunks(&self) -> u64 {
+        (1u64 << (2 * self.num_cuts)).div_ceil(ASSIGNMENTS_PER_CHUNK)
+    }
+
+    /// Resolved worker count for a contraction over `num_chunks` chunks.
+    fn effective_threads(&self, num_chunks: u64) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        requested.clamp(1, num_chunks.max(1) as usize)
+    }
+
+    /// Contracts one chunk of the assignment range into `acc`, returning
+    /// the number of assignments visited.
+    ///
+    /// Tensor indices are maintained incrementally: advancing `κ` changes
+    /// an amortized 4/3 base-4 digits, and each changed cut digit touches
+    /// only the two tensor ends of that cut — instead of recomputing every
+    /// tensor's composite index per assignment.
+    fn run_chunk<A>(
+        &self,
+        chunk: u64,
+        acc: &mut A,
+        body: &(impl Fn(&mut A, &[usize]) + Sync),
+        scratch: &mut SweepScratch,
+    ) -> usize {
         let k = self.num_cuts;
         let total = 1u64 << (2 * k);
-        let mut indices = vec![0usize; self.tensors.len()];
+        let start = chunk * ASSIGNMENTS_PER_CHUNK;
+        let end = (start + ASSIGNMENTS_PER_CHUNK).min(total);
+        let SweepScratch { indices, digits } = scratch;
+        for (c, d) in digits.iter_mut().enumerate() {
+            *d = ((start >> (2 * c)) & 0b11) as u8;
+        }
+        for (fi, t) in self.tensors.iter().enumerate() {
+            indices[fi] = t.pauli_index(|c| digits[c] as usize);
+        }
         let mut visited = 0;
-        for kappa in 0..total {
-            let digit = |cut: usize| ((kappa >> (2 * cut)) & 0b11) as usize;
-            let mut skip = false;
-            for (fi, t) in self.tensors.iter().enumerate() {
-                let idx = t.pauli_index(digit);
-                // Exact skip: a zero slice maximum means every term of this
-                // assignment vanishes (stabilizer fragments hit this for
-                // most multi-qubit Paulis — paper §IX optimization 2).
-                if self.sparse && t.slice_max_abs(idx) <= self.tol {
-                    skip = true;
+        let mut kappa = start;
+        loop {
+            // Exact skip: a zero slice maximum means every term of this
+            // assignment vanishes (stabilizer fragments hit this for most
+            // multi-qubit Paulis — paper §IX optimization 2). The
+            // precomputed mask makes this a single bit test per tensor.
+            let surviving = !self.sparse
+                || self
+                    .nonzero
+                    .iter()
+                    .zip(indices.iter())
+                    .all(|(mask, &idx)| mask.test(idx));
+            if surviving {
+                visited += 1;
+                body(acc, indices);
+            }
+            kappa += 1;
+            if kappa >= end {
+                break;
+            }
+            // Base-4 increment with incremental tensor-index updates.
+            let mut c = 0;
+            loop {
+                if digits[c] == 3 {
+                    digits[c] = 0;
+                    for &(f, w) in &self.cut_tensors[c] {
+                        indices[f] -= 3 * w;
+                    }
+                    c += 1;
+                } else {
+                    digits[c] += 1;
+                    for &(f, w) in &self.cut_tensors[c] {
+                        indices[f] += w;
+                    }
                     break;
                 }
-                indices[fi] = idx;
             }
-            if skip {
-                continue;
-            }
-            visited += 1;
-            f(&indices);
         }
         visited
+    }
+
+    /// The chunked contraction driver: runs `body` over every surviving
+    /// assignment, accumulating into per-chunk accumulators created by
+    /// `init` and merged in chunk order by `merge`. Returns the final
+    /// accumulator and the visited-assignment count.
+    ///
+    /// The sequential path (one worker) uses the identical chunk/merge
+    /// structure, so results are bit-identical regardless of thread count.
+    fn run_contraction<A: Send>(
+        &self,
+        init: impl Fn() -> A + Sync,
+        body: impl Fn(&mut A, &[usize]) + Sync,
+        merge: impl FnMut(&mut A, A),
+    ) -> (A, usize) {
+        self.run_contraction_capped(usize::MAX, init, body, merge)
+    }
+
+    /// [`Reconstructor::run_contraction`] with a hard cap on workers —
+    /// used by queries whose per-chunk accumulators are large (the
+    /// parallel path retains every chunk accumulator until the join, so
+    /// memory scales with `num_chunks × accumulator size`). The cap must
+    /// be a deterministic function of the tensors, never of the requested
+    /// thread count, to preserve bit-identity across thread counts.
+    fn run_contraction_capped<A: Send>(
+        &self,
+        max_threads: usize,
+        init: impl Fn() -> A + Sync,
+        body: impl Fn(&mut A, &[usize]) + Sync,
+        mut merge: impl FnMut(&mut A, A),
+    ) -> (A, usize) {
+        let num_chunks = self.num_chunks();
+        let threads = self.effective_threads(num_chunks).min(max_threads.max(1));
+        let new_scratch = || SweepScratch {
+            indices: vec![0usize; self.tensors.len()],
+            digits: vec![0u8; self.num_cuts],
+        };
+        let mut acc = init();
+        let mut visited = 0;
+        if threads <= 1 {
+            let mut scratch = new_scratch();
+            for chunk in 0..num_chunks {
+                let mut chunk_acc = init();
+                visited += self.run_chunk(chunk, &mut chunk_acc, &body, &mut scratch);
+                merge(&mut acc, chunk_acc);
+            }
+        } else {
+            let next = AtomicU64::new(0);
+            let mut results: Vec<(u64, A, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut out = Vec::new();
+                            let mut scratch = new_scratch();
+                            loop {
+                                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                                if chunk >= num_chunks {
+                                    break;
+                                }
+                                let mut chunk_acc = init();
+                                let v = self.run_chunk(chunk, &mut chunk_acc, &body, &mut scratch);
+                                out.push((chunk, chunk_acc, v));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("contraction worker panicked"))
+                    .collect()
+            });
+            results.sort_by_key(|&(chunk, _, _)| chunk);
+            for (_, chunk_acc, v) in results {
+                merge(&mut acc, chunk_acc);
+                visited += v;
+            }
+        }
+        (acc, visited)
     }
 
     /// Total reconstructed probability mass `Σ_b p(b)`; 1 up to sampling
     /// error.
     pub fn total_mass(&self) -> f64 {
-        let mut mass = 0.0;
-        self.for_each_assignment(|indices| {
-            let mut prod = 1.0;
-            for (t, &idx) in self.tensors.iter().zip(indices) {
-                prod *= t.total(idx);
-            }
-            mass += prod;
-        });
+        let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
+        let (mass, _) = self.run_contraction(
+            || 0.0f64,
+            |mass, indices| {
+                let mut prod = 1.0;
+                for (t, &idx) in totals.iter().zip(indices) {
+                    prod *= t[idx];
+                }
+                *mass += prod;
+            },
+            |mass, chunk| *mass += chunk,
+        );
         mass
     }
 
@@ -130,67 +346,102 @@ impl<'a> Reconstructor<'a> {
             support <= max_support,
             "joint support {support} exceeds limit {max_support}"
         );
-        let mut dist = Distribution::new(self.n_qubits);
-        self.for_each_assignment(|indices| {
-            // Outer product of the fragments' b-slices.
-            let mut partial: Vec<(Bits, f64)> = vec![(Bits::zeros(self.n_qubits), 1.0)];
-            for (t, &idx) in self.tensors.iter().zip(indices) {
-                if t.support_len() == 0 {
-                    continue;
-                }
-                let mut next = Vec::with_capacity(partial.len() * t.support_len());
-                for (b, coeffs) in t.iter() {
-                    let v = coeffs[idx];
-                    if v == 0.0 {
+        // Per-chunk accumulator: the chunk's distribution plus reusable
+        // outer-product scratch (hoisted out of the per-assignment loop).
+        struct JointAcc {
+            dist: Distribution,
+            partial: Vec<(Bits, f64)>,
+            next: Vec<(Bits, f64)>,
+        }
+        let plans = self.output_plans();
+        // Each chunk accumulator can hold the full joint support; the
+        // parallel path retains every chunk accumulator until the join, so
+        // run sequentially (streaming merge, one accumulator live) when
+        // that retention would be large. The choice depends only on the
+        // tensors, keeping results bit-identical for any thread count.
+        let retained_bytes = (support as u64) * self.num_chunks() * 64;
+        let max_threads = if retained_bytes <= 64 << 20 {
+            usize::MAX
+        } else {
+            1
+        };
+        let (acc, _) = self.run_contraction_capped(
+            max_threads,
+            || JointAcc {
+                dist: Distribution::new(self.n_qubits),
+                partial: Vec::new(),
+                next: Vec::new(),
+            },
+            |acc, indices| {
+                // Outer product of the fragments' b-slices.
+                acc.partial.clear();
+                acc.partial.push((Bits::zeros(self.n_qubits), 1.0));
+                for ((t, plan), &idx) in self.tensors.iter().zip(&plans).zip(indices) {
+                    if t.support_len() == 0 {
                         continue;
                     }
-                    for (gb, w) in &partial {
-                        let mut gb2 = gb.clone();
-                        b.scatter_into(t.output_globals(), &mut gb2);
-                        next.push((gb2, w * v));
+                    acc.next.clear();
+                    acc.next.reserve(acc.partial.len() * t.support_len());
+                    for (b, coeffs) in t.iter() {
+                        let v = coeffs[idx];
+                        if v == 0.0 {
+                            continue;
+                        }
+                        for (gb, w) in &acc.partial {
+                            let mut gb2 = gb.clone();
+                            plan.scatter_into(b, &mut gb2);
+                            acc.next.push((gb2, w * v));
+                        }
+                    }
+                    std::mem::swap(&mut acc.partial, &mut acc.next);
+                }
+                for (b, w) in acc.partial.drain(..) {
+                    if w != 0.0 {
+                        acc.dist.add(b, w);
                     }
                 }
-                partial = next;
-            }
-            for (b, w) in partial {
-                if w != 0.0 {
-                    dist.add(b, w);
+            },
+            |acc, chunk| {
+                for (b, w) in chunk.dist.iter() {
+                    acc.dist.add(b.clone(), w);
                 }
-            }
-        });
-        dist
+            },
+        );
+        acc.dist
+    }
+
+    /// One scatter plan per tensor for its circuit-output positions in the
+    /// global bitstring.
+    fn output_plans(&self) -> Vec<IndexPlan> {
+        self.tensors
+            .iter()
+            .map(|t| IndexPlan::new(t.output_globals(), self.n_qubits))
+            .collect()
     }
 
     /// All single-qubit marginals of the reconstructed distribution,
     /// normalized to unit mass. Scales to hundreds of qubits: cost is
     /// `O(4^k · n)` independent of fragment support sizes.
     pub fn marginals(&self) -> Vec<[f64; 2]> {
-        let nf = self.tensors.len();
-        let mut marg = vec![[0.0f64; 2]; self.n_qubits];
-        let mut mass = 0.0;
-        self.for_each_assignment(|indices| {
-            // Prefix/suffix products of fragment totals.
-            let mut prefix = vec![1.0; nf + 1];
-            for f in 0..nf {
-                prefix[f + 1] = prefix[f] * self.tensors[f].total(indices[f]);
-            }
-            let mut suffix = vec![1.0; nf + 1];
-            for f in (0..nf).rev() {
-                suffix[f] = suffix[f + 1] * self.tensors[f].total(indices[f]);
-            }
-            mass += prefix[nf];
-            for (f, t) in self.tensors.iter().enumerate() {
-                let excl = prefix[f] * suffix[f + 1];
-                if excl == 0.0 {
-                    continue;
-                }
-                for (bit, &global) in t.output_globals().iter().enumerate() {
-                    for v in 0..2 {
-                        marg[global][v] += excl * t.marginal(bit, v == 1, indices[f]);
-                    }
-                }
-            }
-        });
+        // Two equivalent evaluation strategies (identical up to float
+        // reordering); the choice is a deterministic function of the
+        // tensor shapes, never of the thread count, so results stay
+        // bit-identical for any parallelism.
+        //
+        // The grouped strategy accumulates one exclusion weight per
+        // (fragment, Pauli index) — a single multiply-add per fragment per
+        // assignment — and contracts the weights against the marginal
+        // tables once at the end. Its accumulator holds `Σ_f 4^{cuts_f}`
+        // floats per chunk, so fall back to direct per-qubit updates when
+        // that would be large (one wide fragment means few fragments, so
+        // the direct inner loop is short anyway).
+        let weight_len: usize = self.tensors.iter().map(|t| t.pauli_dim()).sum();
+        let grouped_bytes = (weight_len as u64) * self.num_chunks() * 8;
+        let (mut marg, mass) = if grouped_bytes <= 64 << 20 {
+            self.marginals_grouped()
+        } else {
+            self.marginals_direct()
+        };
         if mass.abs() > 1e-12 {
             for m in &mut marg {
                 m[0] /= mass;
@@ -210,6 +461,134 @@ impl<'a> Reconstructor<'a> {
         marg
     }
 
+    /// Grouped marginal contraction: exclusion weights per (fragment,
+    /// Pauli index), expanded against the marginal tables after the sweep.
+    fn marginals_grouped(&self) -> (Vec<[f64; 2]>, f64) {
+        let nf = self.tensors.len();
+        struct GroupedAcc {
+            /// `weights[f][idx]` = Σ over visited assignments with
+            /// `indices[f] == idx` of the product of the other fragments'
+            /// totals.
+            weights: Vec<Vec<f64>>,
+            mass: f64,
+            prefix: Vec<f64>,
+            suffix: Vec<f64>,
+        }
+        let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
+        let (acc, _) = self.run_contraction(
+            || GroupedAcc {
+                weights: totals.iter().map(|t| vec![0.0f64; t.len()]).collect(),
+                mass: 0.0,
+                prefix: vec![1.0; nf + 1],
+                suffix: vec![1.0; nf + 1],
+            },
+            |acc, indices| {
+                // Prefix/suffix products of fragment totals (slots 0 and nf
+                // stay 1.0 from initialization).
+                for f in 0..nf {
+                    acc.prefix[f + 1] = acc.prefix[f] * totals[f][indices[f]];
+                }
+                for f in (0..nf).rev() {
+                    acc.suffix[f] = acc.suffix[f + 1] * totals[f][indices[f]];
+                }
+                acc.mass += acc.prefix[nf];
+                for f in 0..nf {
+                    acc.weights[f][indices[f]] += acc.prefix[f] * acc.suffix[f + 1];
+                }
+            },
+            |acc, chunk| {
+                for (w, c) in acc.weights.iter_mut().zip(&chunk.weights) {
+                    for (a, b) in w.iter_mut().zip(c) {
+                        *a += b;
+                    }
+                }
+                acc.mass += chunk.mass;
+            },
+        );
+        // Contract the accumulated weights against the marginal tables.
+        let mut marg = vec![[0.0f64; 2]; self.n_qubits];
+        for (f, t) in self.tensors.iter().enumerate() {
+            for (bit, &global) in t.output_globals().iter().enumerate() {
+                let (m0, m1) = t.marginal_slices(bit);
+                for (idx, &w) in acc.weights[f].iter().enumerate() {
+                    if w != 0.0 {
+                        marg[global][0] += w * m0[idx];
+                        marg[global][1] += w * m1[idx];
+                    }
+                }
+            }
+        }
+        (marg, acc.mass)
+    }
+
+    /// Direct marginal contraction: per-qubit updates inside the
+    /// assignment sweep (bounded accumulator size).
+    fn marginals_direct(&self) -> (Vec<[f64; 2]>, f64) {
+        let nf = self.tensors.len();
+        struct DirectAcc {
+            marg: Vec<[f64; 2]>,
+            mass: f64,
+            prefix: Vec<f64>,
+            suffix: Vec<f64>,
+        }
+        struct TensorView<'t> {
+            totals: &'t [f64],
+            outputs: Vec<(usize, &'t [f64], &'t [f64])>,
+        }
+        let views: Vec<TensorView<'_>> = self
+            .tensors
+            .iter()
+            .map(|t| TensorView {
+                totals: t.totals(),
+                outputs: t
+                    .output_globals()
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &g)| {
+                        let (m0, m1) = t.marginal_slices(bit);
+                        (g, m0, m1)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let (acc, _) = self.run_contraction(
+            || DirectAcc {
+                marg: vec![[0.0f64; 2]; self.n_qubits],
+                mass: 0.0,
+                prefix: vec![1.0; nf + 1],
+                suffix: vec![1.0; nf + 1],
+            },
+            |acc, indices| {
+                for f in 0..nf {
+                    acc.prefix[f + 1] = acc.prefix[f] * views[f].totals[indices[f]];
+                }
+                for f in (0..nf).rev() {
+                    acc.suffix[f] = acc.suffix[f + 1] * views[f].totals[indices[f]];
+                }
+                acc.mass += acc.prefix[nf];
+                for (f, view) in views.iter().enumerate() {
+                    let excl = acc.prefix[f] * acc.suffix[f + 1];
+                    if excl == 0.0 {
+                        continue;
+                    }
+                    let idx = indices[f];
+                    for &(global, m0, m1) in &view.outputs {
+                        acc.marg[global][0] += excl * m0[idx];
+                        acc.marg[global][1] += excl * m1[idx];
+                    }
+                }
+            },
+            |acc, chunk| {
+                for (m, c) in acc.marg.iter_mut().zip(&chunk.marg) {
+                    m[0] += c[0];
+                    m[1] += c[1];
+                }
+                acc.mass += chunk.mass;
+            },
+        );
+        (acc.marg, acc.mass)
+    }
+
     /// "Strong simulation": the probability of one specific global
     /// bitstring, to machine precision in exact mode.
     ///
@@ -218,29 +597,37 @@ impl<'a> Reconstructor<'a> {
     /// Panics if `bits.len()` differs from the original qubit count.
     pub fn probability_of(&self, bits: &Bits) -> f64 {
         assert_eq!(bits.len(), self.n_qubits, "bitstring width mismatch");
-        let frag_bits: Vec<Bits> = self
-            .tensors
-            .iter()
-            .map(|t| bits.extract(t.output_globals()))
-            .collect();
-        let mut p = 0.0;
-        self.for_each_assignment(|indices| {
-            let mut prod = 1.0;
-            for ((t, &idx), fb) in self.tensors.iter().zip(indices).zip(&frag_bits) {
-                prod *= t.value(fb, idx);
-                if prod == 0.0 {
-                    break;
-                }
+        // Resolve each fragment's coefficient slice once; an unobserved
+        // outcome in any fragment zeroes the whole probability.
+        let mut slices: Vec<&[f64]> = Vec::with_capacity(self.tensors.len());
+        for t in self.tensors {
+            match t.coeffs(&bits.extract(t.output_globals())) {
+                Some(s) => slices.push(s),
+                None => return 0.0,
             }
-            p += prod;
-        });
+        }
+        let (p, _) = self.run_contraction(
+            || 0.0f64,
+            |p, indices| {
+                let mut prod = 1.0;
+                for (s, &idx) in slices.iter().zip(indices) {
+                    prod *= s[idx];
+                    if prod == 0.0 {
+                        break;
+                    }
+                }
+                *p += prod;
+            },
+            |p, chunk| *p += chunk,
+        );
         p
     }
 
     /// Number of `4^k` terms the sparse contraction actually visits —
     /// exposed for the §IX ablation benchmark.
     pub fn visited_assignments(&self) -> usize {
-        self.for_each_assignment(|_| {})
+        let ((), visited) = self.run_contraction(|| (), |_, _| {}, |_, _| {});
+        visited
     }
 
     /// Expectation value of a Z-string observable `⟨Π_{q∈subset} Z_q⟩` on
@@ -289,18 +676,24 @@ impl<'a> Reconstructor<'a> {
                 out
             })
             .collect();
-        let mut num = 0.0;
-        let mut mass = 0.0;
-        self.for_each_assignment(|indices| {
-            let mut sprod = 1.0;
-            let mut tprod = 1.0;
-            for (f, &idx) in indices.iter().enumerate() {
-                sprod *= signed[f][idx];
-                tprod *= self.tensors[f].total(idx);
-            }
-            num += sprod;
-            mass += tprod;
-        });
+        let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
+        let ((num, mass), _) = self.run_contraction(
+            || (0.0f64, 0.0f64),
+            |acc, indices| {
+                let mut sprod = 1.0;
+                let mut tprod = 1.0;
+                for (f, &idx) in indices.iter().enumerate() {
+                    sprod *= signed[f][idx];
+                    tprod *= totals[f][idx];
+                }
+                acc.0 += sprod;
+                acc.1 += tprod;
+            },
+            |acc, chunk| {
+                acc.0 += chunk.0;
+                acc.1 += chunk.1;
+            },
+        );
         if mass.abs() > 1e-12 {
             (num / mass).clamp(-1.0, 1.0)
         } else {
@@ -314,7 +707,7 @@ mod tests {
     use super::*;
     use crate::cut::{cut_circuit, CutStrategy};
     use crate::evaluate::{EvalMode, EvalOptions};
-    use crate::tensor::{build_fragment_tensor, TensorOptions};
+    use crate::tensor::{build_fragment_tensor, synthetic_dense_chain, TensorOptions};
     use qcir::Circuit;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -329,9 +722,7 @@ mod tests {
         let tensors: Vec<FragmentTensor> = cut
             .fragments
             .iter()
-            .map(|f| {
-                build_fragment_tensor(f, &eval, &TensorOptions::default(), &mut rng).unwrap()
-            })
+            .map(|f| build_fragment_tensor(f, &eval, &TensorOptions::default(), &mut rng).unwrap())
             .collect();
         (tensors, cut.num_cuts, cut.original_qubits)
     }
@@ -420,8 +811,123 @@ mod tests {
         assert!((sparse.probability_of(&b) - dense.probability_of(&b)).abs() < 1e-12);
         let visited_sparse = sparse.visited_assignments();
         let visited_dense = dense.visited_assignments();
-        assert!(visited_sparse < visited_dense, "sparse must prune stabilizer zeros");
+        assert!(
+            visited_sparse < visited_dense,
+            "sparse must prune stabilizer zeros"
+        );
         assert_eq!(visited_dense, 1 << (2 * k));
+    }
+
+    fn joint_pairs(d: &metrics::Distribution) -> Vec<(Bits, f64)> {
+        d.iter().map(|(b, p)| (b.clone(), p)).collect()
+    }
+
+    /// All four query shapes are bit-identical between the sequential path
+    /// and the parallel path at 2 and 8 threads — on a real cut circuit
+    /// and on a synthetic k = 8 chain that spans 16 chunks.
+    #[test]
+    fn parallel_contraction_bit_identical_across_thread_counts() {
+        // Real circuit: mixed Clifford / non-Clifford fragments.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let (tensors, k, n) = reconstruct_exact(&c);
+        let queries = |threads: usize| {
+            let r = Reconstructor::new(&tensors, k, n).with_threads(threads);
+            (
+                r.total_mass(),
+                joint_pairs(&r.joint(1_000_000)),
+                r.marginals(),
+                r.probability_of(&Bits::from_u64(5, 3)),
+                r.expectation_z(&[0, 2]),
+            )
+        };
+        let seq = queries(1);
+        for threads in [2, 8] {
+            let par = queries(threads);
+            assert!(seq.0 == par.0, "total_mass at {threads} threads");
+            assert_eq!(seq.1, par.1, "joint at {threads} threads");
+            assert_eq!(seq.2, par.2, "marginals at {threads} threads");
+            assert!(seq.3 == par.3, "probability_of at {threads} threads");
+            assert!(seq.4 == par.4, "expectation_z at {threads} threads");
+        }
+
+        // Synthetic chain: k = 8 → 4^8 assignments over 16 chunks, dense.
+        let (tensors, n) = synthetic_dense_chain(8, 1);
+        let queries = |threads: usize| {
+            let r = Reconstructor::new(&tensors, 8, n)
+                .with_sparse(false)
+                .with_threads(threads);
+            (
+                r.total_mass(),
+                r.marginals(),
+                r.probability_of(&Bits::from_u64(0b10110101, n)),
+                r.expectation_z(&[0, 3, 7]),
+            )
+        };
+        let seq = queries(1);
+        for threads in [2, 8] {
+            let par = queries(threads);
+            assert!(seq.0 == par.0, "synthetic total_mass at {threads} threads");
+            assert_eq!(seq.1, par.1, "synthetic marginals at {threads} threads");
+            assert!(
+                seq.2 == par.2,
+                "synthetic probability_of at {threads} threads"
+            );
+            assert!(
+                seq.3 == par.3,
+                "synthetic expectation_z at {threads} threads"
+            );
+        }
+    }
+
+    /// `with_threads(0)` resolves to the available parallelism and still
+    /// matches the sequential result bit for bit.
+    #[test]
+    fn auto_thread_count_matches_sequential() {
+        let (tensors, n) = synthetic_dense_chain(7, 1);
+        let seq = Reconstructor::new(&tensors, 7, n).with_sparse(false);
+        let auto = seq.clone().with_threads(0);
+        assert!(seq.total_mass() == auto.total_mass());
+        assert_eq!(seq.marginals(), auto.marginals());
+    }
+
+    /// Sparse and dense contraction agree on a circuit whose fragments are
+    /// all Clifford except the isolated rotation (stabilizer zeros pruned)
+    /// and on a T-rich circuit whose fragments are non-Clifford.
+    #[test]
+    fn sparse_matches_dense_on_clifford_and_nonclifford_fragments() {
+        let mut clifford_heavy = Circuit::new(3);
+        clifford_heavy.h(0).cx(0, 1).cx(1, 2).t(2).h(2);
+        let mut t_rich = Circuit::new(2);
+        t_rich.h(0).t(0).h(0).t(0).cx(0, 1).h(1);
+        for (label, c) in [("clifford", clifford_heavy), ("t-rich", t_rich)] {
+            let (tensors, k, n) = reconstruct_exact(&c);
+            let sparse = Reconstructor::new(&tensors, k, n).with_threads(4);
+            let dense = Reconstructor::new(&tensors, k, n)
+                .with_sparse(false)
+                .with_threads(4);
+            assert!(
+                (sparse.total_mass() - dense.total_mass()).abs() < 1e-12,
+                "{label}: total mass"
+            );
+            for (s, d) in sparse.marginals().iter().zip(dense.marginals()) {
+                assert!(
+                    (s[0] - d[0]).abs() < 1e-12 && (s[1] - d[1]).abs() < 1e-12,
+                    "{label}: marginals"
+                );
+            }
+            for x in 0..1u64 << n {
+                let b = Bits::from_u64(x, n);
+                assert!(
+                    (sparse.probability_of(&b) - dense.probability_of(&b)).abs() < 1e-12,
+                    "{label}: p({b})"
+                );
+            }
+            assert!(
+                sparse.visited_assignments() <= dense.visited_assignments(),
+                "{label}: sparse must not visit more terms"
+            );
+        }
     }
 
     #[test]

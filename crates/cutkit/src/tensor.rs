@@ -25,10 +25,11 @@
 
 use crate::cut::Fragment;
 use crate::evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
-use crate::variants::enumerate_variants;
-use qcir::Bits;
+use crate::variants::{enumerate_variants, Variant};
+use qcir::{Bits, IndexPlan};
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Single-qubit conversion from preparation-state probabilities (columns:
 /// `|0⟩, |1⟩, |+⟩, |+i⟩`) to Pauli coefficients (rows: `I, X, Y, Z`).
@@ -130,9 +131,28 @@ impl FragmentTensor {
         self.totals[idx]
     }
 
+    /// All Pauli totals as one dense slice indexed by composite Pauli
+    /// index — the flat view the contraction hot loops read.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
     /// `Σ_{b: b[bit]=v} T[b, idx]`.
     pub fn marginal(&self, bit: usize, v: bool, idx: usize) -> f64 {
         self.marginals[bit][v as usize][idx]
+    }
+
+    /// Dense marginal slices (`v = 0`, `v = 1`) for one circuit-output
+    /// bit, indexed by composite Pauli index.
+    pub fn marginal_slices(&self, bit: usize) -> (&[f64], &[f64]) {
+        let m = &self.marginals[bit];
+        (&m[0], &m[1])
+    }
+
+    /// The dense coefficient slice of one observed outcome, `None` when
+    /// `b` was never observed.
+    pub fn coeffs(&self, b: &Bits) -> Option<&[f64]> {
+        self.entries.get(b).map(|v| v.as_slice())
     }
 
     /// `max_b |T[b, idx]|` — zero exactly when the whole Pauli slice
@@ -162,7 +182,11 @@ impl FragmentTensor {
     ///
     /// Panics if the vector length differs from [`FragmentTensor::pauli_dim`].
     pub fn set_entry(&mut self, b: Bits, coeffs: Vec<f64>) {
-        assert_eq!(coeffs.len(), self.pauli_dim(), "coefficient length mismatch");
+        assert_eq!(
+            coeffs.len(),
+            self.pauli_dim(),
+            "coefficient length mismatch"
+        );
         self.entries.insert(b, coeffs);
     }
 
@@ -201,6 +225,45 @@ impl FragmentTensor {
             .filter(|&i| self.slice_max[i] > tol)
             .collect()
     }
+
+    /// Builds a tensor directly from dense per-`b` coefficient vectors —
+    /// for synthetic-workload benchmarks and tests that need full control
+    /// over the cut structure without running a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a coefficient vector's length differs from
+    /// `4^(input_cuts + output_cuts)` or an outcome width differs from
+    /// `co_global.len()`.
+    pub fn from_dense_entries(
+        input_cuts: Vec<usize>,
+        output_cuts: Vec<usize>,
+        co_global: Vec<usize>,
+        entries: Vec<(Bits, Vec<f64>)>,
+    ) -> Self {
+        let qi = input_cuts.len();
+        let qo = output_cuts.len();
+        let dim = 1usize << (2 * (qi + qo));
+        let mut map = BTreeMap::new();
+        for (b, v) in entries {
+            assert_eq!(v.len(), dim, "coefficient length mismatch");
+            assert_eq!(b.len(), co_global.len(), "outcome width mismatch");
+            map.insert(b, v);
+        }
+        let mut tensor = FragmentTensor {
+            qi,
+            qo,
+            input_cuts,
+            output_cuts,
+            co_global,
+            entries: map,
+            totals: Vec::new(),
+            slice_max: Vec::new(),
+            marginals: Vec::new(),
+        };
+        tensor.rebuild_derived(1.0);
+        tensor
+    }
 }
 
 /// Builds the tomographic tensor of a fragment by evaluating all of its
@@ -227,26 +290,92 @@ fn variant_rng(base_seed: u64, variant_index: usize) -> rand::rngs::StdRng {
     )
 }
 
+/// Deterministic dense tensor chain with `k` cuts (`k + 1` fragments, each
+/// with `outputs_per_frag` circuit outputs), returned with the synthetic
+/// circuit width. Every Pauli slice is nonzero, so the sparse skip never
+/// prunes — the controlled workload used by the contraction benchmarks and
+/// the thread-count bit-identity tests.
+pub fn synthetic_dense_chain(k: usize, outputs_per_frag: usize) -> (Vec<FragmentTensor>, usize) {
+    let coeff = |f: usize, e: usize, i: usize| {
+        // Pseudo-random but fully deterministic nonzero coefficients.
+        let x = (f * 7919 + e * 104729 + i * 1299709) % 1000;
+        0.05 + x as f64 / 1000.0
+    };
+    let mut tensors = Vec::new();
+    for f in 0..=k {
+        let input_cuts = if f == 0 { vec![] } else { vec![f - 1] };
+        let output_cuts = if f == k { vec![] } else { vec![f] };
+        let co_global: Vec<usize> = (f * outputs_per_frag..(f + 1) * outputs_per_frag).collect();
+        let dim = 1usize << (2 * (input_cuts.len() + output_cuts.len()));
+        let entries: Vec<(Bits, Vec<f64>)> = (0..1u64 << outputs_per_frag)
+            .map(|e| {
+                (
+                    Bits::from_u64(e, outputs_per_frag),
+                    (0..dim).map(|i| coeff(f, e as usize, i)).collect(),
+                )
+            })
+            .collect();
+        tensors.push(FragmentTensor::from_dense_entries(
+            input_cuts,
+            output_cuts,
+            co_global,
+            entries,
+        ));
+    }
+    let n_qubits = (k + 1) * outputs_per_frag;
+    (tensors, n_qubits)
+}
+
+/// Per-fragment precomputed context shared by every variant evaluation.
+struct FragmentCtx<'f> {
+    fragment: &'f Fragment,
+    variants: Vec<Variant>,
+    /// Extraction plan for the circuit-output bits of a local outcome.
+    co_plan: IndexPlan,
+    /// Extraction plan for the quantum-output bits of a local outcome.
+    qo_plan: IndexPlan,
+    qo: usize,
+    dim: usize,
+    /// 1/3^t weights for averaging the 3^t basis variants compatible with
+    /// a Pauli pattern that has t identity digits.
+    inv3: Vec<f64>,
+}
+
+impl<'f> FragmentCtx<'f> {
+    fn new(fragment: &'f Fragment) -> Self {
+        let qi = fragment.quantum_inputs.len();
+        let qo = fragment.quantum_outputs.len();
+        let width = fragment.num_local_qubits();
+        let co_local: Vec<usize> = fragment.circuit_outputs.iter().map(|&(l, _)| l).collect();
+        let qo_local: Vec<usize> = fragment.quantum_outputs.iter().map(|&(l, _)| l).collect();
+        FragmentCtx {
+            fragment,
+            variants: enumerate_variants(fragment),
+            co_plan: IndexPlan::new(&co_local, width),
+            qo_plan: IndexPlan::new(&qo_local, width),
+            qo,
+            dim: 1usize << (2 * (qi + qo)),
+            inv3: (0..=qo).map(|t| 3f64.powi(-(t as i32))).collect(),
+        }
+    }
+}
+
 /// Accumulates one variant's outcome data into the prep-indexed tensor
 /// accumulator `M[b][s·4^qo + po]`.
-#[allow(clippy::too_many_arguments)]
 fn accumulate_variant(
     m: &mut BTreeMap<Bits, Vec<f64>>,
     data: Vec<(Bits, f64)>,
-    variant: &crate::variants::Variant,
-    co_local: &[usize],
-    qo_local: &[usize],
-    qo: usize,
-    dim: usize,
-    inv3: &[f64],
+    variant: &Variant,
+    ctx: &FragmentCtx<'_>,
 ) {
+    let qo = ctx.qo;
     let pow4_qo = 1usize << (2 * qo);
     let s = variant.prep_index();
     let basis_digits: Vec<usize> = variant.bases.iter().map(|b| b.pauli_digit()).collect();
     for (bits, p) in data {
-        let b = bits.extract(co_local);
-        let mv = m.entry(b).or_insert_with(|| vec![0.0; dim]);
-        let mbits: Vec<bool> = qo_local.iter().map(|&q| bits.get(q)).collect();
+        let b = ctx.co_plan.extract(&bits);
+        let mbits = ctx.qo_plan.extract(&bits);
+        let mv = m.entry(b).or_insert_with(|| vec![0.0; ctx.dim]);
         // Each subset of quantum outputs marks positions carrying the
         // variant's basis Pauli; the rest are identity.
         for subset in 0..(1usize << qo) {
@@ -255,96 +384,61 @@ fn accumulate_variant(
             for j in 0..qo {
                 let active = (subset >> (qo - 1 - j)) & 1 == 1;
                 po = po * 4 + if active { basis_digits[j] } else { 0 };
-                if active && mbits[j] {
+                if active && mbits.get(j) {
                     sign = -sign;
                 }
             }
             let t = qo - subset.count_ones() as usize;
-            mv[s * pow4_qo + po] += p * sign * inv3[t];
+            mv[s * pow4_qo + po] += p * sign * ctx.inv3[t];
         }
     }
 }
 
-/// Builds the tomographic tensor of a fragment, evaluating variants on up
-/// to `threads` worker threads (the paper's §X parallelization of
-/// per-variant simulation). Deterministic for a given `base_seed`
-/// regardless of thread count.
-///
-/// # Errors
-///
-/// Propagates [`EvalError`] from fragment evaluation.
-pub fn build_fragment_tensor_threaded(
-    fragment: &Fragment,
-    eval: &EvalOptions,
-    opts: &TensorOptions,
+/// Evaluates one (fragment, variant) work item into its own accumulator.
+fn evaluate_item(
+    ctx: &FragmentCtx<'_>,
+    vi: usize,
     base_seed: u64,
-    threads: usize,
-) -> Result<FragmentTensor, EvalError> {
-    let qi = fragment.quantum_inputs.len();
-    let qo = fragment.quantum_outputs.len();
-    let dim = 1usize << (2 * (qi + qo));
-    let co_local: Vec<usize> = fragment.circuit_outputs.iter().map(|&(l, _)| l).collect();
-    let co_global: Vec<usize> = fragment.circuit_outputs.iter().map(|&(_, g)| g).collect();
-    let qo_local: Vec<usize> = fragment.quantum_outputs.iter().map(|&(l, _)| l).collect();
-    let pow4_qo = 1usize << (2 * qo);
+    eval: &EvalOptions,
+) -> Result<BTreeMap<Bits, Vec<f64>>, EvalError> {
+    let mut rng = variant_rng(base_seed, vi);
+    let variant = &ctx.variants[vi];
+    let data = evaluate_variant(ctx.fragment, variant, eval, &mut rng)?;
+    let mut local = BTreeMap::new();
+    accumulate_variant(&mut local, data, variant, ctx);
+    Ok(local)
+}
 
-    // 1/3^t weights for averaging the 3^t basis variants compatible with a
-    // Pauli pattern that has t identity digits.
-    let inv3: Vec<f64> = (0..=qo).map(|t| 3f64.powi(-(t as i32))).collect();
-
-    let variants = enumerate_variants(fragment);
-    let threads = threads.clamp(1, variants.len().max(1));
-
-    // Intermediate accumulator M[b][s·4^qo + po]: prep-state-indexed.
-    let mut m: BTreeMap<Bits, Vec<f64>> = BTreeMap::new();
-    if threads <= 1 {
-        for (vi, variant) in variants.iter().enumerate() {
-            let mut rng = variant_rng(base_seed, vi);
-            let data = evaluate_variant(fragment, variant, eval, &mut rng)?;
-            accumulate_variant(&mut m, data, variant, &co_local, &qo_local, qo, dim, &inv3);
-        }
-    } else {
-        let chunk = variants.len().div_ceil(threads);
-        let partials: Vec<Result<BTreeMap<Bits, Vec<f64>>, EvalError>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (ci, slice) in variants.chunks(chunk).enumerate() {
-                    let co_local = &co_local;
-                    let qo_local = &qo_local;
-                    let inv3 = &inv3;
-                    handles.push(scope.spawn(move || {
-                        let mut local: BTreeMap<Bits, Vec<f64>> = BTreeMap::new();
-                        for (oi, variant) in slice.iter().enumerate() {
-                            let vi = ci * chunk + oi;
-                            let mut rng = variant_rng(base_seed, vi);
-                            let data = evaluate_variant(fragment, variant, eval, &mut rng)?;
-                            accumulate_variant(
-                                &mut local, data, variant, co_local, qo_local, qo, dim, inv3,
-                            );
-                        }
-                        Ok(local)
-                    }));
+/// Adds a variant accumulator into a fragment accumulator. The first
+/// contribution per outcome is moved (not added onto zeros), so folding
+/// variant accumulators in variant order reproduces direct sequential
+/// accumulation bit for bit.
+fn merge_accumulator(m: &mut BTreeMap<Bits, Vec<f64>>, local: BTreeMap<Bits, Vec<f64>>) {
+    for (b, v) in local {
+        match m.entry(b) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                for (a, x) in e.get_mut().iter_mut().zip(&v) {
+                    *a += x;
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("variant worker panicked"))
-                    .collect()
-            });
-        for partial in partials {
-            for (b, v) in partial? {
-                match m.entry(b) {
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        for (a, x) in e.get_mut().iter_mut().zip(&v) {
-                            *a += x;
-                        }
-                    }
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert(v);
-                    }
-                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(v);
             }
         }
     }
+}
+
+/// Finishes a fragment tensor from its accumulated variant data: optional
+/// Clifford snap, prep→Pauli axis conversion, derived sums.
+fn finalize_fragment_tensor(
+    fragment: &Fragment,
+    mut m: BTreeMap<Bits, Vec<f64>>,
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+) -> FragmentTensor {
+    let qi = fragment.quantum_inputs.len();
+    let qo = fragment.quantum_outputs.len();
+    let pow4_qo = 1usize << (2 * qo);
 
     // Optional Clifford snap: conditional expectations of stabilizer states
     // are exactly -1, 0, or +1. Noisy fragments prepare *mixed* states with
@@ -382,14 +476,171 @@ pub fn build_fragment_tensor_threaded(
         qo,
         input_cuts: fragment.quantum_inputs.iter().map(|&(_, c)| c).collect(),
         output_cuts: fragment.quantum_outputs.iter().map(|&(_, c)| c).collect(),
-        co_global,
+        co_global: fragment.circuit_outputs.iter().map(|&(_, g)| g).collect(),
         entries: m,
         totals: Vec::new(),
         slice_max: Vec::new(),
         marginals: Vec::new(),
     };
     tensor.rebuild_derived(1.0);
-    Ok(tensor)
+    tensor
+}
+
+/// Evaluates several fragments' variants on **one shared worker pool** (the
+/// paper's §X parallelization, lifted to the whole evaluation stage): every
+/// (fragment × variant) pair is an independent work item, so a lone
+/// expensive fragment no longer serializes the pipeline behind its
+/// neighbours.
+///
+/// Items are processed in fixed-size chunks ([`VARIANTS_PER_CHUNK`], a
+/// constant independent of the worker count): each chunk folds its
+/// variants' accumulators per fragment in item order, and chunk partials
+/// are merged in chunk order. The sequential path uses the identical
+/// structure, which makes the result **bit-identical for any `threads`
+/// value** (including 1) given the same `base_seeds`, while bounding
+/// retained accumulators to one per chunk.
+///
+/// # Errors
+///
+/// Propagates the [`EvalError`] of the earliest failing chunk (in chunk
+/// order) among the work that ran before the pool stopped.
+///
+/// # Panics
+///
+/// Panics if `base_seeds.len() != fragments.len()`.
+pub fn evaluate_fragment_tensors(
+    fragments: &[Fragment],
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    base_seeds: &[u64],
+    threads: usize,
+) -> Result<Vec<FragmentTensor>, EvalError> {
+    assert_eq!(
+        fragments.len(),
+        base_seeds.len(),
+        "one base seed per fragment required"
+    );
+    let ctxs: Vec<FragmentCtx<'_>> = fragments.iter().map(FragmentCtx::new).collect();
+    let items: Vec<(usize, usize)> = ctxs
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, ctx)| (0..ctx.variants.len()).map(move |vi| (fi, vi)))
+        .collect();
+    let chunks: Vec<&[(usize, usize)]> = items.chunks(VARIANTS_PER_CHUNK).collect();
+    let threads = threads.clamp(1, chunks.len().max(1));
+
+    let mut maps: Vec<BTreeMap<Bits, Vec<f64>>> =
+        fragments.iter().map(|_| BTreeMap::new()).collect();
+
+    if threads <= 1 {
+        // Sequential path: evaluate and fold one chunk at a time (peak
+        // retention: one chunk accumulator). Chunk decomposition and merge
+        // order match the parallel path exactly, so results are
+        // bit-identical for any thread count.
+        for chunk in &chunks {
+            for (fi, m) in evaluate_item_chunk(&ctxs, base_seeds, chunk, eval)? {
+                merge_accumulator(&mut maps[fi], m);
+            }
+        }
+    } else {
+        // Parallel path: workers claim chunks dynamically; completed chunk
+        // accumulators (already folded per fragment within the chunk) are
+        // merged in chunk order after the join.
+        type ChunkResult = Result<Vec<(usize, BTreeMap<Bits, Vec<f64>>)>, EvalError>;
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let mut results: Vec<(usize, ChunkResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let ci = next.fetch_add(1, Ordering::Relaxed);
+                            if ci >= chunks.len() || failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let r = evaluate_item_chunk(&ctxs, base_seeds, chunks[ci], eval);
+                            if r.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            out.push((ci, r));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("variant worker panicked"))
+                .collect()
+        });
+        results.sort_by_key(|&(ci, _)| ci);
+        // Merge in chunk order; the first error in chunk order wins
+        // (chunks skipped by the early exit contribute nothing — the maps
+        // are discarded once the error is returned).
+        for (_, r) in results {
+            for (fi, m) in r? {
+                merge_accumulator(&mut maps[fi], m);
+            }
+        }
+    }
+
+    Ok(maps
+        .into_iter()
+        .zip(fragments)
+        .map(|(m, fragment)| finalize_fragment_tensor(fragment, m, eval, opts))
+        .collect())
+}
+
+/// Work items per evaluation-pool chunk. Fixed (not derived from the
+/// thread count) so the fold structure — and therefore every float-merge
+/// association — is identical for any parallelism, while bounding retained
+/// accumulators to one per chunk instead of one per variant.
+const VARIANTS_PER_CHUNK: usize = 16;
+
+/// Evaluates one chunk of (fragment, variant) items, folding accumulators
+/// per fragment in item order. Items arrive sorted by fragment, so a
+/// chunk's output holds one entry per fragment it touches.
+fn evaluate_item_chunk(
+    ctxs: &[FragmentCtx<'_>],
+    base_seeds: &[u64],
+    chunk: &[(usize, usize)],
+    eval: &EvalOptions,
+) -> Result<Vec<(usize, BTreeMap<Bits, Vec<f64>>)>, EvalError> {
+    let mut out: Vec<(usize, BTreeMap<Bits, Vec<f64>>)> = Vec::new();
+    for &(fi, vi) in chunk {
+        let local = evaluate_item(&ctxs[fi], vi, base_seeds[fi], eval)?;
+        match out.last_mut() {
+            Some((f, m)) if *f == fi => merge_accumulator(m, local),
+            _ => out.push((fi, local)),
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the tomographic tensor of a fragment, evaluating variants on up
+/// to `threads` worker threads (the paper's §X parallelization of
+/// per-variant simulation). Deterministic for a given `base_seed`
+/// regardless of thread count.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from fragment evaluation.
+pub fn build_fragment_tensor_threaded(
+    fragment: &Fragment,
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    base_seed: u64,
+    threads: usize,
+) -> Result<FragmentTensor, EvalError> {
+    let mut tensors = evaluate_fragment_tensors(
+        std::slice::from_ref(fragment),
+        eval,
+        opts,
+        &[base_seed],
+        threads,
+    )?;
+    Ok(tensors.pop().expect("one tensor per fragment"))
 }
 
 /// In-place contraction of one base-4 axis (identified by its stride) with
@@ -578,7 +829,10 @@ mod tests {
         let t = build_fragment_tensor(up, &exact_opts(), &TensorOptions::default(), &mut rng())
             .unwrap();
         let nonzero = t.nonzero_indices(1e-9).len();
-        assert!(nonzero <= 4, "Bell-pair upstream should have ≤4 nonzero Paulis, got {nonzero}");
+        assert!(
+            nonzero <= 4,
+            "Bell-pair upstream should have ≤4 nonzero Paulis, got {nonzero}"
+        );
     }
 
     #[test]
@@ -592,11 +846,9 @@ mod tests {
         };
         for f in &cut.fragments {
             let seq =
-                build_fragment_tensor_threaded(f, &eval, &TensorOptions::default(), 99, 1)
-                    .unwrap();
+                build_fragment_tensor_threaded(f, &eval, &TensorOptions::default(), 99, 1).unwrap();
             let par =
-                build_fragment_tensor_threaded(f, &eval, &TensorOptions::default(), 99, 4)
-                    .unwrap();
+                build_fragment_tensor_threaded(f, &eval, &TensorOptions::default(), 99, 4).unwrap();
             assert_eq!(seq.support_len(), par.support_len());
             for (b, v) in seq.iter() {
                 for (i, &x) in v.iter().enumerate() {
@@ -604,6 +856,46 @@ mod tests {
                         (par.value(b, i) - x).abs() < 1e-12,
                         "thread count changed results at {b}, idx {i}"
                     );
+                }
+            }
+        }
+    }
+
+    /// The shared-pool evaluator is bit-identical across thread counts and
+    /// matches the per-fragment path given the same base seeds.
+    #[test]
+    fn pooled_evaluation_bit_identical_across_thread_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).t(2).h(2);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let eval = EvalOptions {
+            mode: EvalMode::Sampled { shots: 400 },
+            ..Default::default()
+        };
+        let seeds: Vec<u64> = (0..cut.fragments.len() as u64).map(|i| 1000 + i).collect();
+        let opts = TensorOptions::default();
+        let seq = evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, 1).unwrap();
+        for threads in [2, 8] {
+            let par =
+                evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, threads).unwrap();
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.support_len(), p.support_len());
+                for (b, v) in s.iter() {
+                    for (i, &x) in v.iter().enumerate() {
+                        assert!(
+                            p.value(b, i) == x,
+                            "pool with {threads} threads changed results at {b}, idx {i}"
+                        );
+                    }
+                }
+            }
+        }
+        // The single-fragment wrapper goes through the same pool.
+        for (fi, f) in cut.fragments.iter().enumerate() {
+            let one = build_fragment_tensor_threaded(f, &eval, &opts, seeds[fi], 3).unwrap();
+            for (b, v) in one.iter() {
+                for (i, &x) in v.iter().enumerate() {
+                    assert!(seq[fi].value(b, i) == x, "wrapper mismatch at {b}, idx {i}");
                 }
             }
         }

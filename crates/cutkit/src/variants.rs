@@ -210,7 +210,7 @@ mod tests {
         let f = t_fragment();
         let variants = enumerate_variants(&f);
         assert_eq!(variants.len(), 12); // 4^1 · 3^1
-        // All distinct.
+                                        // All distinct.
         for i in 0..variants.len() {
             for j in (i + 1)..variants.len() {
                 assert_ne!(variants[i], variants[j]);

@@ -263,10 +263,7 @@ impl ChState {
             } else {
                 1.0
             };
-        self.omega
-            * C64::i_pow(self.u.sigma(&y) as i64)
-            * C64::i_pow(2 * sign as i64)
-            * mag
+        self.omega * C64::i_pow(self.u.sigma(&y) as i64) * C64::i_pow(2 * sign as i64) * mag
     }
 
     /// The full state vector (test helper; `n ≤ 12`).
@@ -286,7 +283,7 @@ impl ChState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcir::{Circuit, Gate, Qubit};
+    use qcir::{Circuit, Gate};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use svsim::StateVec;
@@ -421,7 +418,10 @@ mod tests {
                 }
             }
             let norm: f64 = ch.to_statevector().iter().map(|a| a.norm_sqr()).sum();
-            assert!((norm - 1.0).abs() < 1e-9, "norm drifted: {norm} (trial {trial})");
+            assert!(
+                (norm - 1.0).abs() < 1e-9,
+                "norm drifted: {norm} (trial {trial})"
+            );
         }
     }
 }

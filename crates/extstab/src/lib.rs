@@ -449,7 +449,12 @@ mod tests {
     #[test]
     fn zpow_and_rotations_match() {
         let mut c = Circuit::new(2);
-        c.h(0).zpow(0, 0.3).cx(0, 1).rz(1, 0.9).rx(0, 0.4).ry(1, 1.2);
+        c.h(0)
+            .zpow(0, 0.3)
+            .cx(0, 1)
+            .rz(1, 0.9)
+            .rx(0, 0.4)
+            .ry(1, 1.2);
         assert_amplitudes_match(&c, "generic rotations");
     }
 

@@ -32,8 +32,7 @@ use std::collections::BTreeMap;
 /// assert!((d.prob(&Bits::parse("00").unwrap()) - 0.5).abs() < 1e-12);
 /// assert_eq!(d.marginal(0), [0.5, 0.5]);
 /// ```
-#[derive(Clone, Debug, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Distribution {
     n_bits: usize,
     probs: BTreeMap<Bits, f64>,
@@ -237,8 +236,7 @@ impl Distribution {
     ///
     /// Panics when sampling from an empty distribution.
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
-        let entries: Vec<(&Bits, f64)> =
-            self.probs.iter().map(|(b, &p)| (b, p.max(0.0))).collect();
+        let entries: Vec<(&Bits, f64)> = self.probs.iter().map(|(b, &p)| (b, p.max(0.0))).collect();
         let total: f64 = entries.iter().map(|(_, p)| p).sum();
         let mut out = Vec::with_capacity(shots);
         for _ in 0..shots {

@@ -24,7 +24,7 @@
 //! ```
 
 use qcir::{Bits, Circuit, Gate, OpKind, Qubit};
-use qmath::{svd, C64, CMat};
+use qmath::{svd, CMat, C64};
 use rand::Rng;
 use std::fmt;
 
@@ -245,8 +245,7 @@ impl MpsState {
                             if g2 == C64::ZERO {
                                 continue;
                             }
-                            theta[((aa * 2 + s1) * 2 + s2) * dr + cc] +=
-                                g1 * g2 * (w1 * lam_r[cc]);
+                            theta[((aa * 2 + s1) * 2 + s2) * dr + cc] += g1 * g2 * (w1 * lam_r[cc]);
                         }
                     }
                 }
@@ -274,8 +273,7 @@ impl MpsState {
             for s1 in 0..2 {
                 for s2 in 0..2 {
                     for cc in 0..dr {
-                        m[(aa * 2 + s1, s2 * dr + cc)] =
-                            theta2[((aa * 2 + s1) * 2 + s2) * dr + cc];
+                        m[(aa * 2 + s1, s2 * dr + cc)] = theta2[((aa * 2 + s1) * 2 + s2) * dr + cc];
                     }
                 }
             }
@@ -304,7 +302,11 @@ impl MpsState {
         // Rebuild site tensors, dividing the outer λ's back out.
         let mut left = Site::zeros(dl, keep);
         for aa in 0..dl {
-            let inv = if lam_l[aa] > 1e-12 { 1.0 / lam_l[aa] } else { 0.0 };
+            let inv = if lam_l[aa] > 1e-12 {
+                1.0 / lam_l[aa]
+            } else {
+                0.0
+            };
             for s1 in 0..2 {
                 for k in 0..keep {
                     left.set(aa, s1, k, dec.u[(aa * 2 + s1, k)] * inv);
@@ -315,7 +317,11 @@ impl MpsState {
         for k in 0..keep {
             for s2 in 0..2 {
                 for cc in 0..dr {
-                    let inv = if lam_r[cc] > 1e-12 { 1.0 / lam_r[cc] } else { 0.0 };
+                    let inv = if lam_r[cc] > 1e-12 {
+                        1.0 / lam_r[cc]
+                    } else {
+                        0.0
+                    };
                     // V† row k, column (s2·dr + c).
                     right.set(k, s2, cc, dec.v[(s2 * dr + cc, k)].conj() * inv);
                 }
@@ -350,7 +356,11 @@ impl MpsState {
             for (l, &vl) in v.iter().enumerate() {
                 acc += vl * t.get(l, s, r);
             }
-            let lam = if i < self.n - 1 { self.bonds[i][r] } else { 1.0 };
+            let lam = if i < self.n - 1 {
+                self.bonds[i][r]
+            } else {
+                1.0
+            };
             *slot = acc * lam;
         }
         out
@@ -508,8 +518,14 @@ mod tests {
                     match rng.random_range(0..7) {
                         0 => c.h(rng.random_range(0..n)),
                         1 => c.t(rng.random_range(0..n)),
-                        2 => c.rx(rng.random_range(0..n), rng.random::<f64>() * std::f64::consts::TAU),
-                        3 => c.ry(rng.random_range(0..n), rng.random::<f64>() * std::f64::consts::TAU),
+                        2 => c.rx(
+                            rng.random_range(0..n),
+                            rng.random::<f64>() * std::f64::consts::TAU,
+                        ),
+                        3 => c.ry(
+                            rng.random_range(0..n),
+                            rng.random::<f64>() * std::f64::consts::TAU,
+                        ),
                         4 => c.s(rng.random_range(0..n)),
                         _ => {
                             let a = rng.random_range(0..n);

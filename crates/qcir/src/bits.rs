@@ -18,8 +18,12 @@ use std::fmt;
 /// ```
 ///
 /// [`Display`]: std::fmt::Display
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+///
+/// Invariant: bits at positions `len..` of the backing words are always
+/// zero — every constructor and mutator maintains this, which lets the
+/// word-level kernels ([`Bits::extract`], [`Bits::concat`],
+/// [`Bits::scatter`]) copy whole words without masking.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct Bits {
     len: usize,
     words: Vec<u64>,
@@ -45,7 +49,11 @@ impl Bits {
         assert!(len <= 64, "from_u64 supports at most 64 bits");
         let mut b = Bits::zeros(len);
         if len > 0 {
-            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let mask = if len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
             b.words[0] = value & mask;
         }
         b
@@ -173,27 +181,65 @@ impl Bits {
         }
     }
 
+    /// Overwrites `self` with `other`'s bits without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Extracts the bits at `indices` (in order) into a new bitstring.
+    ///
+    /// Word-level kernel: output bits are packed into 64-bit accumulators
+    /// instead of being set one at a time.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn extract(&self, indices: &[usize]) -> Bits {
         let mut out = Bits::zeros(indices.len());
+        let mut acc = 0u64;
+        let mut w = 0;
         for (k, &i) in indices.iter().enumerate() {
-            out.set(k, self.get(i));
+            assert!(i < self.len, "bit index {i} out of range {}", self.len);
+            let bit = (self.words[i >> 6] >> (i & 63)) & 1;
+            acc |= bit << (k & 63);
+            if k & 63 == 63 {
+                out.words[w] = acc;
+                acc = 0;
+                w += 1;
+            }
+        }
+        if indices.len() & 63 != 0 {
+            out.words[w] = acc;
         }
         out
     }
 
     /// Concatenates two bitstrings (`self` occupies the low bit positions).
+    ///
+    /// Word-level kernel: `other`'s words are shifted into place instead of
+    /// copying bit by bit.
     pub fn concat(&self, other: &Bits) -> Bits {
-        let mut out = Bits::zeros(self.len + other.len);
-        for i in 0..self.len {
-            out.set(i, self.get(i));
-        }
-        for i in 0..other.len {
-            out.set(self.len + i, other.get(i));
+        let len = self.len + other.len;
+        let mut out = Bits::zeros(len);
+        out.words[..self.words.len()].copy_from_slice(&self.words);
+        let base = self.len >> 6;
+        let shift = self.len & 63;
+        if shift == 0 {
+            out.words[base..base + other.words.len()].copy_from_slice(&other.words);
+        } else {
+            for (j, &w) in other.words.iter().enumerate() {
+                out.words[base + j] |= w << shift;
+                let carry = w >> (64 - shift);
+                if carry != 0 {
+                    out.words[base + j + 1] |= carry;
+                }
+            }
         }
         out
     }
@@ -213,7 +259,10 @@ impl Bits {
         assert_eq!(positions.len(), self.len, "positions/len mismatch");
         let mut out = Bits::zeros(total_len);
         for (k, &p) in positions.iter().enumerate() {
-            out.set(p, self.get(k));
+            assert!(p < total_len, "bit index {p} out of range {total_len}");
+            // The output starts zeroed, so an OR suffices.
+            let bit = (self.words[k >> 6] >> (k & 63)) & 1;
+            out.words[p >> 6] |= bit << (p & 63);
         }
         out
     }
@@ -226,7 +275,104 @@ impl Bits {
     pub fn scatter_into(&self, positions: &[usize], target: &mut Bits) {
         assert_eq!(positions.len(), self.len, "positions/len mismatch");
         for (k, &p) in positions.iter().enumerate() {
-            target.set(p, self.get(k));
+            assert!(p < target.len, "bit index {p} out of range {}", target.len);
+            let bit = (self.words[k >> 6] >> (k & 63)) & 1;
+            let m = 1u64 << (p & 63);
+            let w = &mut target.words[p >> 6];
+            *w = (*w & !m) | (bit << (p & 63));
+        }
+    }
+}
+
+/// Precomputed word/shift tables for repeated [`Bits::extract`] /
+/// [`Bits::scatter_into`] over a fixed index list.
+///
+/// The cutting pipeline extracts the same index lists (a fragment's
+/// circuit-output positions, its global qubit positions) once per sampled
+/// outcome and once per cut assignment; a plan hoists the per-index
+/// division/mask arithmetic and the bounds checks out of those hot loops.
+#[derive(Clone, Debug)]
+pub struct IndexPlan {
+    domain_len: usize,
+    /// Word index of each position in the domain-side bitstring.
+    word: Vec<u32>,
+    /// Bit shift of each position within its word.
+    shift: Vec<u8>,
+}
+
+impl IndexPlan {
+    /// Builds a plan for `indices` into bitstrings of length `domain_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn new(indices: &[usize], domain_len: usize) -> Self {
+        let mut word = Vec::with_capacity(indices.len());
+        let mut shift = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < domain_len, "bit index {i} out of range {domain_len}");
+            word.push((i >> 6) as u32);
+            shift.push((i & 63) as u8);
+        }
+        IndexPlan {
+            domain_len,
+            word,
+            shift,
+        }
+    }
+
+    /// Number of planned indices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.word.len()
+    }
+
+    /// Returns `true` when the plan covers no indices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.word.is_empty()
+    }
+
+    /// Equivalent of `src.extract(indices)` using the precomputed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the plan's domain length.
+    pub fn extract(&self, src: &Bits) -> Bits {
+        assert_eq!(src.len, self.domain_len, "domain length mismatch");
+        let mut out = Bits::zeros(self.len());
+        let mut acc = 0u64;
+        let mut w = 0;
+        for k in 0..self.len() {
+            let bit = (src.words[self.word[k] as usize] >> self.shift[k]) & 1;
+            acc |= bit << (k & 63);
+            if k & 63 == 63 {
+                out.words[w] = acc;
+                acc = 0;
+                w += 1;
+            }
+        }
+        if self.len() & 63 != 0 {
+            out.words[w] = acc;
+        }
+        out
+    }
+
+    /// Equivalent of `src.scatter_into(indices, target)` using the
+    /// precomputed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the plan length or `target.len()`
+    /// from the plan's domain length.
+    pub fn scatter_into(&self, src: &Bits, target: &mut Bits) {
+        assert_eq!(src.len, self.len(), "source length mismatch");
+        assert_eq!(target.len, self.domain_len, "domain length mismatch");
+        for k in 0..self.len() {
+            let bit = (src.words[k >> 6] >> (k & 63)) & 1;
+            let m = 1u64 << self.shift[k];
+            let w = &mut target.words[self.word[k] as usize];
+            *w = (*w & !m) | (bit << self.shift[k]);
         }
     }
 }
@@ -341,5 +487,121 @@ mod tests {
     fn out_of_range_get_panics() {
         let b = Bits::zeros(3);
         let _ = b.get(3);
+    }
+
+    /// Bit-at-a-time reference implementations the word-level kernels are
+    /// checked against.
+    mod reference {
+        use super::Bits;
+
+        pub fn extract(src: &Bits, indices: &[usize]) -> Bits {
+            let mut out = Bits::zeros(indices.len());
+            for (k, &i) in indices.iter().enumerate() {
+                out.set(k, src.get(i));
+            }
+            out
+        }
+
+        pub fn concat(a: &Bits, b: &Bits) -> Bits {
+            let mut out = Bits::zeros(a.len() + b.len());
+            for i in 0..a.len() {
+                out.set(i, a.get(i));
+            }
+            for i in 0..b.len() {
+                out.set(a.len() + i, b.get(i));
+            }
+            out
+        }
+
+        pub fn scatter_into(src: &Bits, positions: &[usize], target: &mut Bits) {
+            for (k, &p) in positions.iter().enumerate() {
+                target.set(p, src.get(k));
+            }
+        }
+    }
+
+    fn patterned(len: usize, seed: u64) -> Bits {
+        let mut b = Bits::zeros(len);
+        let mut x = seed | 1;
+        for i in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.set(i, x >> 63 == 1);
+        }
+        b
+    }
+
+    #[test]
+    fn word_level_kernels_match_reference_across_boundaries() {
+        for &len in &[1usize, 7, 63, 64, 65, 127, 128, 130, 200] {
+            let src = patterned(len, len as u64);
+            // Strided + reversed index lists exercise unordered access.
+            let indices: Vec<usize> = (0..len).step_by(3).collect();
+            let rev: Vec<usize> = (0..len).rev().step_by(2).collect();
+            for idx in [&indices, &rev] {
+                assert_eq!(
+                    src.extract(idx),
+                    reference::extract(&src, idx),
+                    "extract len {len}"
+                );
+                let small = patterned(idx.len(), 99 + len as u64);
+                let mut a = patterned(len, 7);
+                let mut b = a.clone();
+                small.scatter_into(idx, &mut a);
+                reference::scatter_into(&small, idx, &mut b);
+                assert_eq!(a, b, "scatter_into len {len}");
+                assert_eq!(
+                    small.scatter(idx, len),
+                    {
+                        let mut z = Bits::zeros(len);
+                        reference::scatter_into(&small, idx, &mut z);
+                        z
+                    },
+                    "scatter len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_matches_reference_across_boundaries() {
+        for &la in &[0usize, 1, 63, 64, 65, 130] {
+            for &lb in &[0usize, 1, 63, 64, 65, 130] {
+                let a = patterned(la, la as u64 + 1);
+                let b = patterned(lb, lb as u64 + 2);
+                assert_eq!(a.concat(&b), reference::concat(&a, &b), "concat {la}+{lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_plan_matches_direct_kernels() {
+        let src = patterned(130, 5);
+        let indices: Vec<usize> = vec![0, 63, 64, 65, 129, 1, 128];
+        let plan = IndexPlan::new(&indices, 130);
+        assert_eq!(plan.len(), indices.len());
+        assert!(!plan.is_empty());
+        assert_eq!(plan.extract(&src), src.extract(&indices));
+        let small = patterned(indices.len(), 11);
+        let mut a = patterned(130, 17);
+        let mut b = a.clone();
+        plan.scatter_into(&small, &mut a);
+        small.scatter_into(&indices, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_plan_out_of_range_panics() {
+        let _ = IndexPlan::new(&[4], 4);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let src = patterned(130, 3);
+        let mut dst = Bits::zeros(130);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 }

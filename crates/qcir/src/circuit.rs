@@ -10,8 +10,7 @@ use std::fmt;
 /// Measurement is implicit: every circuit is measured on all qubits in the
 /// computational basis at the end, matching the sampler-style evaluation of
 /// the SuperSim paper (5000-shot distributions).
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum OpKind {
     /// A unitary gate.
     Gate(Gate),
@@ -20,8 +19,7 @@ pub enum OpKind {
 }
 
 /// A single operation: an [`OpKind`] applied to an ordered list of qubits.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Operation {
     /// What is applied.
     pub kind: OpKind,
@@ -99,8 +97,7 @@ impl Operation {
 /// assert_eq!(bell.len(), 2);
 /// assert!(bell.is_clifford());
 /// ```
-#[derive(Clone, Debug, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Circuit {
     num_qubits: usize,
     ops: Vec<Operation>,
@@ -365,7 +362,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit({} qubits, {} ops):", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "Circuit({} qubits, {} ops):",
+            self.num_qubits,
+            self.len()
+        )?;
         for op in &self.ops {
             let qs: Vec<String> = op.qubits.iter().map(|q| q.to_string()).collect();
             writeln!(f, "  {} {}", op.name(), qs.join(", "))?;

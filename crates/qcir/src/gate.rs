@@ -1,6 +1,6 @@
 //! The unitary gate set and Pauli noise channels.
 
-use qmath::{C64, CMat};
+use qmath::{CMat, C64};
 use std::f64::consts::{FRAC_1_SQRT_2, PI};
 
 /// The canonical Clifford gates understood by the stabilizer simulator.
@@ -9,8 +9,7 @@ use std::f64::consts::{FRAC_1_SQRT_2, PI};
 /// `Rz(π/2)`) normalize to one of these via [`Gate::to_clifford`]; the
 /// normalization is exact up to global phase, which is unobservable in
 /// measurement statistics.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum CliffordGate {
     /// Identity.
     I,
@@ -115,8 +114,7 @@ impl From<CliffordGate> for Gate {
 /// Two-qubit gates act on `(first, second)` qubit order with the first qubit
 /// as the most significant bit of the 4-dimensional local basis, i.e.
 /// `index = 2·bit_first + bit_second`.
-#[derive(Copy, Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Gate {
     /// Identity.
     I,
@@ -302,9 +300,7 @@ impl Gate {
             Gate::SqrtYdg => Gate::SqrtY.unitary().adjoint(),
             Gate::T => CMat::from_rows(&[&[l, o], &[o, C64::cis(PI / 4.0)]]),
             Gate::Tdg => CMat::from_rows(&[&[l, o], &[o, C64::cis(-PI / 4.0)]]),
-            Gate::Rz(t) => {
-                CMat::from_rows(&[&[C64::cis(-t / 2.0), o], &[o, C64::cis(t / 2.0)]])
-            }
+            Gate::Rz(t) => CMat::from_rows(&[&[C64::cis(-t / 2.0), o], &[o, C64::cis(t / 2.0)]]),
             Gate::Rx(t) => {
                 let c = C64::real((t / 2.0).cos());
                 let s = C64::new(0.0, -(t / 2.0).sin());
@@ -316,30 +312,18 @@ impl Gate {
                 CMat::from_rows(&[&[c, -s], &[s, c]])
             }
             Gate::ZPow(a) => CMat::from_rows(&[&[l, o], &[o, C64::cis(PI * a)]]),
-            Gate::Cx => CMat::from_rows(&[
-                &[l, o, o, o],
-                &[o, l, o, o],
-                &[o, o, o, l],
-                &[o, o, l, o],
-            ]),
-            Gate::Cy => CMat::from_rows(&[
-                &[l, o, o, o],
-                &[o, l, o, o],
-                &[o, o, o, -i],
-                &[o, o, i, o],
-            ]),
-            Gate::Cz => CMat::from_rows(&[
-                &[l, o, o, o],
-                &[o, l, o, o],
-                &[o, o, l, o],
-                &[o, o, o, -l],
-            ]),
-            Gate::Swap => CMat::from_rows(&[
-                &[l, o, o, o],
-                &[o, o, l, o],
-                &[o, l, o, o],
-                &[o, o, o, l],
-            ]),
+            Gate::Cx => {
+                CMat::from_rows(&[&[l, o, o, o], &[o, l, o, o], &[o, o, o, l], &[o, o, l, o]])
+            }
+            Gate::Cy => {
+                CMat::from_rows(&[&[l, o, o, o], &[o, l, o, o], &[o, o, o, -i], &[o, o, i, o]])
+            }
+            Gate::Cz => {
+                CMat::from_rows(&[&[l, o, o, o], &[o, l, o, o], &[o, o, l, o], &[o, o, o, -l]])
+            }
+            Gate::Swap => {
+                CMat::from_rows(&[&[l, o, o, o], &[o, o, l, o], &[o, l, o, o], &[o, o, o, l]])
+            }
         }
     }
 
@@ -375,8 +359,7 @@ impl Gate {
 ///
 /// These are the only noise processes a stabilizer simulator can represent
 /// (the paper's §III-A); the Pauli-frame simulator applies them per shot.
-#[derive(Copy, Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum NoiseChannel {
     /// Applies X with probability `p`.
     BitFlip(f64),
@@ -444,7 +427,10 @@ mod tests {
         assert_eq!(Gate::Rz(2.0 * PI).to_clifford(), Some(CliffordGate::I));
         assert_eq!(Gate::Rz(PI / 4.0).to_clifford(), None);
         assert_eq!(Gate::Rx(PI / 2.0).to_clifford(), Some(CliffordGate::SqrtX));
-        assert_eq!(Gate::Ry(-PI / 2.0).to_clifford(), Some(CliffordGate::SqrtYdg));
+        assert_eq!(
+            Gate::Ry(-PI / 2.0).to_clifford(),
+            Some(CliffordGate::SqrtYdg)
+        );
         assert_eq!(Gate::ZPow(0.5).to_clifford(), Some(CliffordGate::S));
         assert_eq!(Gate::ZPow(1.0).to_clifford(), Some(CliffordGate::Z));
         assert_eq!(Gate::ZPow(0.25).to_clifford(), None);

@@ -32,7 +32,7 @@ mod gate;
 mod pauli;
 pub mod text;
 
-pub use bits::Bits;
+pub use bits::{Bits, IndexPlan};
 pub use circuit::{Circuit, OpKind, Operation};
 pub use gate::{CliffordGate, Gate, NoiseChannel};
 pub use pauli::{Pauli, PauliString};
@@ -40,8 +40,9 @@ pub use pauli::{Pauli, PauliString};
 /// A qubit wire index in a circuit.
 ///
 /// Plain `usize` newtype; qubit `k` is the `k`-th wire of a [`Circuit`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Qubit(pub usize);
 
 impl Qubit {

@@ -7,8 +7,9 @@ use std::fmt;
 ///
 /// The index order `I, X, Y, Z` (0..4) is the convention used for the
 /// 4-valued cut indices in the circuit-cutting tensors.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Pauli {
     /// Identity.
     I,
@@ -117,8 +118,7 @@ impl fmt::Display for Pauli {
 /// assert_eq!(p.pauli(0), Pauli::Z);
 /// assert_eq!(p.phase(), 0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct PauliString {
     phase: u8, // exponent of i, mod 4
     paulis: Vec<Pauli>,
@@ -213,7 +213,9 @@ impl PauliString {
 
     /// Indices of non-identity positions.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&q| self.paulis[q] != Pauli::I).collect()
+        (0..self.len())
+            .filter(|&q| self.paulis[q] != Pauli::I)
+            .collect()
     }
 
     /// Returns `true` when the string is `±i^k · I⊗…⊗I`.
@@ -268,7 +270,15 @@ impl PauliString {
         use CliffordGate as G;
         match gate {
             G::I => {}
-            G::X | G::Y | G::Z | G::H | G::S | G::Sdg | G::SqrtX | G::SqrtXdg | G::SqrtY
+            G::X
+            | G::Y
+            | G::Z
+            | G::H
+            | G::S
+            | G::Sdg
+            | G::SqrtX
+            | G::SqrtXdg
+            | G::SqrtY
             | G::SqrtYdg => {
                 let q = qubits[0].index();
                 let (x, z) = self.paulis[q].xz();

@@ -140,16 +140,16 @@ fn split_param(token: &str, line: usize) -> Result<(&str, Option<f64>), ParseCir
     match token.find('(') {
         None => Ok((token, None)),
         Some(open) => {
-            let close = token
-                .rfind(')')
-                .ok_or_else(|| ParseCircuitError {
-                    line,
-                    message: "unclosed parameter".into(),
-                })?;
-            let value: f64 = token[open + 1..close].parse().map_err(|_| ParseCircuitError {
+            let close = token.rfind(')').ok_or_else(|| ParseCircuitError {
                 line,
-                message: "invalid parameter".into(),
+                message: "unclosed parameter".into(),
             })?;
+            let value: f64 = token[open + 1..close]
+                .parse()
+                .map_err(|_| ParseCircuitError {
+                    line,
+                    message: "invalid parameter".into(),
+                })?;
             Ok((&token[..open], Some(value)))
         }
     }

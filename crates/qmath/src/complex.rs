@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let total: C64 = (0..4).map(|k| C64::i_pow(k)).sum();
+        let total: C64 = (0..4).map(C64::i_pow).sum();
         assert!(total.approx_eq(C64::ZERO, 1e-12));
     }
 }

@@ -1,6 +1,6 @@
 //! Hermitian eigendecomposition via the cyclic Jacobi method.
 
-use crate::{C64, CMat};
+use crate::{CMat, C64};
 
 /// Result of a Hermitian eigendecomposition.
 ///

@@ -1,6 +1,6 @@
 //! Complex singular value decomposition via one-sided Jacobi.
 
-use crate::{C64, CMat};
+use crate::{CMat, C64};
 
 /// Result of a singular value decomposition `A = U · diag(s) · V†`.
 ///
@@ -171,8 +171,16 @@ mod tests {
         let a = random_mat(5, 5, 21);
         let dec = svd(&a);
         let k = dec.s.len();
-        assert!(dec.u.adjoint().mul(&dec.u).approx_eq(&CMat::identity(k), 1e-9));
-        assert!(dec.v.adjoint().mul(&dec.v).approx_eq(&CMat::identity(k), 1e-9));
+        assert!(dec
+            .u
+            .adjoint()
+            .mul(&dec.u)
+            .approx_eq(&CMat::identity(k), 1e-9));
+        assert!(dec
+            .v
+            .adjoint()
+            .mul(&dec.v)
+            .approx_eq(&CMat::identity(k), 1e-9));
     }
 
     #[test]

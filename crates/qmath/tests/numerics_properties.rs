@@ -1,19 +1,20 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use proptest::prelude::*;
-use qmath::{eigh, psd_project_with_trace, svd, C64, CMat};
+use qmath::{eigh, psd_project_with_trace, svd, CMat, C64};
 
 /// Strategy: a complex matrix with entries in [-1, 1]².
 fn cmat(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
-    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), rows * cols).prop_map(
-        move |entries| {
-            CMat::from_vec(
-                rows,
-                cols,
-                entries.into_iter().map(|(re, im)| C64::new(re, im)).collect(),
-            )
-        },
-    )
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), rows * cols).prop_map(move |entries| {
+        CMat::from_vec(
+            rows,
+            cols,
+            entries
+                .into_iter()
+                .map(|(re, im)| C64::new(re, im))
+                .collect(),
+        )
+    })
 }
 
 /// Strategy: a Hermitian matrix.

@@ -309,7 +309,10 @@ mod tests {
             }
         }
         // Both branches should appear with roughly equal frequency.
-        assert!(zeros > 150 && zeros < 362, "unbalanced Bell sampling: {zeros}");
+        assert!(
+            zeros > 150 && zeros < 362,
+            "unbalanced Bell sampling: {zeros}"
+        );
     }
 
     #[test]
@@ -391,7 +394,10 @@ mod tests {
         let flipped: usize = shots.iter().filter(|s| s.get(0) || s.get(1)).count();
         let freq = flipped as f64 / n as f64;
         let expected = p * 12.0 / 15.0;
-        assert!((freq - expected).abs() < 0.04, "dep2 rate off: {freq} vs {expected}");
+        assert!(
+            (freq - expected).abs() < 0.04,
+            "dep2 rate off: {freq} vs {expected}"
+        );
     }
 
     #[test]

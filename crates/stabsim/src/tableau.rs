@@ -328,8 +328,7 @@ impl TableauSim {
 
     /// Row operation: `row_h := row_i · row_h` with exact phase tracking.
     fn rowsum(&mut self, h: usize, i: usize) {
-        let mut ph: i32 =
-            2 * (self.sign_bit(h) as i32) + 2 * (self.sign_bit(i) as i32);
+        let mut ph: i32 = 2 * (self.sign_bit(h) as i32) + 2 * (self.sign_bit(i) as i32);
         for q in 0..self.n {
             let (x1, z1) = (self.x_bit(q, i), self.z_bit(q, i));
             let (x2, z2) = (self.x_bit(q, h), self.z_bit(q, h));
@@ -579,20 +578,64 @@ impl AffineSupport {
         &self.directions
     }
 
+    /// XORs a random subset of the directions into `x`, drawing the
+    /// selection mask 64 directions at a time (one RNG call per block
+    /// instead of one per direction).
+    fn xor_random_directions(&self, x: &mut Bits, rng: &mut impl Rng) {
+        for block in self.directions.chunks(64) {
+            let mut mask: u64 = rng.random();
+            for d in block {
+                if mask & 1 == 1 {
+                    x.xor_assign(d);
+                }
+                mask >>= 1;
+            }
+        }
+    }
+
     /// Draws one sample.
     pub fn sample(&self, rng: &mut impl Rng) -> Bits {
         let mut x = self.base.clone();
-        for d in &self.directions {
-            if rng.random::<bool>() {
-                x.xor_assign(d);
-            }
-        }
+        self.xor_random_directions(&mut x, rng);
         x
     }
 
-    /// Draws `shots` samples.
+    /// Draws one sample into an existing row, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the support width.
+    pub fn sample_into(&self, out: &mut Bits, rng: &mut impl Rng) {
+        out.copy_from(&self.base);
+        self.xor_random_directions(out, rng);
+    }
+
+    /// Draws `shots` samples. Each returned row is necessarily a fresh
+    /// allocation; use [`AffineSupport::sample_counts`] for the
+    /// scratch-reusing bulk path.
     pub fn sample_many(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
         (0..shots).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws `shots` samples and tallies them, reusing one scratch row —
+    /// the allocation-free path for bulk Clifford sampling (a fresh `Bits`
+    /// is cloned only the first time an outcome is seen).
+    pub fn sample_counts(
+        &self,
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> std::collections::BTreeMap<Bits, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        let mut scratch = self.base.clone();
+        for _ in 0..shots {
+            self.sample_into(&mut scratch, rng);
+            if let Some(c) = counts.get_mut(&scratch) {
+                *c += 1;
+            } else {
+                counts.insert(scratch.clone(), 1);
+            }
+        }
+        counts
     }
 
     /// Enumerates all `2^dim` support points.
@@ -791,7 +834,10 @@ mod tests {
             let mut clone = TableauSim::run(&c, &mut r).unwrap();
             let m: Vec<bool> = (0..2).map(|q| clone.measure(q, &mut r)).collect();
             let measured = Bits::from_bools(&m);
-            assert!(sup.contains(&measured), "measured {measured} not in support {s}");
+            assert!(
+                sup.contains(&measured),
+                "measured {measured} not in support {s}"
+            );
         }
     }
 

@@ -21,7 +21,7 @@
 //! ```
 
 use qcir::{Bits, Circuit, Gate, OpKind, PauliString, Qubit};
-use qmath::{C64, CMat};
+use qmath::{CMat, C64};
 use rand::Rng;
 use std::fmt;
 
@@ -348,8 +348,7 @@ impl StateVec {
     /// Draws `shots` measurement samples without materializing the
     /// probability vector (single cumulative pass against sorted uniforms).
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
-        let mut targets: Vec<(f64, usize)> =
-            (0..shots).map(|k| (rng.random::<f64>(), k)).collect();
+        let mut targets: Vec<(f64, usize)> = (0..shots).map(|k| (rng.random::<f64>(), k)).collect();
         targets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut out = vec![Bits::zeros(self.n); shots];
         let mut cumulative = 0.0;
@@ -435,7 +434,12 @@ impl StateVec {
 
 impl fmt::Debug for StateVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "StateVec({} qubits, norm² = {:.6})", self.n, self.norm_sqr())
+        write!(
+            f,
+            "StateVec({} qubits, norm² = {:.6})",
+            self.n,
+            self.norm_sqr()
+        )
     }
 }
 
@@ -540,8 +544,14 @@ mod tests {
             match rng.random_range(0..6) {
                 0 => c.h(rng.random_range(0..4)),
                 1 => c.t(rng.random_range(0..4)),
-                2 => c.rx(rng.random_range(0..4), rng.random::<f64>() * std::f64::consts::TAU),
-                3 => c.rz(rng.random_range(0..4), rng.random::<f64>() * std::f64::consts::TAU),
+                2 => c.rx(
+                    rng.random_range(0..4),
+                    rng.random::<f64>() * std::f64::consts::TAU,
+                ),
+                3 => c.rz(
+                    rng.random_range(0..4),
+                    rng.random::<f64>() * std::f64::consts::TAU,
+                ),
                 4 => {
                     let a = rng.random_range(0..4);
                     let b = (a + 1 + rng.random_range(0..3)) % 4;
@@ -565,18 +575,18 @@ mod tests {
         c.h(0);
         let sv = StateVec::run(&c).unwrap();
         assert!((sv.expectation_pauli(&PauliString::parse("X").unwrap()) - 1.0).abs() < 1e-12);
-        assert!(sv.expectation_pauli(&PauliString::parse("Z").unwrap()).abs() < 1e-12);
+        assert!(
+            sv.expectation_pauli(&PauliString::parse("Z").unwrap())
+                .abs()
+                < 1e-12
+        );
 
         let mut c = Circuit::new(1);
         c.h(0).t(0);
         let sv = StateVec::run(&c).unwrap();
         let expected = (std::f64::consts::FRAC_PI_4).cos();
-        assert!(
-            (sv.expectation_pauli(&PauliString::parse("X").unwrap()) - expected).abs() < 1e-12
-        );
-        assert!(
-            (sv.expectation_pauli(&PauliString::parse("Y").unwrap()) - expected).abs() < 1e-12
-        );
+        assert!((sv.expectation_pauli(&PauliString::parse("X").unwrap()) - expected).abs() < 1e-12);
+        assert!((sv.expectation_pauli(&PauliString::parse("Y").unwrap()) - expected).abs() < 1e-12);
 
         // Bell: <XX> = <ZZ> = 1, <YY> = -1
         let mut c = Circuit::new(2);

@@ -292,7 +292,11 @@ mod tests {
         let w = hwea(8, 5, 1, 7);
         assert_eq!(w.circuit.num_qubits(), 8);
         assert_eq!(w.circuit.t_count(), 1);
-        assert_eq!(w.circuit.non_clifford_count(), 1, "rotations must be Clifford");
+        assert_eq!(
+            w.circuit.non_clifford_count(),
+            1,
+            "rotations must be Clifford"
+        );
         assert_eq!(w.injected.len(), 1);
         // 5 rounds × (2·8 rotations + 7 CX) + final 16 rotations + 1 T
         assert_eq!(w.circuit.len(), 5 * (16 + 7) + 16 + 1);
@@ -358,7 +362,7 @@ mod tests {
             .collect();
         assert_eq!(noise_ops.len(), 3, "one channel per data qubit");
         // All noise after the 3 preparation Hadamards, before extraction.
-        assert!(noise_ops.iter().all(|&i| i >= 3 && i < 3 + 3));
+        assert!(noise_ops.iter().all(|&i| (3..3 + 3).contains(&i)));
     }
 
     #[test]

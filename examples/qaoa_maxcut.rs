@@ -70,7 +70,10 @@ fn main() {
     let reference = Distribution::from_pairs(n, sv.distribution(1e-12));
     let cut_exact = expected_cut(&reference, &weights);
 
-    println!("\nfragments: {}, cuts: {}", result.report.num_fragments, result.report.num_cuts);
+    println!(
+        "\nfragments: {}, cuts: {}",
+        result.report.num_fragments, result.report.num_cuts
+    );
     println!("expected cut (SuperSim, 5000 shots/variant): {cut_supersim:.4}  [{supersim_time:?}]");
     println!("expected cut (exact statevector):            {cut_exact:.4}  [{sv_time:?}]");
     println!(

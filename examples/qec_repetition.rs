@@ -21,7 +21,10 @@ use workloads::{phase_repetition, RepetitionConfig};
 fn main() {
     // --- Part 1: noisy syndrome extraction with the frame simulator ---
     let d = 9; // data qubits; total width 2d-1 = 17
-    println!("phase repetition code: {d} data qubits, {} total", 2 * d - 1);
+    println!(
+        "phase repetition code: {d} data qubits, {} total",
+        2 * d - 1
+    );
     println!("\np_phase\tmean syndromes fired\tshots");
     let shots = 20_000;
     for &p in &[0.0, 0.01, 0.05, 0.1, 0.2] {

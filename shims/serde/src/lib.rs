@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access; this shim keeps the
+//! `#[derive(serde::Serialize, serde::Deserialize)]` annotations across the
+//! workspace compiling by expanding them to nothing. Swap in the real serde
+//! (same major version) once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on several types so the
+//! code is ready for a real serde dependency; offline, the derives expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -74,7 +74,9 @@ fn repetition_code_workload() {
         "supersim fidelity on repetition code"
     );
     // MPS should ace this low-entanglement workload (the Fig. 7 story).
-    let mps = MpsBackend::default().run_distribution(&w.circuit, shots, 1).unwrap();
+    let mps = MpsBackend::default()
+        .run_distribution(&w.circuit, shots, 1)
+        .unwrap();
     assert!(reference.hellinger_fidelity(&mps) > 0.99);
 }
 

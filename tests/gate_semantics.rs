@@ -40,7 +40,14 @@ fn all_pauli_strings(n: usize) -> Vec<PauliString> {
 fn conjugation_table_matches_unitaries_for_every_clifford() {
     // Generic (non-stabilizer) probe state to avoid accidental zeros.
     let mut probe = Circuit::new(2);
-    probe.h(0).t(0).cx(0, 1).ry(1, 0.9).rz(0, 0.4).cz(0, 1).rx(1, 1.3);
+    probe
+        .h(0)
+        .t(0)
+        .cx(0, 1)
+        .ry(1, 0.9)
+        .rz(0, 0.4)
+        .cz(0, 1)
+        .rx(1, 1.3);
     let psi = StateVec::run(&probe).unwrap();
 
     let mut checked = 0;

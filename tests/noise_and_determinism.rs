@@ -116,7 +116,10 @@ fn parallel_flag_is_deterministic_too() {
     })
     .run(&w.circuit)
     .unwrap();
-    assert_eq!(seq.marginals, par.marginals, "thread count must not change results");
+    assert_eq!(
+        seq.marginals, par.marginals,
+        "thread count must not change results"
+    );
 }
 
 #[test]

@@ -22,10 +22,7 @@ fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
 
 /// Strategy: a random Clifford circuit description on `n` qubits.
 fn clifford_ops(n: usize, len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
-    proptest::collection::vec(
-        (0u8..7, 0..n, 0..n.saturating_sub(1).max(1)),
-        1..=len,
-    )
+    proptest::collection::vec((0u8..7, 0..n, 0..n.saturating_sub(1).max(1)), 1..=len)
 }
 
 fn build_clifford(n: usize, ops: &[(u8, usize, usize)]) -> Circuit {
@@ -101,6 +98,88 @@ proptest! {
         c.xor_assign(&b);
         c.xor_assign(&b);
         prop_assert_eq!(a, c);
+    }
+
+    /// The word-level `extract`/`scatter`/`scatter_into` kernels match a
+    /// bit-at-a-time reference at cross-word-boundary lengths.
+    #[test]
+    fn bits_extract_scatter_match_bit_loop_reference(
+        len_pick in 0usize..4,
+        xs in proptest::collection::vec(any::<bool>(), 130),
+        ys in proptest::collection::vec(any::<bool>(), 130),
+        stride in 1usize..5,
+        offset in 0usize..4,
+    ) {
+        let len = [63usize, 64, 65, 130][len_pick];
+        let src = Bits::from_bools(&xs[..len]);
+        let indices: Vec<usize> = (offset.min(len - 1)..len).step_by(stride).collect();
+
+        // extract vs bit loop.
+        let got = src.extract(&indices);
+        let mut want = Bits::zeros(indices.len());
+        for (k, &i) in indices.iter().enumerate() {
+            want.set(k, src.get(i));
+        }
+        prop_assert_eq!(&got, &want);
+
+        // scatter / scatter_into vs bit loop, onto a dirty target.
+        let small = got;
+        let mut target = Bits::from_bools(&ys[..len]);
+        let mut want_target = target.clone();
+        small.scatter_into(&indices, &mut target);
+        for (k, &i) in indices.iter().enumerate() {
+            want_target.set(i, small.get(k));
+        }
+        prop_assert_eq!(&target, &want_target);
+
+        let scattered = small.scatter(&indices, len);
+        let mut want_scatter = Bits::zeros(len);
+        for (k, &i) in indices.iter().enumerate() {
+            want_scatter.set(i, small.get(k));
+        }
+        prop_assert_eq!(scattered, want_scatter);
+    }
+
+    /// The word-level `concat` kernel matches a bit-at-a-time reference at
+    /// cross-word-boundary lengths.
+    #[test]
+    fn bits_concat_matches_bit_loop_reference(
+        la_pick in 0usize..5,
+        lb_pick in 0usize..5,
+        xs in proptest::collection::vec(any::<bool>(), 130),
+        ys in proptest::collection::vec(any::<bool>(), 130),
+    ) {
+        let la = [1usize, 63, 64, 65, 130][la_pick];
+        let lb = [1usize, 63, 64, 65, 130][lb_pick];
+        let a = Bits::from_bools(&xs[..la]);
+        let b = Bits::from_bools(&ys[..lb]);
+        let got = a.concat(&b);
+        let mut want = Bits::zeros(la + lb);
+        for i in 0..la {
+            want.set(i, a.get(i));
+        }
+        for i in 0..lb {
+            want.set(la + i, b.get(i));
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// `IndexPlan` agrees with the direct kernels on any index list.
+    #[test]
+    fn index_plan_matches_direct_kernels(
+        xs in proptest::collection::vec(any::<bool>(), 130),
+        picks in proptest::collection::vec(0usize..130, 1..40),
+    ) {
+        use qcir::IndexPlan;
+        let src = Bits::from_bools(&xs);
+        let plan = IndexPlan::new(&picks, 130);
+        prop_assert_eq!(plan.extract(&src), src.extract(&picks));
+        let small = src.extract(&picks);
+        let mut a = src.clone();
+        let mut b = src.clone();
+        plan.scatter_into(&small, &mut a);
+        small.scatter_into(&picks, &mut b);
+        prop_assert_eq!(a, b);
     }
 
     /// Tableau invariants hold after arbitrary Clifford circuits:
