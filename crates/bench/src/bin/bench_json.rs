@@ -10,6 +10,12 @@
 //! * `engine_1t_ms` — the chunked contraction engine at one thread;
 //! * `engine_mt_ms` — the engine with one worker per available core.
 //!
+//! A `joint_reconstruction` series compares the interned-id joint engine
+//! against the frozen pre-intern baseline
+//! (`cutkit::reference_joint_btreemap`: per-chunk `BTreeMap<Bits, f64>`
+//! accumulation, one `Bits` clone per partial term, clone-per-merge across
+//! chunks), asserting the outputs bit-identical before timing is reported.
+//!
 //! Plus a (fragment × variant) evaluation-pool comparison and the §IX
 //! sparse-contraction ablation. Every engine result is checked
 //! bit-identical between thread counts before timing is reported.
@@ -18,10 +24,10 @@
 //! kept), `MAX_K` (default 12).
 
 use cutkit::{
-    cut_circuit, synthetic_dense_chain, CutStrategy, EvalMode, EvalOptions, FragmentTensor,
-    Reconstructor, TensorOptions,
+    cut_circuit, reference_joint_btreemap, synthetic_dense_chain, CutStrategy, EvalMode,
+    EvalOptions, FragmentTensor, Reconstructor, TensorOptions,
 };
-use qcir::Circuit;
+use qcir::{Bits, Circuit};
 use std::time::Instant;
 
 /// The seed implementation's marginals loop, reproduced verbatim against
@@ -159,6 +165,60 @@ fn main() {
         ));
     }
 
+    // --- Joint reconstruction: interned-id engine vs BTreeMap baseline
+    let mut joint_rows = Vec::new();
+    for k in [4usize, 6, 8] {
+        if k > max_k {
+            continue;
+        }
+        let point_reps = if k >= 8 { 1.max(reps / 3) } else { reps };
+        let (tensors, n_qubits) = synthetic_dense_chain(k, 1);
+        let support: usize = tensors.iter().map(|t| t.support_len().max(1)).product();
+        let (seed_ms, seed_pairs) = time_best(point_reps, || {
+            reference_joint_btreemap(&tensors, k, n_qubits, true)
+        });
+        let (one_ms, one_dist) = time_best(point_reps, || {
+            Reconstructor::new(&tensors, k, n_qubits)
+                .with_threads(1)
+                .joint(usize::MAX)
+        });
+        let (multi_ms, multi_dist) = time_best(point_reps, || {
+            Reconstructor::new(&tensors, k, n_qubits)
+                .with_threads(0)
+                .joint(usize::MAX)
+        });
+        let one_pairs: Vec<(Bits, f64)> = one_dist.iter().map(|(b, p)| (b.clone(), p)).collect();
+        let multi_pairs: Vec<(Bits, f64)> =
+            multi_dist.iter().map(|(b, p)| (b.clone(), p)).collect();
+        let identical = one_pairs == multi_pairs;
+        assert!(identical, "k={k}: parallel joint differs from sequential");
+        assert_eq!(
+            one_pairs.len(),
+            seed_pairs.len(),
+            "k={k}: joint support diverged from baseline"
+        );
+        for ((gb, gw), (eb, ew)) in one_pairs.iter().zip(&seed_pairs) {
+            assert!(
+                gb == eb && gw.to_bits() == ew.to_bits(),
+                "k={k}: joint diverged from BTreeMap baseline at {gb}"
+            );
+        }
+        let speedup_1t = seed_ms / one_ms;
+        let speedup_mt = seed_ms / multi_ms;
+        println!(
+            "joint k={k} (support {support}): seed {seed_ms:.2} ms, \
+             engine(1t) {one_ms:.2} ms ({speedup_1t:.2}x), \
+             engine({cores} workers) {multi_ms:.2} ms ({speedup_mt:.2}x)"
+        );
+        joint_rows.push(format!(
+            "    {{\"k\": {k}, \"support\": {support}, \"seed_joint_ms\": {seed_ms:.3}, \
+             \"joint_1t_ms\": {one_ms:.3}, \"joint_mt_ms\": {multi_ms:.3}, \
+             \"speedup_1t\": {speedup_1t:.3}, \"speedup_mt\": {speedup_mt:.3}, \
+             \"bit_identical_to_baseline\": true, \
+             \"bit_identical_across_threads\": {identical}}}"
+        ));
+    }
+
     // --- Fragment evaluation: shared (fragment × variant) pool -------
     let mut circuit = Circuit::new(6);
     circuit.h(0);
@@ -239,15 +299,17 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 1,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 2,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
          \"recombine_marginals\": [\n{}\n  ],\n  \
+         \"joint_reconstruction\": [\n{}\n  ],\n  \
          \"fragment_eval\": {{\"fragments\": {}, \"variants\": {}, \
          \"engine_1t_ms\": {eval_1t_ms:.3}, \"engine_mt_ms\": {eval_mt_ms:.3}, \
          \"speedup_mt\": {eval_speedup:.3}, \"bit_identical_across_threads\": {eval_identical}}},\n  \
          \"sparse_contraction\": {{\"k\": {}, \"visited_sparse\": {visited_sparse}, \
          \"visited_dense\": {visited_dense}}}\n}}\n",
         recombine_rows.join(",\n"),
+        joint_rows.join(",\n"),
         cut.fragments.len(),
         cut.fragments.iter().map(|f| f.num_variants()).sum::<usize>(),
         sparse_cut.num_cuts,

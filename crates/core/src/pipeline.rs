@@ -15,6 +15,10 @@
 //!   fixed-size chunks contracted in parallel and merged in chunk order
 //!   ([`cutkit::Reconstructor::with_threads`]).
 //!
+//! The MLFT correction stage rides the same pool
+//! ([`cutkit::correct_tensors`]): fragments are corrected independently
+//! and the `mlft_moved` diagnostic folds in fragment order.
+//!
 //! **Determinism-in-seed guarantee:** both stages produce bit-identical
 //! results for a given [`SuperSimConfig::seed`] regardless of thread
 //! count. Fragment evaluation derives one RNG stream per (fragment,
@@ -24,8 +28,8 @@
 //! a scheduling choice, never a numerical one.
 
 use cutkit::{
-    correct_tensor, cut_circuit, CutBudgetError, CutStrategy, EvalError, EvalMode, EvalOptions,
-    FragmentTensor, MlftOptions, Reconstructor, TensorOptions,
+    correct_tensors, cut_circuit, CutBudgetError, CutStrategy, EvalError, EvalMode, EvalOptions,
+    FragmentTensor, MlftError, MlftOptions, Reconstructor, TensorOptions,
 };
 use metrics::Distribution;
 use qcir::{Bits, Circuit};
@@ -104,6 +108,9 @@ pub enum SuperSimError {
     Cut(CutBudgetError),
     /// A fragment could not be evaluated.
     Eval(EvalError),
+    /// The MLFT correction could not normalize a fragment (its tensor
+    /// would have poisoned recombination had the run continued).
+    Mlft(MlftError),
 }
 
 impl fmt::Display for SuperSimError {
@@ -111,6 +118,7 @@ impl fmt::Display for SuperSimError {
         match self {
             SuperSimError::Cut(e) => write!(f, "cutting failed: {e}"),
             SuperSimError::Eval(e) => write!(f, "fragment evaluation failed: {e}"),
+            SuperSimError::Mlft(e) => write!(f, "MLFT correction failed: {e}"),
         }
     }
 }
@@ -120,6 +128,7 @@ impl std::error::Error for SuperSimError {
         match self {
             SuperSimError::Cut(e) => Some(e),
             SuperSimError::Eval(e) => Some(e),
+            SuperSimError::Mlft(e) => Some(e),
         }
     }
 }
@@ -133,6 +142,12 @@ impl From<CutBudgetError> for SuperSimError {
 impl From<EvalError> for SuperSimError {
     fn from(e: EvalError) -> Self {
         SuperSimError::Eval(e)
+    }
+}
+
+impl From<MlftError> for SuperSimError {
+    fn from(e: MlftError) -> Self {
+        SuperSimError::Mlft(e)
     }
 }
 
@@ -288,9 +303,12 @@ impl SuperSim {
 
         let mut mlft_moved = 0.0;
         if cfg.mlft && !cfg.exact {
-            for t in &mut tensors {
-                mlft_moved += correct_tensor(t, &MlftOptions::default());
-            }
+            // Fragments are corrected independently on the same worker
+            // pool sizing as evaluation; `mlft_moved` folds in fragment
+            // order, so the diagnostic is bit-identical for any thread
+            // count.
+            mlft_moved =
+                correct_tensors(&mut tensors, &MlftOptions::default(), self.worker_threads())?;
         }
         let eval_time = t1.elapsed();
 
@@ -334,6 +352,21 @@ impl SuperSim {
         })
     }
 
+    /// Worker-pool size shared by fragment evaluation and MLFT correction:
+    /// 1 when [`SuperSimConfig::parallel`] is off, otherwise the
+    /// configured thread count (`0` = one worker per available core).
+    fn worker_threads(&self) -> usize {
+        if self.config.parallel {
+            if self.config.threads > 0 {
+                self.config.threads
+            } else {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
+        } else {
+            1
+        }
+    }
+
     fn evaluate_fragments(
         &self,
         fragments: &[cutkit::Fragment],
@@ -346,15 +379,7 @@ impl SuperSim {
         // worker pool; each fragment derives its own base seed from the
         // config seed, and each variant its own RNG stream from that, so
         // results are deterministic in `seed` regardless of thread count.
-        let threads = if self.config.parallel {
-            if self.config.threads > 0 {
-                self.config.threads
-            } else {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            }
-        } else {
-            1
-        };
+        let threads = self.worker_threads();
         let base_seeds: Vec<u64> = (0..fragments.len())
             .map(|i| {
                 let mut rng =
@@ -441,6 +466,40 @@ mod tests {
             let a = seq.distribution.as_ref().unwrap().prob(&b);
             let p = par.distribution.as_ref().unwrap().prob(&b);
             assert!((a - p).abs() < 1e-9, "parallel mismatch at {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_mlft_bit_identical_to_sequential() {
+        // Sampled mode with MLFT on: the corrected pipeline must be
+        // bit-identical between the sequential loop and the worker pool.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).t(2).h(2);
+        let cfg = |parallel: bool, threads: usize| SuperSimConfig {
+            shots: 400,
+            seed: 11,
+            mlft: true,
+            parallel,
+            threads,
+            ..SuperSimConfig::default()
+        };
+        let seq = SuperSim::new(cfg(false, 1)).run(&c).unwrap();
+        for threads in [2usize, 8] {
+            let par = SuperSim::new(cfg(true, threads)).run(&c).unwrap();
+            assert!(
+                seq.report.mlft_moved.to_bits() == par.report.mlft_moved.to_bits(),
+                "mlft_moved differs at {threads} threads"
+            );
+            let a = seq.distribution.as_ref().unwrap();
+            let b = par.distribution.as_ref().unwrap();
+            assert_eq!(a.support_len(), b.support_len());
+            for ((ab, ap), (bb, bp)) in a.iter().zip(b.iter()) {
+                assert_eq!(ab, bb, "support order at {threads} threads");
+                assert!(
+                    ap.to_bits() == bp.to_bits(),
+                    "probability differs at {ab}, {threads} threads"
+                );
+            }
         }
     }
 

@@ -43,7 +43,9 @@ mod variants;
 
 pub use cut::{cut_circuit, CutBudgetError, CutCircuit, CutPoint, CutStrategy, Fragment};
 pub use evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
-pub use mlft::{correct_tensor, MlftOptions};
+pub use mlft::{correct_tensor, correct_tensors, MlftError, MlftOptions};
+#[doc(hidden)]
+pub use recombine::reference_joint_btreemap;
 pub use recombine::{Reconstructor, ASSIGNMENTS_PER_CHUNK, MAX_CONTRACTION_CUTS};
 pub use tensor::{
     build_fragment_tensor, build_fragment_tensor_threaded, evaluate_fragment_tensors,

@@ -35,6 +35,17 @@
 //!
 //! Sparse skipping precomputes one bitmask of non-vanishing Pauli slices
 //! per tensor, turning the per-assignment check into a single bit test.
+//!
+//! # Interned-id joint accumulation
+//!
+//! [`Reconstructor::joint`]'s outer product addresses outcomes by dense
+//! mixed-radix ids over fragment entry indices: partial terms carry
+//! `(id, weight)` pairs instead of cloned bitstrings, per-chunk
+//! accumulators are flat id-indexed vectors, and chunk merges are vector
+//! adds. Bitstrings are decoded from ids exactly once, into the final
+//! [`Distribution`] (itself keyed by interned ids — see
+//! `metrics::intern`). Output stays bit-identical to ordered-map
+//! accumulation because every read path emits in sorted key order.
 
 use crate::tensor::FragmentTensor;
 use metrics::Distribution;
@@ -245,7 +256,7 @@ impl<'a> Reconstructor<'a> {
         body: impl Fn(&mut A, &[usize]) + Sync,
         merge: impl FnMut(&mut A, A),
     ) -> (A, usize) {
-        self.run_contraction_capped(usize::MAX, init, body, merge)
+        self.run_contraction_capped(usize::MAX, init, body, |_| {}, merge)
     }
 
     /// [`Reconstructor::run_contraction`] with a hard cap on workers —
@@ -254,11 +265,16 @@ impl<'a> Reconstructor<'a> {
     /// memory scales with `num_chunks × accumulator size`). The cap must
     /// be a deterministic function of the tensors, never of the requested
     /// thread count, to preserve bit-identity across thread counts.
+    ///
+    /// `finish` runs on each chunk accumulator right after its chunk
+    /// completes (on both paths) — the hook that lets accumulators drop
+    /// per-chunk scratch before being retained for the ordered merge.
     fn run_contraction_capped<A: Send>(
         &self,
         max_threads: usize,
         init: impl Fn() -> A + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
+        finish: impl Fn(&mut A) + Sync,
         mut merge: impl FnMut(&mut A, A),
     ) -> (A, usize) {
         let num_chunks = self.num_chunks();
@@ -274,6 +290,7 @@ impl<'a> Reconstructor<'a> {
             for chunk in 0..num_chunks {
                 let mut chunk_acc = init();
                 visited += self.run_chunk(chunk, &mut chunk_acc, &body, &mut scratch);
+                finish(&mut chunk_acc);
                 merge(&mut acc, chunk_acc);
             }
         } else {
@@ -291,6 +308,7 @@ impl<'a> Reconstructor<'a> {
                                 }
                                 let mut chunk_acc = init();
                                 let v = self.run_chunk(chunk, &mut chunk_acc, &body, &mut scratch);
+                                finish(&mut chunk_acc);
                                 out.push((chunk, chunk_acc, v));
                             }
                             out
@@ -332,6 +350,21 @@ impl<'a> Reconstructor<'a> {
     /// Builds the full joint distribution over the original circuit's
     /// qubits.
     ///
+    /// # Interned-id engine
+    ///
+    /// Every joint outcome is a combination of one observed entry per
+    /// fragment (fragments own disjoint circuit-output positions), so the
+    /// engine addresses outcomes by a dense mixed-radix id over fragment
+    /// entry indices instead of materializing a heap-allocated [`Bits`]
+    /// per partial term. The outer product propagates `(id, weight)`
+    /// pairs — integer multiply-adds only — per-chunk accumulators are
+    /// flat `Vec<f64>`s indexed by id, and chunk merges are id-indexed
+    /// vector adds rather than ordered-map re-insertions. Ids are decoded
+    /// back into bitstrings exactly once, when the final accumulator is
+    /// converted into a [`Distribution`] (which emits in sorted key order,
+    /// keeping the result bit-identical to the former `BTreeMap`-keyed
+    /// accumulation for any thread count).
+    ///
     /// # Panics
     ///
     /// Panics if the product of fragment supports exceeds
@@ -346,20 +379,44 @@ impl<'a> Reconstructor<'a> {
             support <= max_support,
             "joint support {support} exceeds limit {max_support}"
         );
-        // Per-chunk accumulator: the chunk's distribution plus reusable
-        // outer-product scratch (hoisted out of the per-assignment loop).
-        struct JointAcc {
-            dist: Distribution,
-            partial: Vec<(Bits, f64)>,
-            next: Vec<(Bits, f64)>,
+        // Fragments with observed outcomes, with their entry tables in
+        // key order (the id digit of fragment `f` is the position of its
+        // entry in this table).
+        struct FragView<'t> {
+            tensor_index: usize,
+            support: usize,
+            entries: Vec<(&'t Bits, &'t [f64])>,
+            plan: IndexPlan,
         }
-        let plans = self.output_plans();
-        // Each chunk accumulator can hold the full joint support; the
-        // parallel path retains every chunk accumulator until the join, so
-        // run sequentially (streaming merge, one accumulator live) when
-        // that retention would be large. The choice depends only on the
-        // tensors, keeping results bit-identical for any thread count.
-        let retained_bytes = (support as u64) * self.num_chunks() * 64;
+        let views: Vec<FragView<'_>> = self
+            .tensors
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.support_len() > 0)
+            .map(|(fi, t)| FragView {
+                tensor_index: fi,
+                support: t.support_len(),
+                entries: t.iter().map(|(b, v)| (b, v.as_slice())).collect(),
+                plan: IndexPlan::new(t.output_globals(), self.n_qubits),
+            })
+            .collect();
+        // Per-chunk accumulator: dense id-indexed weights, a touched-id
+        // bitset (a key whose weights cancel to exactly zero must still
+        // appear in the output, as it did under ordered-map accumulation),
+        // and outer-product scratch dropped by `finish` before retention.
+        struct JointAcc {
+            weights: Vec<f64>,
+            touched: Vec<u64>,
+            partial: Vec<(usize, f64)>,
+            next: Vec<(usize, f64)>,
+        }
+        // The parallel path retains every chunk accumulator until the
+        // ordered join. At ~8.125 bytes per id (weight + touched bit) —
+        // versus 64 conservatively estimated per ordered-map node before
+        // interning — the same 64 MiB retention budget now admits 8× the
+        // support. The choice depends only on the tensors, keeping
+        // results bit-identical for any thread count.
+        let retained_bytes = (support as u64) * self.num_chunks() * 9;
         let max_threads = if retained_bytes <= 64 << 20 {
             usize::MAX
         } else {
@@ -368,55 +425,73 @@ impl<'a> Reconstructor<'a> {
         let (acc, _) = self.run_contraction_capped(
             max_threads,
             || JointAcc {
-                dist: Distribution::new(self.n_qubits),
+                weights: vec![0.0; support],
+                touched: vec![0u64; support.div_ceil(64)],
                 partial: Vec::new(),
                 next: Vec::new(),
             },
             |acc, indices| {
-                // Outer product of the fragments' b-slices.
+                // Outer product of the fragments' b-slices, propagating
+                // mixed-radix outcome ids.
                 acc.partial.clear();
-                acc.partial.push((Bits::zeros(self.n_qubits), 1.0));
-                for ((t, plan), &idx) in self.tensors.iter().zip(&plans).zip(indices) {
-                    if t.support_len() == 0 {
-                        continue;
-                    }
+                acc.partial.push((0usize, 1.0));
+                for view in &views {
+                    let idx = indices[view.tensor_index];
                     acc.next.clear();
-                    acc.next.reserve(acc.partial.len() * t.support_len());
-                    for (b, coeffs) in t.iter() {
+                    acc.next.reserve(acc.partial.len() * view.support);
+                    for (j, &(_, coeffs)) in view.entries.iter().enumerate() {
                         let v = coeffs[idx];
                         if v == 0.0 {
                             continue;
                         }
-                        for (gb, w) in &acc.partial {
-                            let mut gb2 = gb.clone();
-                            plan.scatter_into(b, &mut gb2);
-                            acc.next.push((gb2, w * v));
+                        for &(id, w) in &acc.partial {
+                            acc.next.push((id * view.support + j, w * v));
                         }
                     }
                     std::mem::swap(&mut acc.partial, &mut acc.next);
                 }
-                for (b, w) in acc.partial.drain(..) {
+                for &(id, w) in &acc.partial {
                     if w != 0.0 {
-                        acc.dist.add(b, w);
+                        acc.weights[id] += w;
+                        acc.touched[id >> 6] |= 1u64 << (id & 63);
                     }
                 }
             },
+            |acc| {
+                // Retain only the payload across the ordered merge.
+                acc.partial = Vec::new();
+                acc.next = Vec::new();
+            },
             |acc, chunk| {
-                for (b, w) in chunk.dist.iter() {
-                    acc.dist.add(b.clone(), w);
+                // Id-indexed vector add. Untouched ids hold exactly +0.0,
+                // so the blanket add is a bitwise no-op for them.
+                for (a, c) in acc.weights.iter_mut().zip(&chunk.weights) {
+                    *a += c;
+                }
+                for (a, c) in acc.touched.iter_mut().zip(&chunk.touched) {
+                    *a |= c;
                 }
             },
         );
-        acc.dist
-    }
-
-    /// One scatter plan per tensor for its circuit-output positions in the
-    /// global bitstring.
-    fn output_plans(&self) -> Vec<IndexPlan> {
-        self.tensors
-            .iter()
-            .map(|t| IndexPlan::new(t.output_globals(), self.n_qubits))
-            .collect()
+        // Decode touched ids back into global bitstrings, once.
+        let mut dist = Distribution::with_support_capacity(
+            self.n_qubits,
+            acc.touched.iter().map(|w| w.count_ones() as usize).sum(),
+        );
+        for (id, &w) in acc.weights.iter().enumerate() {
+            if (acc.touched[id >> 6] >> (id & 63)) & 1 == 0 {
+                continue;
+            }
+            let mut global = Bits::zeros(self.n_qubits);
+            let mut rem = id;
+            for view in views.iter().rev() {
+                let j = rem % view.support;
+                rem /= view.support;
+                view.plan.scatter_into(view.entries[j].0, &mut global);
+            }
+            dist.add(global, w);
+        }
+        dist
     }
 
     /// All single-qubit marginals of the reconstructed distribution,
@@ -702,6 +777,82 @@ impl<'a> Reconstructor<'a> {
     }
 }
 
+/// The pre-intern joint implementation, frozen as a parity baseline:
+/// chunked `4^k` sweep with per-chunk `BTreeMap<Bits, f64>` accumulation,
+/// one heap-allocated `Bits` clone per partial term, and ordered-map
+/// re-insertion (`b.clone()` per key) at every chunk merge. Written
+/// against the public tensor API only.
+///
+/// Shared by the `joint_matches_btreemap_reference_bit_exact` test and
+/// the `joint_reconstruction` series of the `bench_json` benchmark; not
+/// part of the supported API.
+#[doc(hidden)]
+pub fn reference_joint_btreemap(
+    tensors: &[FragmentTensor],
+    num_cuts: usize,
+    n_qubits: usize,
+    sparse: bool,
+) -> Vec<(Bits, f64)> {
+    use std::collections::BTreeMap;
+    let tol = 1e-12;
+    let plans: Vec<IndexPlan> = tensors
+        .iter()
+        .map(|t| IndexPlan::new(t.output_globals(), n_qubits))
+        .collect();
+    let mut dist: BTreeMap<Bits, f64> = BTreeMap::new();
+    let total = 1u64 << (2 * num_cuts);
+    let num_chunks = total.div_ceil(ASSIGNMENTS_PER_CHUNK);
+    let mut partial: Vec<(Bits, f64)> = Vec::new();
+    let mut next: Vec<(Bits, f64)> = Vec::new();
+    for chunk in 0..num_chunks {
+        let mut chunk_dist: BTreeMap<Bits, f64> = BTreeMap::new();
+        let start = chunk * ASSIGNMENTS_PER_CHUNK;
+        let end = (start + ASSIGNMENTS_PER_CHUNK).min(total);
+        for kappa in start..end {
+            let digit = |cut: usize| ((kappa >> (2 * cut)) & 0b11) as usize;
+            let indices: Vec<usize> = tensors.iter().map(|t| t.pauli_index(digit)).collect();
+            if sparse
+                && tensors
+                    .iter()
+                    .zip(&indices)
+                    .any(|(t, &idx)| t.slice_max_abs(idx) <= tol)
+            {
+                continue;
+            }
+            partial.clear();
+            partial.push((Bits::zeros(n_qubits), 1.0));
+            for ((t, plan), &idx) in tensors.iter().zip(&plans).zip(&indices) {
+                if t.support_len() == 0 {
+                    continue;
+                }
+                next.clear();
+                next.reserve(partial.len() * t.support_len());
+                for (b, coeffs) in t.iter() {
+                    let v = coeffs[idx];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    for (gb, w) in &partial {
+                        let mut gb2 = gb.clone();
+                        plan.scatter_into(b, &mut gb2);
+                        next.push((gb2, w * v));
+                    }
+                }
+                std::mem::swap(&mut partial, &mut next);
+            }
+            for (b, w) in partial.drain(..) {
+                if w != 0.0 {
+                    *chunk_dist.entry(b).or_insert(0.0) += w;
+                }
+            }
+        }
+        for (b, w) in chunk_dist {
+            *dist.entry(b).or_insert(0.0) += w;
+        }
+    }
+    dist.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,6 +948,84 @@ mod tests {
                 "qubit {q}: joint {jm:?} vs marginal {:?}",
                 marg[q]
             );
+        }
+    }
+
+    /// `joint()` marginals agree with `marginals()` on multi-fragment
+    /// circuits for 1, 2, and 8 contraction threads (joint marginals are
+    /// un-normalized by construction, so normalize by the joint mass).
+    #[test]
+    fn joint_marginals_match_marginals_across_thread_counts() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let mut b = Circuit::new(4);
+        b.h(0).cx(0, 1).t(1).cx(1, 2).t(2).cx(2, 3).h(3);
+        for (label, c) in [("3q", a), ("4q", b)] {
+            let (tensors, k, n) = reconstruct_exact(&c);
+            for threads in [1usize, 2, 8] {
+                let r = Reconstructor::new(&tensors, k, n).with_threads(threads);
+                let joint = r.joint(1_000_000);
+                let mass = joint.total_mass();
+                let marg = r.marginals();
+                for q in 0..n {
+                    let jm = joint.marginal(q);
+                    assert!(
+                        (jm[0] / mass - marg[q][0]).abs() < 1e-9
+                            && (jm[1] / mass - marg[q][1]).abs() < 1e-9,
+                        "{label} qubit {q} at {threads} threads: \
+                         joint {jm:?}/{mass} vs marginal {:?}",
+                        marg[q]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The interned-id joint engine is bit-identical — same support, same
+    /// emission order, same float bits — to the pre-change ordered-map
+    /// implementation, at 1, 2, and 8 threads, on real cut circuits and a
+    /// multi-chunk synthetic chain.
+    #[test]
+    fn joint_matches_btreemap_reference_bit_exact() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).t(0).cx(0, 1).h(0);
+        let mut cases: Vec<(String, Vec<FragmentTensor>, usize, usize)> = Vec::new();
+        for (label, c) in [("3q", a), ("loop", b)] {
+            let (tensors, k, n) = reconstruct_exact(&c);
+            cases.push((label.to_string(), tensors, k, n));
+        }
+        let (chain, n) = synthetic_dense_chain(7, 1);
+        cases.push(("chain-k7".to_string(), chain, 7, n));
+        for (label, tensors, k, n) in &cases {
+            for sparse in [true, false] {
+                let expect = reference_joint_btreemap(tensors, *k, *n, sparse);
+                for threads in [1usize, 2, 8] {
+                    let got = Reconstructor::new(tensors, *k, *n)
+                        .with_sparse(sparse)
+                        .with_threads(threads)
+                        .joint(10_000_000);
+                    let got_pairs = joint_pairs(&got);
+                    assert_eq!(
+                        got_pairs.len(),
+                        expect.len(),
+                        "{label} sparse={sparse} threads={threads}: support"
+                    );
+                    for ((gb, gw), (eb, ew)) in got_pairs.iter().zip(&expect) {
+                        assert_eq!(
+                            gb, eb,
+                            "{label} sparse={sparse} threads={threads}: key order"
+                        );
+                        assert_eq!(
+                            gw.to_bits(),
+                            ew.to_bits(),
+                            "{label} sparse={sparse} threads={threads}: \
+                             weight at {gb}: {gw} vs {ew}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,272 @@
+//! Hash-interned outcome keys.
+//!
+//! Joint reconstruction and distribution accumulation repeatedly touch the
+//! same small set of outcome bitstrings: every cut assignment re-derives
+//! the same global outcomes, and every chunk merge re-inserts them. Keying
+//! accumulators by [`Bits`] directly means one heap-allocated clone plus an
+//! `O(log n)` ordered-map walk per touch — the hot spot this module
+//! removes.
+//!
+//! [`InternPool`] maps each distinct [`Bits`] key to a dense `u32` id
+//! exactly once (open addressing over [`Bits::hash_u64`], linear probing);
+//! after that, accumulators are flat `Vec<f64>`s indexed by id, merges are
+//! id-indexed vector adds, and the key itself is cloned only on first
+//! insertion. Ids are assigned in first-seen order, which is *not*
+//! deterministic across code paths — deterministic consumers must emit in
+//! key-sorted order via [`InternPool::sorted_ids`] (what
+//! [`Distribution`](crate::Distribution) does at its API boundary).
+
+use qcir::Bits;
+
+/// Sentinel marking a free slot in the open-addressed table.
+const EMPTY: u32 = u32::MAX;
+
+/// A pool assigning dense `u32` ids to distinct [`Bits`] keys.
+///
+/// ```
+/// use metrics::InternPool;
+/// use qcir::Bits;
+///
+/// let mut pool = InternPool::new();
+/// let a = pool.intern(&Bits::parse("01").unwrap());
+/// let b = pool.intern(&Bits::parse("10").unwrap());
+/// assert_eq!(pool.intern(&Bits::parse("01").unwrap()), a);
+/// assert_ne!(a, b);
+/// assert_eq!(pool.key(a), &Bits::parse("01").unwrap());
+/// ```
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct InternPool {
+    /// `id → key`, in first-interned order.
+    keys: Vec<Bits>,
+    /// Open-addressed table of ids (power-of-two capacity, linear
+    /// probing); empty until the first insertion.
+    table: Vec<u32>,
+}
+
+impl InternPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        InternPool::default()
+    }
+
+    /// Creates a pool sized for roughly `n` keys without rehashing.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut pool = InternPool {
+            keys: Vec::with_capacity(n),
+            table: Vec::new(),
+        };
+        if n > 0 {
+            pool.rebuild_table(Self::table_len_for(n));
+        }
+        pool
+    }
+
+    /// Number of distinct keys interned so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when no key has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The key of an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this pool.
+    #[inline]
+    pub fn key(&self, id: u32) -> &Bits {
+        &self.keys[id as usize]
+    }
+
+    /// All keys, indexed by id (first-interned order).
+    #[inline]
+    pub fn keys(&self) -> &[Bits] {
+        &self.keys
+    }
+
+    /// The id of `b`, if already interned.
+    pub fn get(&self, b: &Bits) -> Option<u32> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (b.hash_u64() as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return None,
+                id => {
+                    if &self.keys[id as usize] == b {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The id of `b`, interning (and cloning) it on first sight.
+    pub fn intern(&mut self, b: &Bits) -> u32 {
+        self.reserve_slot();
+        let mask = self.table.len() - 1;
+        let mut slot = (b.hash_u64() as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => {
+                    let id = self.keys.len() as u32;
+                    self.keys.push(b.clone());
+                    self.table[slot] = id;
+                    return id;
+                }
+                id => {
+                    if &self.keys[id as usize] == b {
+                        return id;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The id of `b`, taking ownership on first sight (no clone at all).
+    pub fn intern_owned(&mut self, b: Bits) -> u32 {
+        self.reserve_slot();
+        let mask = self.table.len() - 1;
+        let mut slot = (b.hash_u64() as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => {
+                    let id = self.keys.len() as u32;
+                    self.keys.push(b);
+                    self.table[slot] = id;
+                    return id;
+                }
+                id => {
+                    if self.keys[id as usize] == b {
+                        return id;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Ids in lexicographic key order — the deterministic emission order
+    /// used at API boundaries (id assignment order is first-seen and thus
+    /// implementation-dependent).
+    pub fn sorted_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.keys.len() as u32).collect();
+        ids.sort_by(|&a, &b| self.keys[a as usize].cmp(&self.keys[b as usize]));
+        ids
+    }
+
+    /// Smallest power-of-two table length keeping load below ~2/3 for `n`
+    /// keys.
+    fn table_len_for(n: usize) -> usize {
+        (n.max(4) * 3 / 2 + 1).next_power_of_two()
+    }
+
+    /// Ensures a free slot exists for one more insertion.
+    fn reserve_slot(&mut self) {
+        if self.table.is_empty() || (self.keys.len() + 1) * 3 > self.table.len() * 2 {
+            self.rebuild_table(Self::table_len_for(self.keys.len() + 1));
+        }
+    }
+
+    /// Rehashes every interned key into a fresh table of `len` slots.
+    fn rebuild_table(&mut self, len: usize) {
+        let mask = len - 1;
+        let mut table = vec![EMPTY; len];
+        for (id, key) in self.keys.iter().enumerate() {
+            let mut slot = (key.hash_u64() as usize) & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = id as u32;
+        }
+        self.table = table;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Bits {
+        Bits::parse(s).unwrap()
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut pool = InternPool::new();
+        let ids: Vec<u32> = ["00", "01", "10", "01", "00", "11"]
+            .iter()
+            .map(|s| pool.intern(&bits(s)))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 1, 0, 3]);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.key(2), &bits("10"));
+        assert_eq!(pool.get(&bits("11")), Some(3));
+        assert_eq!(pool.get(&bits("111")), None);
+    }
+
+    #[test]
+    fn intern_owned_matches_intern() {
+        let mut pool = InternPool::new();
+        let a = pool.intern_owned(bits("0101"));
+        assert_eq!(pool.intern(&bits("0101")), a);
+        assert_eq!(pool.intern_owned(bits("0101")), a);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn survives_many_rehashes() {
+        let mut pool = InternPool::new();
+        for x in 0..10_000u64 {
+            let id = pool.intern(&Bits::from_u64(x, 16));
+            assert_eq!(id as u64, x);
+        }
+        assert_eq!(pool.len(), 10_000);
+        for x in 0..10_000u64 {
+            assert_eq!(pool.get(&Bits::from_u64(x, 16)), Some(x as u32));
+        }
+    }
+
+    #[test]
+    fn sorted_ids_follow_key_order() {
+        // `Bits` orders by packed word value (bit 0 is the LSB of word 0),
+        // exactly like the former `BTreeMap<Bits, _>` keys did: "10" is
+        // value 1 and sorts before "01" (value 2).
+        let mut pool = InternPool::new();
+        for s in ["10", "00", "11", "01"] {
+            pool.intern(&bits(s));
+        }
+        let order = pool.sorted_ids();
+        let keys: Vec<String> = order.iter().map(|&id| pool.key(id).to_string()).collect();
+        assert_eq!(keys, vec!["00", "10", "01", "11"]);
+        let mut resorted: Vec<Bits> = pool.keys().to_vec();
+        resorted.sort();
+        let direct: Vec<String> = resorted.iter().map(|b| b.to_string()).collect();
+        assert_eq!(keys, direct);
+    }
+
+    #[test]
+    fn with_capacity_avoids_growth() {
+        let mut pool = InternPool::with_capacity(100);
+        for x in 0..100u64 {
+            pool.intern(&Bits::from_u64(x, 8));
+        }
+        assert_eq!(pool.len(), 100);
+    }
+
+    #[test]
+    fn empty_key_is_internable() {
+        let mut pool = InternPool::new();
+        let id = pool.intern(&Bits::zeros(0));
+        assert_eq!(pool.get(&Bits::zeros(0)), Some(id));
+    }
+}

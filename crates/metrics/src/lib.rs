@@ -10,13 +10,27 @@
 //!
 //! [`Distribution`] is a sparse map from measurement bitstrings to
 //! probabilities, suitable for the few-thousand-shot records the paper
-//! works with even on 300-qubit circuits.
+//! works with even on 300-qubit circuits. Internally it is keyed by a
+//! hash-interned dense id per outcome (see [`intern`]), so accumulation is
+//! `O(1)` per touch instead of an ordered-map walk with a key clone; every
+//! read path still emits outcomes in lexicographic order, which keeps all
+//! downstream float accumulation bit-reproducible and bit-identical to the
+//! previous `BTreeMap`-keyed implementation.
 
-use qcir::Bits;
+pub mod intern;
+
+pub use intern::InternPool;
+
+use qcir::{Bits, IndexPlan};
 use rand::Rng;
-use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// A sparse probability distribution over measurement bitstrings.
+///
+/// Outcomes are interned into dense ids on first touch ([`InternPool`]);
+/// probabilities live in a flat id-indexed vector. All iteration and
+/// reduction APIs visit outcomes in lexicographic order, independent of
+/// insertion order.
 ///
 /// ```
 /// use metrics::Distribution;
@@ -35,7 +49,14 @@ use std::collections::BTreeMap;
 #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Distribution {
     n_bits: usize,
-    probs: BTreeMap<Bits, f64>,
+    pool: InternPool,
+    /// `id → probability`, parallel to the pool's key list.
+    probs: Vec<f64>,
+    /// Lazily-computed sorted-id cache backing [`Distribution::order`];
+    /// invalidated whenever the key set grows. Derived state — excluded
+    /// from serialization.
+    #[serde(skip)]
+    order: OnceLock<Vec<u32>>,
 }
 
 impl Distribution {
@@ -43,7 +64,19 @@ impl Distribution {
     pub fn new(n_bits: usize) -> Self {
         Distribution {
             n_bits,
-            probs: BTreeMap::new(),
+            pool: InternPool::new(),
+            probs: Vec::new(),
+            order: OnceLock::new(),
+        }
+    }
+
+    /// Creates an empty distribution sized for roughly `support` outcomes.
+    pub fn with_support_capacity(n_bits: usize, support: usize) -> Self {
+        Distribution {
+            n_bits,
+            pool: InternPool::with_capacity(support),
+            probs: Vec::with_capacity(support),
+            order: OnceLock::new(),
         }
     }
 
@@ -59,8 +92,7 @@ impl Distribution {
         }
         let w = 1.0 / samples.len() as f64;
         for s in samples {
-            assert_eq!(s.len(), n_bits, "sample width mismatch");
-            *d.probs.entry(s.clone()).or_insert(0.0) += w;
+            d.add_ref(s, w);
         }
         d
     }
@@ -74,8 +106,7 @@ impl Distribution {
     pub fn from_pairs(n_bits: usize, pairs: Vec<(Bits, f64)>) -> Self {
         let mut d = Distribution::new(n_bits);
         for (b, p) in pairs {
-            assert_eq!(b.len(), n_bits, "outcome width mismatch");
-            *d.probs.entry(b).or_insert(0.0) += p;
+            d.add(b, p);
         }
         d
     }
@@ -97,7 +128,9 @@ impl Distribution {
 
     /// The probability of an outcome (0 when absent).
     pub fn prob(&self, outcome: &Bits) -> f64 {
-        self.probs.get(outcome).copied().unwrap_or(0.0)
+        self.pool
+            .get(outcome)
+            .map_or(0.0, |id| self.probs[id as usize])
     }
 
     /// Adds `p` to the probability of `outcome`.
@@ -107,38 +140,89 @@ impl Distribution {
     /// Panics on width mismatch.
     pub fn add(&mut self, outcome: Bits, p: f64) {
         assert_eq!(outcome.len(), self.n_bits, "outcome width mismatch");
-        *self.probs.entry(outcome).or_insert(0.0) += p;
+        let id = self.pool.intern_owned(outcome) as usize;
+        if id == self.probs.len() {
+            // First touch: start from an explicit zero so signed zeros
+            // behave exactly like the former `or_insert(0.0) += p`.
+            self.probs.push(0.0 + p);
+            self.order.take();
+        } else {
+            self.probs[id] += p;
+        }
+    }
+
+    /// [`Distribution::add`] without taking ownership (the outcome is
+    /// cloned only on its first appearance).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_ref(&mut self, outcome: &Bits, p: f64) {
+        assert_eq!(outcome.len(), self.n_bits, "outcome width mismatch");
+        let id = self.pool.intern(outcome) as usize;
+        if id == self.probs.len() {
+            self.probs.push(0.0 + p);
+            self.order.take();
+        } else {
+            self.probs[id] += p;
+        }
+    }
+
+    /// Ids of the recorded outcomes in lexicographic key order — the
+    /// deterministic visit order shared by every read path. Computed on
+    /// first use and cached until the key set grows, so repeated reads
+    /// (per-bit marginals, fidelity sweeps) sort the support once.
+    fn order(&self) -> &[u32] {
+        self.order.get_or_init(|| self.pool.sorted_ids())
     }
 
     /// Iterator over `(outcome, probability)` pairs in lexicographic
     /// outcome order (deterministic, which keeps downstream float
     /// accumulation bit-reproducible).
     pub fn iter(&self) -> impl Iterator<Item = (&Bits, f64)> + '_ {
-        self.probs.iter().map(|(b, &p)| (b, p))
+        self.order()
+            .iter()
+            .map(move |&id| (self.pool.key(id), self.probs[id as usize]))
     }
 
     /// Sum of all recorded probabilities.
     pub fn total_mass(&self) -> f64 {
-        self.probs.values().sum()
+        let mut mass = 0.0;
+        for &id in self.order() {
+            mass += self.probs[id as usize];
+        }
+        mass
     }
 
     /// Clamps negative entries to zero and rescales to unit mass.
     ///
     /// Cut reconstruction from sampled fragment data can produce small
-    /// negative quasi-probabilities; this is the standard repair.
+    /// negative quasi-probabilities; this is the standard repair. Outcomes
+    /// left with zero probability are dropped from the support.
     pub fn clip_and_normalize(&mut self) {
-        self.probs.retain(|_, p| {
-            if *p < 0.0 {
-                *p = 0.0;
+        // Rebuild the pool over the surviving (positive) outcomes; the
+        // mass is summed in lexicographic order, matching the ordered-map
+        // semantics this type originally had bit for bit.
+        let order: Vec<u32> = self.order().to_vec();
+        let mut pool = InternPool::with_capacity(self.probs.len());
+        let mut probs = Vec::with_capacity(self.probs.len());
+        let mut mass = 0.0;
+        for id in order {
+            let p = self.probs[id as usize];
+            if p > 0.0 {
+                pool.intern(self.pool.key(id));
+                probs.push(p);
+                mass += p;
             }
-            *p > 0.0
-        });
-        let mass = self.total_mass();
+        }
         if mass > 0.0 {
-            for p in self.probs.values_mut() {
+            for p in &mut probs {
                 *p /= mass;
             }
         }
+        self.pool = pool;
+        self.probs = probs;
+        self.order = OnceLock::new();
     }
 
     /// The `[p(bit=0), p(bit=1)]` marginal of one bit position.
@@ -149,15 +233,23 @@ impl Distribution {
     pub fn marginal(&self, bit: usize) -> [f64; 2] {
         assert!(bit < self.n_bits, "bit out of range");
         let mut m = [0.0; 2];
-        for (b, &p) in &self.probs {
-            m[b.get(bit) as usize] += p;
+        for &id in self.order() {
+            m[self.pool.key(id).get(bit) as usize] += self.probs[id as usize];
         }
         m
     }
 
     /// All single-bit marginals.
     pub fn marginals(&self) -> Vec<[f64; 2]> {
-        (0..self.n_bits).map(|q| self.marginal(q)).collect()
+        let mut out = vec![[0.0; 2]; self.n_bits];
+        for &id in self.order() {
+            let b = self.pool.key(id);
+            let p = self.probs[id as usize];
+            for (q, m) in out.iter_mut().enumerate() {
+                m[b.get(q) as usize] += p;
+            }
+        }
+        out
     }
 
     /// The joint marginal over a subset of bit positions (in given order).
@@ -166,9 +258,12 @@ impl Distribution {
     ///
     /// Panics if any position is out of range.
     pub fn marginal_subset(&self, bits: &[usize]) -> Distribution {
+        // One extraction plan reused across the support, instead of
+        // re-deriving the word/shift tables per entry.
+        let plan = IndexPlan::new(bits, self.n_bits);
         let mut d = Distribution::new(bits.len());
-        for (b, &p) in &self.probs {
-            d.add(b.extract(bits), p);
+        for &id in self.order() {
+            d.add(plan.extract(self.pool.key(id)), self.probs[id as usize]);
         }
         d
     }
@@ -183,8 +278,9 @@ impl Distribution {
     pub fn hellinger_fidelity(&self, other: &Distribution) -> f64 {
         assert_eq!(self.n_bits, other.n_bits, "width mismatch");
         let mut bc = 0.0;
-        for (b, &p) in &self.probs {
-            let q = other.prob(b);
+        for &id in self.order() {
+            let p = self.probs[id as usize];
+            let q = other.prob(self.pool.key(id));
             if p > 0.0 && q > 0.0 {
                 bc += (p * q).sqrt();
             }
@@ -200,12 +296,13 @@ impl Distribution {
     pub fn total_variation(&self, other: &Distribution) -> f64 {
         assert_eq!(self.n_bits, other.n_bits, "width mismatch");
         let mut tv = 0.0;
-        for (b, &p) in &self.probs {
-            tv += (p - other.prob(b)).abs();
+        for &id in self.order() {
+            tv += (self.probs[id as usize] - other.prob(self.pool.key(id))).abs();
         }
-        for (b, &q) in &other.probs {
-            if !self.probs.contains_key(b) {
-                tv += q;
+        for &id in other.order() {
+            let b = other.pool.key(id);
+            if self.pool.get(b).is_none() {
+                tv += other.probs[id as usize];
             }
         }
         tv / 2.0
@@ -222,7 +319,9 @@ impl Distribution {
             assert!(q < self.n_bits, "bit index {q} out of range");
         }
         let mut total = 0.0;
-        for (b, &p) in &self.probs {
+        for &id in self.order() {
+            let b = self.pool.key(id);
+            let p = self.probs[id as usize];
             let parity = subset.iter().filter(|&&q| b.get(q)).count() % 2;
             total += if parity == 1 { -p } else { p };
         }
@@ -232,24 +331,41 @@ impl Distribution {
     /// Draws `shots` samples (requires non-negative probabilities; mass is
     /// normalized implicitly).
     ///
+    /// Zero- and negative-probability entries can never be drawn: the
+    /// sampler walks cumulative weights over the strictly positive support
+    /// with a binary search per shot.
+    ///
     /// # Panics
     ///
-    /// Panics when sampling from an empty distribution.
+    /// Panics when no outcome has strictly positive probability (empty
+    /// distribution, or all mass clipped to zero) — any returned outcome
+    /// would be a probability-zero event.
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
-        let entries: Vec<(&Bits, f64)> = self.probs.iter().map(|(b, &p)| (b, p.max(0.0))).collect();
-        let total: f64 = entries.iter().map(|(_, p)| p).sum();
+        // Cumulative weights over the positive support, in lexicographic
+        // order so a given RNG stream maps to a deterministic sample
+        // sequence.
+        let mut support = Vec::new();
+        let mut cum = Vec::new();
+        let mut total = 0.0;
+        for &id in self.order() {
+            let p = self.probs[id as usize];
+            if p > 0.0 {
+                total += p;
+                support.push(id);
+                cum.push(total);
+            }
+        }
+        assert!(
+            total > 0.0,
+            "sampling from a distribution with zero total probability mass"
+        );
         let mut out = Vec::with_capacity(shots);
         for _ in 0..shots {
-            let mut u = rng.random::<f64>() * total;
-            let mut chosen = entries.last().map(|(b, _)| (*b).clone());
-            for (b, p) in &entries {
-                if u <= *p {
-                    chosen = Some((*b).clone());
-                    break;
-                }
-                u -= p;
-            }
-            out.push(chosen.expect("sampling from empty distribution"));
+            let u = rng.random::<f64>() * total;
+            // First cumulative weight ≥ u; the final clamp guards the
+            // float edge where u rounds up to the total.
+            let k = cum.partition_point(|&c| c < u).min(cum.len() - 1);
+            out.push(self.pool.key(support[k]).clone());
         }
         out
     }
@@ -387,5 +503,173 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.total_mass(), 0.0);
         assert_eq!(d.prob(&bits("00")), 0.0);
+    }
+
+    #[test]
+    fn sample_never_returns_zero_probability_outcomes() {
+        // Regression: the former linear-scan sampler could return the
+        // first entry on u == 0 even with p == 0, and zero-mass tails via
+        // the last-entry fallback. "00" sorts first and "11" last; neither
+        // may ever be drawn.
+        let d = Distribution::from_pairs(
+            2,
+            vec![
+                (bits("00"), 0.0),
+                (bits("01"), 0.5),
+                (bits("10"), 0.5),
+                (bits("11"), 0.0),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        for s in d.sample(20_000, &mut rng) {
+            assert!(
+                s == bits("01") || s == bits("10"),
+                "sampled zero-probability outcome {s}"
+            );
+        }
+        // Negative quasi-probabilities are equally unsampleable.
+        let q = Distribution::from_pairs(1, vec![(bits("0"), -0.25), (bits("1"), 1.0)]);
+        for s in q.sample(5_000, &mut rng) {
+            assert_eq!(s, bits("1"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total probability mass")]
+    fn sample_panics_on_zero_mass() {
+        let d = Distribution::from_pairs(1, vec![(bits("0"), 0.0), (bits("1"), 0.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = d.sample(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total probability mass")]
+    fn sample_panics_on_empty_distribution() {
+        let d = Distribution::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = d.sample(1, &mut rng);
+    }
+
+    /// Reference model: the pre-intern `BTreeMap`-keyed implementation,
+    /// reproduced verbatim. The interned engine must match it bit for bit
+    /// on every operation that feeds float accumulation downstream.
+    mod reference {
+        use qcir::Bits;
+        use std::collections::BTreeMap;
+
+        #[derive(Default)]
+        pub struct Model {
+            pub probs: BTreeMap<Bits, f64>,
+        }
+
+        impl Model {
+            pub fn add(&mut self, b: Bits, p: f64) {
+                *self.probs.entry(b).or_insert(0.0) += p;
+            }
+
+            pub fn total_mass(&self) -> f64 {
+                self.probs.values().sum()
+            }
+
+            pub fn marginal(&self, n_bits: usize, bit: usize) -> [f64; 2] {
+                let _ = n_bits;
+                let mut m = [0.0; 2];
+                for (b, &p) in &self.probs {
+                    m[b.get(bit) as usize] += p;
+                }
+                m
+            }
+
+            pub fn clip_and_normalize(&mut self) {
+                self.probs.retain(|_, p| {
+                    if *p < 0.0 {
+                        *p = 0.0;
+                    }
+                    *p > 0.0
+                });
+                let mass = self.total_mass();
+                if mass > 0.0 {
+                    for p in self.probs.values_mut() {
+                        *p /= mass;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property: random interleaved add/merge sequences produce a
+    /// distribution bit-identical to the ordered-map reference — same
+    /// support, same iteration order, same float values (no tolerance).
+    #[test]
+    fn interned_distribution_matches_btreemap_reference_bit_exact() {
+        let n_bits = 6;
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _case in 0..200 {
+            let mut d = Distribution::new(n_bits);
+            let mut model = reference::Model::default();
+            // Random adds, with deliberate key reuse and signed weights.
+            let ops = 1 + (rng.random::<u64>() % 64) as usize;
+            for _ in 0..ops {
+                let key = Bits::from_u64(rng.random::<u64>() % 16, n_bits);
+                let w = (rng.random::<f64>() - 0.4) * 0.3;
+                d.add(key.clone(), w);
+                model.add(key, w);
+            }
+            // Merge a second batch through add_ref (the borrow path).
+            for _ in 0..ops / 2 {
+                let key = Bits::from_u64(rng.random::<u64>() % 16, n_bits);
+                let w = rng.random::<f64>() * 0.1;
+                d.add_ref(&key, w);
+                model.add(key, w);
+            }
+            let check = |d: &Distribution, model: &reference::Model, stage: &str| {
+                assert_eq!(d.support_len(), model.probs.len(), "{stage}: support");
+                for ((db, dp), (mb, &mp)) in d.iter().zip(model.probs.iter()) {
+                    assert_eq!(db, mb, "{stage}: iteration order");
+                    assert!(
+                        dp == mp || (dp.is_nan() && mp.is_nan()),
+                        "{stage}: value at {db}: {dp} vs {mp}"
+                    );
+                }
+                assert!(d.total_mass() == model.total_mass(), "{stage}: mass");
+                for bit in 0..n_bits {
+                    assert_eq!(
+                        d.marginal(bit),
+                        model.marginal(n_bits, bit),
+                        "{stage}: marginal"
+                    );
+                }
+            };
+            check(&d, &model, "accumulated");
+            d.clip_and_normalize();
+            model.clip_and_normalize();
+            check(&d, &model, "normalized");
+        }
+    }
+
+    #[test]
+    fn marginal_subset_matches_per_entry_extract() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n_bits = 70; // multi-word keys
+        let mut d = Distribution::new(n_bits);
+        for _ in 0..40 {
+            let mut b = Bits::zeros(n_bits);
+            for i in 0..n_bits {
+                b.set(i, rng.random::<bool>());
+            }
+            d.add(b, rng.random::<f64>());
+        }
+        let subset = [0usize, 63, 64, 69, 7];
+        let via_plan = d.marginal_subset(&subset);
+        // Reference: per-entry Bits::extract in the same iteration order.
+        let mut expect = Distribution::new(subset.len());
+        for (b, p) in d.iter() {
+            expect.add(b.extract(&subset), p);
+        }
+        assert_eq!(via_plan.support_len(), expect.support_len());
+        for ((ab, ap), (eb, ep)) in via_plan.iter().zip(expect.iter()) {
+            assert_eq!(ab, eb);
+            assert!(ap == ep, "plan-based subset diverged at {ab}");
+        }
     }
 }

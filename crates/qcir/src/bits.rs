@@ -267,6 +267,24 @@ impl Bits {
         out
     }
 
+    /// A fast 64-bit hash of the bitstring (FxHash-style word fold).
+    ///
+    /// Intended for open-addressed hash tables and intern pools over
+    /// outcome keys, where the per-key cost of the standard `Hasher`
+    /// machinery dominates; not a cryptographic hash. Equal bitstrings
+    /// hash equally (the `len..` word invariant keeps padding bits zero).
+    #[inline]
+    pub fn hash_u64(&self) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut h = self.len as u64;
+        for &w in &self.words {
+            h = (h.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        // Final avalanche so low table-index bits depend on every word.
+        h ^= h >> 32;
+        h.wrapping_mul(SEED)
+    }
+
     /// Writes `self`'s bits into positions `positions` of `target` in place.
     ///
     /// # Panics
@@ -595,6 +613,34 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn index_plan_out_of_range_panics() {
         let _ = IndexPlan::new(&[4], 4);
+    }
+
+    #[test]
+    fn hash_u64_consistent_with_equality() {
+        use std::collections::HashSet;
+        // Equal values hash equally, including across construction routes.
+        let a = Bits::parse("0110010").unwrap();
+        let b = Bits::from_bools(&[false, true, true, false, false, true, false]);
+        assert_eq!(a, b);
+        assert_eq!(a.hash_u64(), b.hash_u64());
+        // Same words, different length must differ (length is mixed in).
+        assert_ne!(Bits::zeros(3).hash_u64(), Bits::zeros(4).hash_u64());
+        // No collisions over a small dense universe (8-bit strings) and a
+        // multi-word sample — a sanity floor for table quality, not a
+        // universal guarantee.
+        let mut seen = HashSet::new();
+        for x in 0..256u64 {
+            assert!(
+                seen.insert(Bits::from_u64(x, 8).hash_u64()),
+                "collision at {x}"
+            );
+        }
+        let mut seen = HashSet::new();
+        for s in 0..512u64 {
+            // `patterned` ORs 1 into the seed, so use odd seeds only.
+            let b = patterned(130, 2 * s + 1);
+            assert!(seen.insert(b.hash_u64()), "collision at seed {s}");
+        }
     }
 
     #[test]

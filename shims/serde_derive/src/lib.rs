@@ -2,16 +2,18 @@
 //!
 //! The workspace derives `Serialize`/`Deserialize` on several types so the
 //! code is ready for a real serde dependency; offline, the derives expand
-//! to nothing.
+//! to nothing. The `serde` helper attribute is declared (matching the real
+//! `serde_derive` interface) so field annotations like `#[serde(skip)]`
+//! compile against the shim and take effect once real serde is swapped in.
 
 use proc_macro::TokenStream;
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
