@@ -1,0 +1,524 @@
+//! Benchmark-report JSON utilities: a dependency-free parser for the
+//! `BENCH_recombine.json` schema and the CI bench-regression gate.
+//!
+//! The offline build has no `serde_json`, so this module carries a minimal
+//! recursive-descent JSON parser — enough for the reports `bench_json`
+//! itself writes (objects, arrays, numbers, strings, booleans, null).
+//!
+//! The regression gate ([`check_regressions`]) compares every
+//! single-threaded timing series (keys ending in `_1t_ms`) of a fresh
+//! report against the committed baseline, prints a per-series delta
+//! table, and flags any series that slowed down by more than the given
+//! tolerance. Single-threaded series are the gated ones because they are
+//! insensitive to the runner's core count; multi-threaded numbers are
+//! reported but not gated.
+
+/// A parsed JSON value. Object keys keep file order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value of an object key, when this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("unknown escape at byte {}", *pos - 1)),
+                }
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through byte-wise.
+                let ch_len = utf8_len(c);
+                let chunk = bytes
+                    .get(*pos..*pos + ch_len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or("invalid UTF-8 in string")?;
+                out.push_str(chunk);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Extracts every single-threaded timing series — object keys ending in
+/// `_1t_ms` — with a stable label derived from the path, e.g.
+/// `recombine_marginals[k=8].engine_1t_ms`. Array elements are labelled
+/// by their `k` field when present, their index otherwise.
+pub fn collect_1t_series(report: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk_series(report, "", &mut out);
+    out
+}
+
+fn walk_series(value: &JsonValue, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        JsonValue::Obj(pairs) => {
+            for (key, v) in pairs {
+                let label = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                if key.ends_with("_1t_ms") {
+                    if let JsonValue::Num(x) = v {
+                        out.push((label, *x));
+                    }
+                } else {
+                    walk_series(v, &label, out);
+                }
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let tag = item
+                    .get("k")
+                    .and_then(JsonValue::as_f64)
+                    .map_or(format!("[{i}]"), |k| format!("[k={k}]"));
+                walk_series(item, &format!("{prefix}{tag}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The outcome of comparing one series against the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeriesDelta {
+    /// Present in both reports: relative change `new/old − 1`.
+    Compared {
+        /// Baseline milliseconds.
+        baseline_ms: f64,
+        /// Fresh milliseconds.
+        new_ms: f64,
+        /// Relative change (positive = slower).
+        delta: f64,
+        /// Whether the change exceeds the gate tolerance.
+        regressed: bool,
+    },
+    /// Measured now but absent from the baseline (new series).
+    NewSeries,
+    /// In the baseline but not measured now (e.g. `MAX_K` trimmed it).
+    NotMeasured,
+}
+
+/// Compares the `*_1t_ms` series of a fresh report against a committed
+/// baseline. Returns `(label, delta)` rows in report order (baseline-only
+/// series appended) — the caller renders and gates on them.
+///
+/// A series counts as regressed only when it is slower by more than
+/// `tolerance` (relative) **and** by more than `min_delta_ms` (absolute):
+/// sub-millisecond series jitter by tens of percent run to run, and the
+/// absolute floor keeps that noise from tripping the gate while still
+/// catching any regression large enough to matter.
+///
+/// # Errors
+///
+/// Returns a parse error description when either document is malformed.
+pub fn compare_1t_series(
+    baseline_json: &str,
+    new_json: &str,
+    tolerance: f64,
+    min_delta_ms: f64,
+) -> Result<Vec<(String, SeriesDelta)>, String> {
+    let baseline = collect_1t_series(&parse(baseline_json).map_err(|e| format!("baseline: {e}"))?);
+    let fresh = collect_1t_series(&parse(new_json).map_err(|e| format!("new report: {e}"))?);
+    let mut rows = Vec::new();
+    for (label, new_ms) in &fresh {
+        match baseline.iter().find(|(b, _)| b == label) {
+            Some((_, base_ms)) if *base_ms > 0.0 => {
+                let delta = new_ms / base_ms - 1.0;
+                rows.push((
+                    label.clone(),
+                    SeriesDelta::Compared {
+                        baseline_ms: *base_ms,
+                        new_ms: *new_ms,
+                        delta,
+                        regressed: delta > tolerance && new_ms - base_ms > min_delta_ms,
+                    },
+                ));
+            }
+            _ => rows.push((label.clone(), SeriesDelta::NewSeries)),
+        }
+    }
+    for (label, _) in &baseline {
+        if !fresh.iter().any(|(l, _)| l == label) {
+            rows.push((label.clone(), SeriesDelta::NotMeasured));
+        }
+    }
+    Ok(rows)
+}
+
+/// Runs the bench-regression gate: prints a per-series delta table and
+/// returns `true` when no `*_1t_ms` series regressed beyond `tolerance`
+/// (a fraction: `0.25` = 25 % slower fails) and `min_delta_ms` (the
+/// absolute noise floor — see [`compare_1t_series`]).
+///
+/// # Errors
+///
+/// Returns a parse error description when either document is malformed.
+pub fn check_regressions(
+    baseline_json: &str,
+    new_json: &str,
+    tolerance: f64,
+    min_delta_ms: f64,
+) -> Result<bool, String> {
+    let rows = compare_1t_series(baseline_json, new_json, tolerance, min_delta_ms)?;
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(6).max(6);
+    println!(
+        "bench-check: gating *_1t_ms series at +{:.0}% (noise floor {min_delta_ms} ms)",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<width$}  {:>12}  {:>12}  {:>8}  status",
+        "series", "baseline_ms", "new_ms", "delta"
+    );
+    let mut ok = true;
+    for (label, delta) in &rows {
+        match delta {
+            SeriesDelta::Compared {
+                baseline_ms,
+                new_ms,
+                delta,
+                regressed,
+            } => {
+                let status = if *regressed { "REGRESSED" } else { "ok" };
+                if *regressed {
+                    ok = false;
+                }
+                println!(
+                    "{label:<width$}  {baseline_ms:>12.3}  {new_ms:>12.3}  {:>+7.1}%  {status}",
+                    delta * 100.0
+                );
+            }
+            SeriesDelta::NewSeries => {
+                println!(
+                    "{label:<width$}  {:>12}  {:>12}  {:>8}  new (no baseline)",
+                    "-", "-", "-"
+                );
+            }
+            SeriesDelta::NotMeasured => {
+                println!(
+                    "{label:<width$}  {:>12}  {:>12}  {:>8}  not measured",
+                    "-", "-", "-"
+                );
+            }
+        }
+    }
+    if ok {
+        println!("bench-check: PASS");
+    } else {
+        println!("bench-check: FAIL — at least one series regressed beyond the tolerance");
+    }
+    Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "bench": "recombine",
+      "schema_version": 3,
+      "recombine_marginals": [
+        {"k": 4, "seed_ms": 1.0, "engine_1t_ms": 0.5, "engine_mt_ms": 0.4},
+        {"k": 8, "seed_ms": 10.0, "engine_1t_ms": 4.0, "engine_mt_ms": 2.0}
+      ],
+      "joint_reconstruction": [
+        {"k": 4, "joint_1t_ms": 0.25, "bit_identical_to_baseline": true}
+      ],
+      "fragment_eval": {"reference_ms": 30.0, "engine_1t_ms": 20.0, "ok": null}
+    }"#;
+
+    #[test]
+    fn parses_own_report_shape() {
+        let v = parse(SAMPLE).unwrap();
+        assert_eq!(
+            v.get("schema_version").and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            v.get("fragment_eval").unwrap().get("ok"),
+            Some(&JsonValue::Null)
+        );
+        assert_eq!(
+            v.get("bench"),
+            Some(&JsonValue::Str("recombine".to_string()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn collects_1t_series_with_stable_labels() {
+        let v = parse(SAMPLE).unwrap();
+        let series = collect_1t_series(&v);
+        let labels: Vec<&str> = series.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "recombine_marginals[k=4].engine_1t_ms",
+                "recombine_marginals[k=8].engine_1t_ms",
+                "joint_reconstruction[k=4].joint_1t_ms",
+                "fragment_eval.engine_1t_ms",
+            ]
+        );
+        assert_eq!(series[1].1, 4.0);
+    }
+
+    #[test]
+    fn regression_gate_flags_only_series_beyond_tolerance() {
+        let baseline = SAMPLE;
+        let fresh = SAMPLE
+            .replace("\"engine_1t_ms\": 4.0", "\"engine_1t_ms\": 5.5")
+            .replace("\"engine_1t_ms\": 0.5", "\"engine_1t_ms\": 0.55");
+        let rows = compare_1t_series(baseline, &fresh, 0.25, 0.1).unwrap();
+        let by_label = |l: &str| {
+            rows.iter()
+                .find(|(label, _)| label.contains(l))
+                .map(|(_, d)| d.clone())
+                .unwrap()
+        };
+        // +10% stays under the 25% gate; +37.5% trips it.
+        match by_label("[k=4].engine_1t_ms") {
+            SeriesDelta::Compared { regressed, .. } => assert!(!regressed),
+            other => panic!("unexpected {other:?}"),
+        }
+        match by_label("[k=8].engine_1t_ms") {
+            SeriesDelta::Compared {
+                regressed, delta, ..
+            } => {
+                assert!(regressed);
+                assert!((delta - 0.375).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!check_regressions(baseline, &fresh, 0.25, 0.1).unwrap());
+        assert!(check_regressions(baseline, baseline, 0.25, 0.1).unwrap());
+    }
+
+    #[test]
+    fn noise_floor_shields_tiny_series() {
+        // +100% relative but only +0.05 ms absolute: under the floor, so
+        // the gate must not trip; a macroscopic series with the same
+        // relative change must still fail.
+        let baseline = r#"{"a": {"x_1t_ms": 0.05}, "b": {"y_1t_ms": 100.0}}"#;
+        let fresh = r#"{"a": {"x_1t_ms": 0.1}, "b": {"y_1t_ms": 200.0}}"#;
+        let rows = compare_1t_series(baseline, fresh, 0.25, 0.5).unwrap();
+        match &rows.iter().find(|(l, _)| l == "a.x_1t_ms").unwrap().1 {
+            SeriesDelta::Compared { regressed, .. } => assert!(!regressed),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &rows.iter().find(|(l, _)| l == "b.y_1t_ms").unwrap().1 {
+            SeriesDelta::Compared { regressed, .. } => assert!(regressed),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!check_regressions(baseline, fresh, 0.25, 0.5).unwrap());
+    }
+
+    #[test]
+    fn new_and_missing_series_do_not_gate() {
+        let baseline = r#"{"a": [{"k": 4, "x_1t_ms": 1.0}, {"k": 8, "x_1t_ms": 2.0}]}"#;
+        let fresh = r#"{"a": [{"k": 4, "x_1t_ms": 1.0}], "b": {"y_1t_ms": 9.0}}"#;
+        let rows = compare_1t_series(baseline, fresh, 0.25, 0.1).unwrap();
+        assert!(rows
+            .iter()
+            .any(|(l, d)| l == "b.y_1t_ms" && *d == SeriesDelta::NewSeries));
+        assert!(rows
+            .iter()
+            .any(|(l, d)| l == "a[k=8].x_1t_ms" && *d == SeriesDelta::NotMeasured));
+        assert!(check_regressions(baseline, fresh, 0.25, 0.1).unwrap());
+    }
+}

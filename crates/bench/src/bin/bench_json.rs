@@ -16,16 +16,33 @@
 //! accumulation, one `Bits` clone per partial term, clone-per-merge across
 //! chunks), asserting the outputs bit-identical before timing is reported.
 //!
-//! Plus a (fragment × variant) evaluation-pool comparison and the §IX
-//! sparse-contraction ablation. Every engine result is checked
-//! bit-identical between thread counts before timing is reported.
+//! A `fragment_eval` series compares the interned-accumulator evaluation
+//! pool against the frozen pre-intern baseline
+//! (`cutkit::reference_evaluate_btreemap`: per-chunk
+//! `BTreeMap<Bits, Vec<f64>>` accumulation, one ordered-map walk and key
+//! clone per touch), and an `mlft` series does the same for the
+//! correction stage (`cutkit::reference_correct_btreemap`). Both assert
+//! the engine bit-identical to the baseline at 1, 2, and 8 threads before
+//! timing is reported.
+//!
+//! Plus the §IX sparse-contraction ablation. Every engine result is
+//! checked bit-identical between thread counts before timing is reported.
 //!
 //! Environment knobs: `REPS` (samples per point, default 3; the best is
-//! kept), `MAX_K` (default 12).
+//! kept), `MAX_K` (default 12), `BENCH_CHECK_TOLERANCE` (gate fraction,
+//! default 0.25), `BENCH_CHECK_MIN_DELTA_MS` (absolute noise floor,
+//! default 0.5).
+//!
+//! With `--check`, the previously committed `BENCH_recombine.json` is
+//! read before being overwritten and every `*_1t_ms` series is gated
+//! against it: a per-series delta table is printed and the process exits
+//! nonzero when any series regressed beyond the tolerance — the CI
+//! bench-regression gate.
 
 use cutkit::{
-    cut_circuit, reference_joint_btreemap, synthetic_dense_chain, CutStrategy, EvalMode,
-    EvalOptions, FragmentTensor, Reconstructor, TensorOptions,
+    correct_tensors, cut_circuit, reference_correct_btreemap, reference_evaluate_btreemap,
+    reference_joint_btreemap, synthetic_dense_chain, CutStrategy, EvalMode, EvalOptions,
+    FragmentTensor, MlftOptions, Reconstructor, TensorOptions,
 };
 use qcir::{Bits, Circuit};
 use std::time::Instant;
@@ -120,7 +137,81 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Bit-exact tensor comparison: same support, same emission order, same
+/// coefficient float bits.
+fn tensors_bit_identical(a: &[FragmentTensor], b: &[FragmentTensor]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(s, p)| {
+            s.support_len() == p.support_len()
+                && s.iter().zip(p.iter()).all(|((sb, sv), (pb, pv))| {
+                    sb == pb && sv.iter().zip(pv).all(|(x, y)| x.to_bits() == y.to_bits())
+                })
+        })
+}
+
+/// Times one evaluation-pool workload against the frozen `BTreeMap`
+/// reference, asserting the engine bit-identical to the baseline at 1, 2,
+/// and 8 threads, and returns the series as a JSON object body.
+fn bench_eval_pool(
+    label: &str,
+    fragments: &[cutkit::Fragment],
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    seeds: &[u64],
+    reps: usize,
+    cores: usize,
+) -> String {
+    let (ref_ms, ref_tensors) = time_best(reps, || {
+        reference_evaluate_btreemap(fragments, eval, opts, seeds).unwrap()
+    });
+    let (one_ms, seq_tensors) = time_best(reps, || {
+        cutkit::evaluate_fragment_tensors(fragments, eval, opts, seeds, 1).unwrap()
+    });
+    let (multi_ms, par_tensors) = time_best(reps, || {
+        cutkit::evaluate_fragment_tensors(fragments, eval, opts, seeds, cores).unwrap()
+    });
+    let identical = tensors_bit_identical(&seq_tensors, &par_tensors);
+    assert!(identical, "{label}: evaluation pool changed results");
+    // Parity at 1/2/8 threads: the 1-thread result is already in hand.
+    assert!(
+        tensors_bit_identical(&seq_tensors, &ref_tensors),
+        "{label}: fragment eval at 1 thread diverged from the BTreeMap baseline"
+    );
+    for threads in [2usize, 8] {
+        let engine =
+            cutkit::evaluate_fragment_tensors(fragments, eval, opts, seeds, threads).unwrap();
+        assert!(
+            tensors_bit_identical(&engine, &ref_tensors),
+            "{label}: fragment eval at {threads} threads diverged from the BTreeMap baseline"
+        );
+    }
+    let speedup_1t = ref_ms / one_ms;
+    let speedup_mt = ref_ms / multi_ms;
+    let variants: usize = fragments.iter().map(|f| f.num_variants()).sum();
+    println!(
+        "fragment eval [{label}] ({} fragments, {variants} variants): \
+         reference {ref_ms:.2} ms, engine(1t) {one_ms:.2} ms ({speedup_1t:.2}x), \
+         engine({cores} workers) {multi_ms:.2} ms ({speedup_mt:.2}x)",
+        fragments.len(),
+    );
+    format!(
+        "{{\"fragments\": {}, \"variants\": {variants}, \"reference_ms\": {ref_ms:.3}, \
+         \"engine_1t_ms\": {one_ms:.3}, \"engine_mt_ms\": {multi_ms:.3}, \
+         \"speedup_1t\": {speedup_1t:.3}, \"speedup_mt\": {speedup_mt:.3}, \
+         \"bit_identical_to_baseline\": true, \"bit_identical_across_threads\": {identical}}}",
+        fragments.len(),
+    )
+}
+
 fn main() {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recombine.json");
+    // Snapshot the committed baseline before this run overwrites it.
+    let committed = if check {
+        std::fs::read_to_string(path).ok()
+    } else {
+        None
+    };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let reps = env_usize("REPS", 3);
     let max_k = env_usize("MAX_K", 12);
@@ -220,6 +311,10 @@ fn main() {
     }
 
     // --- Fragment evaluation: shared (fragment × variant) pool -------
+    // Two workloads: a realistic sampled circuit (simulation-bound, shows
+    // the end-to-end effect) and a wide exact-Clifford fragment whose
+    // variants enumerate thousands of outcomes (accumulation-bound — the
+    // stage the interned rewrite targets).
     let mut circuit = Circuit::new(6);
     circuit.h(0);
     for q in 1..6 {
@@ -238,26 +333,108 @@ fn main() {
     };
     let opts = TensorOptions::default();
     let seeds: Vec<u64> = (0..cut.fragments.len() as u64).map(|i| 77 + i).collect();
-    let (eval_1t_ms, seq_tensors) = time_best(reps, || {
-        cutkit::evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, 1).unwrap()
+    let sampled_row = bench_eval_pool(
+        "sampled_6q",
+        &cut.fragments,
+        &eval,
+        &opts,
+        &seeds,
+        reps,
+        cores,
+    );
+
+    // Wide workload: a 15-qubit line graph state (full-rank 2^15 output
+    // support, one connected Clifford fragment) with one T forcing a cut.
+    // Each variant enumerates the whole support, so per-outcome
+    // accumulator touches dominate the stage.
+    let mut wide = Circuit::new(15);
+    for q in 0..15 {
+        wide.h(q);
+    }
+    for q in 1..15 {
+        wide.cz(q - 1, q);
+    }
+    wide.t(14);
+    let wide_cut = cut_circuit(&wide, CutStrategy::default()).unwrap();
+    let wide_eval = EvalOptions {
+        mode: EvalMode::Exact,
+        ..Default::default()
+    };
+    let wide_seeds: Vec<u64> = (0..wide_cut.fragments.len() as u64)
+        .map(|i| 313 + i)
+        .collect();
+    let wide_row = bench_eval_pool(
+        "wide_exact",
+        &wide_cut.fragments,
+        &wide_eval,
+        &opts,
+        &wide_seeds,
+        reps,
+        cores,
+    );
+
+    // --- MLFT correction: interned in-place path vs BTreeMap baseline -
+    // Raw (unsnapped) sampled tensors with a tight negativity tolerance,
+    // so the PSD projection fires on realistically noisy blocks. The
+    // fragment set is tiled so the measured stage is well above the
+    // timer's noise floor.
+    let raw_opts = TensorOptions {
+        clifford_snap: false,
+    };
+    let base_raw =
+        cutkit::evaluate_fragment_tensors(&cut.fragments, &eval, &raw_opts, &seeds, 1).unwrap();
+    let raw_tensors: Vec<FragmentTensor> = std::iter::repeat_with(|| base_raw.clone())
+        .take(16)
+        .flatten()
+        .collect();
+    let mlft_opts = MlftOptions {
+        negativity_tolerance: 1e-6,
+        ..MlftOptions::default()
+    };
+    let (mlft_ref_ms, (mlft_ref_tensors, mlft_ref_moved)) = time_best(reps, || {
+        let mut ts = raw_tensors.clone();
+        let mut moved = 0.0;
+        for t in ts.iter_mut() {
+            moved += reference_correct_btreemap(t, &mlft_opts).unwrap();
+        }
+        (ts, moved)
     });
-    let (eval_mt_ms, par_tensors) = time_best(reps, || {
-        cutkit::evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, cores).unwrap()
+    let (mlft_1t_ms, (mlft_seq, mlft_seq_moved)) = time_best(reps, || {
+        let mut ts = raw_tensors.clone();
+        let moved = correct_tensors(&mut ts, &mlft_opts, 1).unwrap();
+        (ts, moved)
     });
-    let eval_identical = seq_tensors.iter().zip(&par_tensors).all(|(s, p)| {
-        s.iter()
-            .all(|(b, v)| v.iter().enumerate().all(|(i, &x)| p.value(b, i) == x))
+    let (mlft_mt_ms, (mlft_par, _)) = time_best(reps, || {
+        let mut ts = raw_tensors.clone();
+        let moved = correct_tensors(&mut ts, &mlft_opts, cores).unwrap();
+        (ts, moved)
     });
-    assert!(eval_identical, "evaluation pool changed results");
-    let eval_speedup = eval_1t_ms / eval_mt_ms;
+    let mlft_identical = tensors_bit_identical(&mlft_seq, &mlft_par);
+    assert!(mlft_identical, "MLFT pool changed results");
+    assert!(
+        mlft_seq_moved.to_bits() == mlft_ref_moved.to_bits(),
+        "mlft_moved diverged from the BTreeMap baseline"
+    );
+    // Parity at 1/2/8 threads: the 1-thread result is already in hand.
+    assert!(
+        tensors_bit_identical(&mlft_seq, &mlft_ref_tensors),
+        "MLFT at 1 thread diverged from the BTreeMap baseline"
+    );
+    for threads in [2usize, 8] {
+        let mut ts = raw_tensors.clone();
+        correct_tensors(&mut ts, &mlft_opts, threads).unwrap();
+        assert!(
+            tensors_bit_identical(&ts, &mlft_ref_tensors),
+            "MLFT at {threads} threads diverged from the BTreeMap baseline"
+        );
+    }
+    let mlft_speedup_1t = mlft_ref_ms / mlft_1t_ms;
+    let mlft_speedup_mt = mlft_ref_ms / mlft_mt_ms;
     println!(
-        "fragment eval ({} fragments, {} variants): 1t {eval_1t_ms:.2} ms, \
-         {cores} workers {eval_mt_ms:.2} ms ({eval_speedup:.2}x)",
-        cut.fragments.len(),
-        cut.fragments
-            .iter()
-            .map(|f| f.num_variants())
-            .sum::<usize>(),
+        "mlft ({} fragments): reference {mlft_ref_ms:.2} ms, \
+         engine(1t) {mlft_1t_ms:.2} ms ({mlft_speedup_1t:.2}x), \
+         engine({cores} workers) {mlft_mt_ms:.2} ms ({mlft_speedup_mt:.2}x)",
+        raw_tensors.len(),
     );
 
     // --- §IX sparse-contraction ablation ------------------------------
@@ -299,22 +476,52 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 2,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 3,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
          \"recombine_marginals\": [\n{}\n  ],\n  \
          \"joint_reconstruction\": [\n{}\n  ],\n  \
-         \"fragment_eval\": {{\"fragments\": {}, \"variants\": {}, \
-         \"engine_1t_ms\": {eval_1t_ms:.3}, \"engine_mt_ms\": {eval_mt_ms:.3}, \
-         \"speedup_mt\": {eval_speedup:.3}, \"bit_identical_across_threads\": {eval_identical}}},\n  \
+         \"fragment_eval\": {{\n    \"sampled_6q\": {sampled_row},\n    \
+         \"wide_exact\": {wide_row}\n  }},\n  \
+         \"mlft\": {{\"fragments\": {}, \
+         \"reference_ms\": {mlft_ref_ms:.3}, \
+         \"engine_1t_ms\": {mlft_1t_ms:.3}, \"engine_mt_ms\": {mlft_mt_ms:.3}, \
+         \"speedup_1t\": {mlft_speedup_1t:.3}, \"speedup_mt\": {mlft_speedup_mt:.3}, \
+         \"bit_identical_to_baseline\": true, \
+         \"bit_identical_across_threads\": {mlft_identical}}},\n  \
          \"sparse_contraction\": {{\"k\": {}, \"visited_sparse\": {visited_sparse}, \
          \"visited_dense\": {visited_dense}}}\n}}\n",
         recombine_rows.join(",\n"),
         joint_rows.join(",\n"),
-        cut.fragments.len(),
-        cut.fragments.iter().map(|f| f.num_variants()).sum::<usize>(),
+        raw_tensors.len(),
         sparse_cut.num_cuts,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recombine.json");
     std::fs::write(path, &json).expect("write BENCH_recombine.json");
     println!("wrote {path}");
+
+    // --- Bench-regression gate (--check) -------------------------------
+    if check {
+        let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.25);
+        let min_delta_ms = std::env::var("BENCH_CHECK_MIN_DELTA_MS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.5);
+        match committed {
+            Some(baseline) => {
+                let ok = supersim_bench::benchjson::check_regressions(
+                    &baseline,
+                    &json,
+                    tolerance,
+                    min_delta_ms,
+                )
+                .expect("baseline/report JSON must parse");
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            None => println!("bench-check: no committed baseline found; gate skipped"),
+        }
+    }
 }

@@ -183,24 +183,23 @@ pub fn evaluate_variant(
 
 /// Collapses samples into `(outcome, frequency)` pairs in deterministic
 /// (lexicographic) order so downstream accumulation is bit-reproducible.
+/// Tallied by interned id (`O(1)` per sample) instead of the former
+/// per-sample ordered-map walk; the sort happens once at emission.
 fn count_samples(samples: &[Bits]) -> Vec<(Bits, f64)> {
-    let mut counts: std::collections::BTreeMap<Bits, usize> = std::collections::BTreeMap::new();
+    let mut counts = metrics::OutcomeCounts::new();
     for s in samples {
-        *counts.entry(s.clone()).or_insert(0) += 1;
+        counts.record(s);
     }
     counts_to_frequencies(counts, samples.len())
 }
 
-/// Converts outcome counts (already in lexicographic order) to
-/// frequencies.
-fn counts_to_frequencies(
-    counts: std::collections::BTreeMap<Bits, usize>,
-    shots: usize,
-) -> Vec<(Bits, f64)> {
+/// Converts an outcome tally to frequencies, emitting in lexicographic
+/// order (bit-identical to the former `BTreeMap<Bits, usize>` path).
+fn counts_to_frequencies(counts: metrics::OutcomeCounts, shots: usize) -> Vec<(Bits, f64)> {
     let total = shots.max(1) as f64;
     counts
-        .into_iter()
-        .map(|(b, c)| (b, c as f64 / total))
+        .iter_sorted()
+        .map(|(b, c)| (b.clone(), c as f64 / total))
         .collect()
 }
 

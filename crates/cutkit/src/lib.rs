@@ -43,10 +43,14 @@ mod variants;
 
 pub use cut::{cut_circuit, CutBudgetError, CutCircuit, CutPoint, CutStrategy, Fragment};
 pub use evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
+#[doc(hidden)]
+pub use mlft::reference_correct_btreemap;
 pub use mlft::{correct_tensor, correct_tensors, MlftError, MlftOptions};
 #[doc(hidden)]
 pub use recombine::reference_joint_btreemap;
 pub use recombine::{Reconstructor, ASSIGNMENTS_PER_CHUNK, MAX_CONTRACTION_CUTS};
+#[doc(hidden)]
+pub use tensor::reference_evaluate_btreemap;
 pub use tensor::{
     build_fragment_tensor, build_fragment_tensor_threaded, evaluate_fragment_tensors,
     synthetic_dense_chain, FragmentTensor, TensorOptions, PREP_TO_PAULI,

@@ -396,7 +396,7 @@ impl<'a> Reconstructor<'a> {
             .map(|(fi, t)| FragView {
                 tensor_index: fi,
                 support: t.support_len(),
-                entries: t.iter().map(|(b, v)| (b, v.as_slice())).collect(),
+                entries: t.iter().collect(),
                 plan: IndexPlan::new(t.output_globals(), self.n_qubits),
             })
             .collect();

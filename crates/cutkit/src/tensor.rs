@@ -22,14 +22,46 @@
 //! T[I] = (p₀+p₁)/2    T[X] = p₊ − T[I]
 //! T[Z] = (p₀−p₁)/2    T[Y] = pᵢ − T[I]
 //! ```
+//!
+//! # Interned accumulation layout
+//!
+//! [`FragmentTensor`] and the evaluation-stage accumulators key outcomes
+//! by dense interned ids ([`metrics::InternPool`]) instead of the former
+//! `BTreeMap<Bits, Vec<f64>>`: each distinct outcome bitstring is cloned
+//! exactly once (on first sight) and mapped to a `u32` id, and every
+//! coefficient vector lives at `coeffs[id·dim .. (id+1)·dim]` inside one
+//! flat buffer. Per-shot accumulation, variant folds, and chunk merges are
+//! therefore id-addressed vector adds — `O(1)` per touch — rather than
+//! ordered-map walks paying a key comparison per level and a key clone per
+//! insertion. One pool is shared per fragment: the accumulator that
+//! collects a fragment's variant data hands its pool and buffer to the
+//! finished [`FragmentTensor`] without copying.
+//!
+//! # Bit-identity and emission order
+//!
+//! Id assignment order is first-seen and thus schedule-dependent; the
+//! tensor's **API boundary is ordered**. Every read path that can feed
+//! float accumulation downstream — [`FragmentTensor::iter`], the derived
+//! sums rebuilt by [`FragmentTensor::rebuild_derived`] (totals, slice
+//! maxima, per-bit marginals) — visits outcomes in lexicographic [`Bits`]
+//! order, exactly the order the former ordered map iterated in. Combined
+//! with the fixed chunk decomposition of [`evaluate_fragment_tensors`]
+//! (variant folds in variant order, chunk merges in chunk order, first
+//! contribution per outcome moved rather than added onto zeros), results
+//! are **bit-identical to the pre-intern implementation and identical for
+//! any thread count**. The frozen reference path
+//! ([`reference_evaluate_btreemap`]) keeps the old `BTreeMap` pipeline
+//! alive for parity tests and the `fragment_eval` benchmark series.
 
 use crate::cut::Fragment;
 use crate::evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
 use crate::variants::{enumerate_variants, Variant};
+use metrics::InternPool;
 use qcir::{Bits, IndexPlan};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Single-qubit conversion from preparation-state probabilities (columns:
 /// `|0⟩, |1⟩, |+⟩, |+i⟩`) to Pauli coefficients (rows: `I, X, Y, Z`).
@@ -58,6 +90,10 @@ impl Default for TensorOptions {
 }
 
 /// The tomographic tensor of one fragment.
+///
+/// Outcomes are interned into dense ids; coefficient vectors live in one
+/// flat id-indexed buffer (see the module docs for the layout and the
+/// emission-order contract).
 #[derive(Clone, Debug)]
 pub struct FragmentTensor {
     qi: usize,
@@ -68,8 +104,15 @@ pub struct FragmentTensor {
     output_cuts: Vec<usize>,
     /// Original-circuit qubit for each circuit-output bit of `b`.
     co_global: Vec<usize>,
-    /// `b → dense coefficient vector` of length `4^(qi+qo)`.
-    entries: BTreeMap<Bits, Vec<f64>>,
+    /// Interned outcome keys: `b ↔ id`.
+    pool: InternPool,
+    /// Flat id-indexed coefficients: entry `id` occupies
+    /// `coeffs[id·dim .. (id+1)·dim]` with `dim = 4^(qi+qo)`.
+    coeffs: Vec<f64>,
+    /// Lazily-computed ids in lexicographic key order — the deterministic
+    /// emission order of every read path. Invalidated when the support
+    /// grows; derived state, rebuilt on demand.
+    order: OnceLock<Vec<u32>>,
     /// `Σ_b entries[b]`, per Pauli index.
     totals: Vec<f64>,
     /// `max_b |entries[b]|`, per Pauli index (sparse-contraction pruning:
@@ -113,17 +156,31 @@ impl FragmentTensor {
 
     /// Number of observed circuit-output bitstrings.
     pub fn support_len(&self) -> usize {
-        self.entries.len()
+        self.pool.len()
     }
 
-    /// Iterator over `(b, coefficients)`.
-    pub fn iter(&self) -> impl Iterator<Item = (&Bits, &Vec<f64>)> + '_ {
-        self.entries.iter()
+    /// Ids in lexicographic key order, computed on first use and cached
+    /// until the support grows.
+    fn order(&self) -> &[u32] {
+        self.order.get_or_init(|| self.pool.sorted_ids())
+    }
+
+    /// Iterator over `(b, coefficients)` in lexicographic outcome order —
+    /// the deterministic emission order that keeps downstream float
+    /// accumulation bit-reproducible.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bits, &[f64])> + '_ {
+        let dim = self.pauli_dim();
+        self.order().iter().map(move |&id| {
+            let start = id as usize * dim;
+            (self.pool.key(id), &self.coeffs[start..start + dim])
+        })
     }
 
     /// Coefficient `T[b, idx]`, zero when `b` was never observed.
     pub fn value(&self, b: &Bits, idx: usize) -> f64 {
-        self.entries.get(b).map_or(0.0, |v| v[idx])
+        self.pool
+            .get(b)
+            .map_or(0.0, |id| self.coeffs[id as usize * self.pauli_dim() + idx])
     }
 
     /// `Σ_b T[b, idx]`.
@@ -152,7 +209,11 @@ impl FragmentTensor {
     /// The dense coefficient slice of one observed outcome, `None` when
     /// `b` was never observed.
     pub fn coeffs(&self, b: &Bits) -> Option<&[f64]> {
-        self.entries.get(b).map(|v| v.as_slice())
+        let dim = self.pauli_dim();
+        self.pool.get(b).map(|id| {
+            let start = id as usize * dim;
+            &self.coeffs[start..start + dim]
+        })
     }
 
     /// `max_b |T[b, idx]|` — zero exactly when the whole Pauli slice
@@ -176,29 +237,38 @@ impl FragmentTensor {
 
     /// Replaces the coefficients of an observed `b` (used by the MLFT
     /// correction) without touching derived sums; call
-    /// [`FragmentTensor::rebuild_derived`] afterwards.
+    /// [`FragmentTensor::rebuild_derived`] afterwards. A previously unseen
+    /// `b` is appended to the support.
     ///
     /// # Panics
     ///
     /// Panics if the vector length differs from [`FragmentTensor::pauli_dim`].
     pub fn set_entry(&mut self, b: Bits, coeffs: Vec<f64>) {
-        assert_eq!(
-            coeffs.len(),
-            self.pauli_dim(),
-            "coefficient length mismatch"
-        );
-        self.entries.insert(b, coeffs);
+        let dim = self.pauli_dim();
+        assert_eq!(coeffs.len(), dim, "coefficient length mismatch");
+        let id = self.pool.intern_owned(b) as usize;
+        if id * dim == self.coeffs.len() {
+            self.coeffs.extend_from_slice(&coeffs);
+            self.order.take();
+        } else {
+            self.coeffs[id * dim..(id + 1) * dim].copy_from_slice(&coeffs);
+        }
     }
 
     /// Scales every coefficient by `scale` and recomputes totals and
-    /// marginals.
+    /// marginals. Entries are visited in lexicographic key order, so the
+    /// derived-sum float accumulation is bit-identical to the former
+    /// ordered-map walk.
     pub fn rebuild_derived(&mut self, scale: f64) {
         let dim = self.pauli_dim();
         let n_out = self.co_global.len();
         let mut totals = vec![0.0; dim];
         let mut slice_max = vec![0.0f64; dim];
         let mut marginals = vec![[vec![0.0; dim], vec![0.0; dim]]; n_out];
-        for (b, v) in self.entries.iter_mut() {
+        let order = self.order.get_or_init(|| self.pool.sorted_ids());
+        for &id in order.iter() {
+            let start = id as usize * dim;
+            let v = &mut self.coeffs[start..start + dim];
             for x in v.iter_mut() {
                 *x *= scale;
             }
@@ -206,6 +276,7 @@ impl FragmentTensor {
                 totals[i] += x;
                 slice_max[i] = slice_max[i].max(x.abs());
             }
+            let b = self.pool.key(id);
             for bit in 0..n_out {
                 let side = b.get(bit) as usize;
                 for (i, &x) in v.iter().enumerate() {
@@ -228,7 +299,9 @@ impl FragmentTensor {
 
     /// Builds a tensor directly from dense per-`b` coefficient vectors —
     /// for synthetic-workload benchmarks and tests that need full control
-    /// over the cut structure without running a simulator.
+    /// over the cut structure without running a simulator. A repeated
+    /// outcome overwrites the earlier vector (ordered-map insert
+    /// semantics).
     ///
     /// # Panics
     ///
@@ -244,11 +317,17 @@ impl FragmentTensor {
         let qi = input_cuts.len();
         let qo = output_cuts.len();
         let dim = 1usize << (2 * (qi + qo));
-        let mut map = BTreeMap::new();
+        let mut pool = InternPool::with_capacity(entries.len());
+        let mut coeffs: Vec<f64> = Vec::with_capacity(entries.len() * dim);
         for (b, v) in entries {
             assert_eq!(v.len(), dim, "coefficient length mismatch");
             assert_eq!(b.len(), co_global.len(), "outcome width mismatch");
-            map.insert(b, v);
+            let id = pool.intern_owned(b) as usize;
+            if id * dim == coeffs.len() {
+                coeffs.extend_from_slice(&v);
+            } else {
+                coeffs[id * dim..(id + 1) * dim].copy_from_slice(&v);
+            }
         }
         let mut tensor = FragmentTensor {
             qi,
@@ -256,7 +335,9 @@ impl FragmentTensor {
             input_cuts,
             output_cuts,
             co_global,
-            entries: map,
+            pool,
+            coeffs,
+            order: OnceLock::new(),
             totals: Vec::new(),
             slice_max: Vec::new(),
             marginals: Vec::new(),
@@ -360,10 +441,40 @@ impl<'f> FragmentCtx<'f> {
     }
 }
 
+/// Interned per-fragment accumulator for the evaluation stage: outcome
+/// keys share one [`InternPool`] per fragment, coefficient vectors live in
+/// one flat id-indexed buffer. Handed to [`FragmentTensor`] without
+/// copying once the fragment's variants are folded.
+struct TensorAccum {
+    dim: usize,
+    pool: InternPool,
+    coeffs: Vec<f64>,
+}
+
+impl TensorAccum {
+    fn new(dim: usize) -> Self {
+        TensorAccum {
+            dim,
+            pool: InternPool::new(),
+            coeffs: Vec::new(),
+        }
+    }
+
+    /// The coefficient slice of `b`, zero-initialized on first touch
+    /// (taking ownership of the key, so no clone is paid either way).
+    fn slot_mut_owned(&mut self, b: Bits) -> &mut [f64] {
+        let id = self.pool.intern_owned(b) as usize;
+        if id * self.dim == self.coeffs.len() {
+            self.coeffs.resize(self.coeffs.len() + self.dim, 0.0);
+        }
+        &mut self.coeffs[id * self.dim..(id + 1) * self.dim]
+    }
+}
+
 /// Accumulates one variant's outcome data into the prep-indexed tensor
 /// accumulator `M[b][s·4^qo + po]`.
 fn accumulate_variant(
-    m: &mut BTreeMap<Bits, Vec<f64>>,
+    m: &mut TensorAccum,
     data: Vec<(Bits, f64)>,
     variant: &Variant,
     ctx: &FragmentCtx<'_>,
@@ -375,7 +486,7 @@ fn accumulate_variant(
     for (bits, p) in data {
         let b = ctx.co_plan.extract(&bits);
         let mbits = ctx.qo_plan.extract(&bits);
-        let mv = m.entry(b).or_insert_with(|| vec![0.0; ctx.dim]);
+        let mv = m.slot_mut_owned(b);
         // Each subset of quantum outputs marks positions carrying the
         // variant's basis Pauli; the rest are identity.
         for subset in 0..(1usize << qo) {
@@ -400,39 +511,44 @@ fn evaluate_item(
     vi: usize,
     base_seed: u64,
     eval: &EvalOptions,
-) -> Result<BTreeMap<Bits, Vec<f64>>, EvalError> {
+) -> Result<TensorAccum, EvalError> {
     let mut rng = variant_rng(base_seed, vi);
     let variant = &ctx.variants[vi];
     let data = evaluate_variant(ctx.fragment, variant, eval, &mut rng)?;
-    let mut local = BTreeMap::new();
+    let mut local = TensorAccum::new(ctx.dim);
     accumulate_variant(&mut local, data, variant, ctx);
     Ok(local)
 }
 
-/// Adds a variant accumulator into a fragment accumulator. The first
-/// contribution per outcome is moved (not added onto zeros), so folding
-/// variant accumulators in variant order reproduces direct sequential
-/// accumulation bit for bit.
-fn merge_accumulator(m: &mut BTreeMap<Bits, Vec<f64>>, local: BTreeMap<Bits, Vec<f64>>) {
-    for (b, v) in local {
-        match m.entry(b) {
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                for (a, x) in e.get_mut().iter_mut().zip(&v) {
-                    *a += x;
-                }
-            }
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(v);
+/// Adds a variant accumulator into a fragment accumulator: an id-indexed
+/// vector add per shared outcome. The first contribution per outcome is
+/// copied verbatim (not added onto zeros), so folding variant accumulators
+/// in variant order reproduces direct sequential accumulation bit for bit
+/// — the same move semantics the former `BTreeMap` merge had.
+fn merge_accumulator(m: &mut TensorAccum, local: TensorAccum) {
+    let dim = m.dim;
+    debug_assert_eq!(dim, local.dim, "fragment dimension mismatch");
+    m.pool.reserve(local.pool.len());
+    for (id, key) in local.pool.keys().iter().enumerate() {
+        let src = &local.coeffs[id * dim..(id + 1) * dim];
+        let dst = m.pool.intern(key) as usize;
+        if dst * dim == m.coeffs.len() {
+            m.coeffs.extend_from_slice(src);
+        } else {
+            for (a, x) in m.coeffs[dst * dim..(dst + 1) * dim].iter_mut().zip(src) {
+                *a += x;
             }
         }
     }
 }
 
 /// Finishes a fragment tensor from its accumulated variant data: optional
-/// Clifford snap, prep→Pauli axis conversion, derived sums.
+/// Clifford snap, prep→Pauli axis conversion, derived sums. The
+/// accumulator's pool and coefficient buffer move into the tensor — the
+/// per-fragment pool is shared end to end, never copied.
 fn finalize_fragment_tensor(
     fragment: &Fragment,
-    mut m: BTreeMap<Bits, Vec<f64>>,
+    mut m: TensorAccum,
     eval: &EvalOptions,
     opts: &TensorOptions,
 ) -> FragmentTensor {
@@ -448,7 +564,7 @@ fn finalize_fragment_tensor(
         && !fragment.circuit.has_noise()
         && matches!(eval.mode, EvalMode::Sampled { .. });
     if snapped {
-        for v in m.values_mut() {
+        for v in m.coeffs.chunks_mut(m.dim) {
             for s in 0..(1usize << (2 * qi)) {
                 let norm = v[s * pow4_qo];
                 if norm.abs() < 1e-12 {
@@ -464,7 +580,7 @@ fn finalize_fragment_tensor(
     }
 
     // Convert each input axis from preparation-state to Pauli coordinates.
-    for v in m.values_mut() {
+    for v in m.coeffs.chunks_mut(m.dim) {
         for axis in 0..qi {
             let stride = (1usize << (2 * (qi - 1 - axis))) * pow4_qo;
             transform_axis(v, stride, &PREP_TO_PAULI);
@@ -477,7 +593,9 @@ fn finalize_fragment_tensor(
         input_cuts: fragment.quantum_inputs.iter().map(|&(_, c)| c).collect(),
         output_cuts: fragment.quantum_outputs.iter().map(|&(_, c)| c).collect(),
         co_global: fragment.circuit_outputs.iter().map(|&(_, g)| g).collect(),
-        entries: m,
+        pool: m.pool,
+        coeffs: m.coeffs,
+        order: OnceLock::new(),
         totals: Vec::new(),
         slice_max: Vec::new(),
         marginals: Vec::new(),
@@ -498,7 +616,10 @@ fn finalize_fragment_tensor(
 /// are merged in chunk order. The sequential path uses the identical
 /// structure, which makes the result **bit-identical for any `threads`
 /// value** (including 1) given the same `base_seeds`, while bounding
-/// retained accumulators to one per chunk.
+/// retained accumulators to one per chunk. Accumulators are interned and
+/// id-indexed (see the module docs), so folds and merges are flat vector
+/// adds; the result is additionally bit-identical to the frozen
+/// `BTreeMap` reference path ([`reference_evaluate_btreemap`]).
 ///
 /// # Errors
 ///
@@ -529,8 +650,7 @@ pub fn evaluate_fragment_tensors(
     let chunks: Vec<&[(usize, usize)]> = items.chunks(VARIANTS_PER_CHUNK).collect();
     let threads = threads.clamp(1, chunks.len().max(1));
 
-    let mut maps: Vec<BTreeMap<Bits, Vec<f64>>> =
-        fragments.iter().map(|_| BTreeMap::new()).collect();
+    let mut maps: Vec<TensorAccum> = ctxs.iter().map(|ctx| TensorAccum::new(ctx.dim)).collect();
 
     if threads <= 1 {
         // Sequential path: evaluate and fold one chunk at a time (peak
@@ -546,7 +666,7 @@ pub fn evaluate_fragment_tensors(
         // Parallel path: workers claim chunks dynamically; completed chunk
         // accumulators (already folded per fragment within the chunk) are
         // merged in chunk order after the join.
-        type ChunkResult = Result<Vec<(usize, BTreeMap<Bits, Vec<f64>>)>, EvalError>;
+        type ChunkResult = Result<Vec<(usize, TensorAccum)>, EvalError>;
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let mut results: Vec<(usize, ChunkResult)> = std::thread::scope(|scope| {
@@ -606,8 +726,8 @@ fn evaluate_item_chunk(
     base_seeds: &[u64],
     chunk: &[(usize, usize)],
     eval: &EvalOptions,
-) -> Result<Vec<(usize, BTreeMap<Bits, Vec<f64>>)>, EvalError> {
-    let mut out: Vec<(usize, BTreeMap<Bits, Vec<f64>>)> = Vec::new();
+) -> Result<Vec<(usize, TensorAccum)>, EvalError> {
+    let mut out: Vec<(usize, TensorAccum)> = Vec::new();
     for &(fi, vi) in chunk {
         let local = evaluate_item(&ctxs[fi], vi, base_seeds[fi], eval)?;
         match out.last_mut() {
@@ -641,6 +761,140 @@ pub fn build_fragment_tensor_threaded(
         threads,
     )?;
     Ok(tensors.pop().expect("one tensor per fragment"))
+}
+
+/// The pre-intern evaluation stage, frozen as a parity baseline: per-chunk
+/// `BTreeMap<Bits, Vec<f64>>` accumulation (one ordered-map walk and a key
+/// clone per touch), folded and merged with the identical chunk structure
+/// as [`evaluate_fragment_tensors`], then finished through the same snap /
+/// axis-transform / derived-sum pipeline. Sequential only — the chunk
+/// decomposition makes it bit-identical to the engine at any thread count.
+///
+/// Shared by the reference-parity property tests and the `fragment_eval`
+/// series of the `bench_json` benchmark; not part of the supported API.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] like [`evaluate_fragment_tensors`].
+///
+/// # Panics
+///
+/// Panics if `base_seeds.len() != fragments.len()`.
+#[doc(hidden)]
+pub fn reference_evaluate_btreemap(
+    fragments: &[Fragment],
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    base_seeds: &[u64],
+) -> Result<Vec<FragmentTensor>, EvalError> {
+    assert_eq!(
+        fragments.len(),
+        base_seeds.len(),
+        "one base seed per fragment required"
+    );
+    type Map = BTreeMap<Bits, Vec<f64>>;
+    fn merge_map(m: &mut Map, local: Map) {
+        for (b, v) in local {
+            match m.entry(b) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    for (a, x) in e.get_mut().iter_mut().zip(&v) {
+                        *a += x;
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+
+    let ctxs: Vec<FragmentCtx<'_>> = fragments.iter().map(FragmentCtx::new).collect();
+    let items: Vec<(usize, usize)> = ctxs
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, ctx)| (0..ctx.variants.len()).map(move |vi| (fi, vi)))
+        .collect();
+    let mut maps: Vec<Map> = fragments.iter().map(|_| Map::new()).collect();
+    for chunk in items.chunks(VARIANTS_PER_CHUNK) {
+        let mut out: Vec<(usize, Map)> = Vec::new();
+        for &(fi, vi) in chunk {
+            let ctx = &ctxs[fi];
+            let mut rng = variant_rng(base_seeds[fi], vi);
+            let variant = &ctx.variants[vi];
+            let data = evaluate_variant(ctx.fragment, variant, eval, &mut rng)?;
+            let mut local = Map::new();
+            let qo = ctx.qo;
+            let pow4_qo = 1usize << (2 * qo);
+            let s = variant.prep_index();
+            let basis_digits: Vec<usize> = variant.bases.iter().map(|b| b.pauli_digit()).collect();
+            for (bits, p) in data {
+                let b = ctx.co_plan.extract(&bits);
+                let mbits = ctx.qo_plan.extract(&bits);
+                let mv = local.entry(b).or_insert_with(|| vec![0.0; ctx.dim]);
+                for subset in 0..(1usize << qo) {
+                    let mut po = 0usize;
+                    let mut sign = 1.0;
+                    for j in 0..qo {
+                        let active = (subset >> (qo - 1 - j)) & 1 == 1;
+                        po = po * 4 + if active { basis_digits[j] } else { 0 };
+                        if active && mbits.get(j) {
+                            sign = -sign;
+                        }
+                    }
+                    let t = qo - subset.count_ones() as usize;
+                    mv[s * pow4_qo + po] += p * sign * ctx.inv3[t];
+                }
+            }
+            match out.last_mut() {
+                Some((f, m)) if *f == fi => merge_map(m, local),
+                _ => out.push((fi, local)),
+            }
+        }
+        for (fi, m) in out {
+            merge_map(&mut maps[fi], m);
+        }
+    }
+
+    Ok(maps
+        .into_iter()
+        .zip(fragments)
+        .map(|(mut m, fragment)| {
+            let qi = fragment.quantum_inputs.len();
+            let qo = fragment.quantum_outputs.len();
+            let pow4_qo = 1usize << (2 * qo);
+            let snapped = opts.clifford_snap
+                && fragment.is_clifford
+                && !fragment.circuit.has_noise()
+                && matches!(eval.mode, EvalMode::Sampled { .. });
+            if snapped {
+                for v in m.values_mut() {
+                    for s in 0..(1usize << (2 * qi)) {
+                        let norm = v[s * pow4_qo];
+                        if norm.abs() < 1e-12 {
+                            continue;
+                        }
+                        for po in 1..pow4_qo {
+                            let r = v[s * pow4_qo + po] / norm;
+                            let snap = r.round().clamp(-1.0, 1.0);
+                            v[s * pow4_qo + po] = snap * norm;
+                        }
+                    }
+                }
+            }
+            for v in m.values_mut() {
+                for axis in 0..qi {
+                    let stride = (1usize << (2 * (qi - 1 - axis))) * pow4_qo;
+                    transform_axis(v, stride, &PREP_TO_PAULI);
+                }
+            }
+            FragmentTensor::from_dense_entries(
+                fragment.quantum_inputs.iter().map(|&(_, c)| c).collect(),
+                fragment.quantum_outputs.iter().map(|&(_, c)| c).collect(),
+                fragment.circuit_outputs.iter().map(|&(_, g)| g).collect(),
+                m.into_iter().collect(),
+            )
+        })
+        .collect())
 }
 
 /// In-place contraction of one base-4 axis (identified by its stride) with
@@ -899,6 +1153,252 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The interned evaluation engine is bit-identical — same support,
+    /// same emission order, same float bits — to the frozen `BTreeMap`
+    /// reference path, at 1, 2, and 8 threads, in sampled and exact mode.
+    #[test]
+    fn evaluation_matches_btreemap_reference_bit_exact() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).t(2).h(2);
+        let cut = cut_circuit(&c, CutStrategy::default()).unwrap();
+        let seeds: Vec<u64> = (0..cut.fragments.len() as u64).map(|i| 4242 + i).collect();
+        let opts = TensorOptions::default();
+        for mode in [EvalMode::Exact, EvalMode::Sampled { shots: 350 }] {
+            let eval = EvalOptions {
+                mode,
+                ..Default::default()
+            };
+            let expect = reference_evaluate_btreemap(&cut.fragments, &eval, &opts, &seeds).unwrap();
+            for threads in [1usize, 2, 8] {
+                let got = evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, threads)
+                    .unwrap();
+                for (fi, (g, e)) in got.iter().zip(&expect).enumerate() {
+                    assert_tensors_bit_identical(
+                        g,
+                        e,
+                        &format!("fragment {fi} at {threads} threads ({mode:?})"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Asserts two tensors agree bit for bit: support, emission order,
+    /// coefficients, and every derived sum.
+    fn assert_tensors_bit_identical(a: &FragmentTensor, b: &FragmentTensor, label: &str) {
+        assert_eq!(a.support_len(), b.support_len(), "{label}: support");
+        for ((ab, av), (bb, bv)) in a.iter().zip(b.iter()) {
+            assert_eq!(ab, bb, "{label}: emission order");
+            for (i, (x, y)) in av.iter().zip(bv).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "{label}: coeff at {ab}, idx {i}: {x} vs {y}"
+                );
+            }
+        }
+        for i in 0..a.pauli_dim() {
+            assert!(
+                a.total(i).to_bits() == b.total(i).to_bits(),
+                "{label}: total {i}"
+            );
+            assert!(
+                a.slice_max_abs(i).to_bits() == b.slice_max_abs(i).to_bits(),
+                "{label}: slice_max {i}"
+            );
+        }
+        for bit in 0..a.output_globals().len() {
+            let (a0, a1) = a.marginal_slices(bit);
+            let (b0, b1) = b.marginal_slices(bit);
+            for i in 0..a.pauli_dim() {
+                assert!(
+                    a0[i].to_bits() == b0[i].to_bits() && a1[i].to_bits() == b1[i].to_bits(),
+                    "{label}: marginal bit {bit}, idx {i}"
+                );
+            }
+        }
+    }
+
+    /// Frozen reference model for [`FragmentTensor`]'s storage semantics:
+    /// the pre-intern `BTreeMap<Bits, Vec<f64>>` internals, reproduced
+    /// verbatim (insert-overwrites, sorted iteration, derived sums
+    /// accumulated in key order, rebuild scaling in place).
+    mod reference_model {
+        use qcir::Bits;
+        use std::collections::BTreeMap;
+
+        pub struct Model {
+            pub dim: usize,
+            pub n_out: usize,
+            pub entries: BTreeMap<Bits, Vec<f64>>,
+            pub totals: Vec<f64>,
+            pub slice_max: Vec<f64>,
+            pub marginals: Vec<[Vec<f64>; 2]>,
+        }
+
+        impl Model {
+            pub fn new(dim: usize, n_out: usize) -> Self {
+                Model {
+                    dim,
+                    n_out,
+                    entries: BTreeMap::new(),
+                    totals: Vec::new(),
+                    slice_max: Vec::new(),
+                    marginals: Vec::new(),
+                }
+            }
+
+            pub fn set_entry(&mut self, b: Bits, v: Vec<f64>) {
+                self.entries.insert(b, v);
+            }
+
+            pub fn rebuild_derived(&mut self, scale: f64) {
+                let dim = self.dim;
+                let mut totals = vec![0.0; dim];
+                let mut slice_max = vec![0.0f64; dim];
+                let mut marginals = vec![[vec![0.0; dim], vec![0.0; dim]]; self.n_out];
+                for (b, v) in self.entries.iter_mut() {
+                    for x in v.iter_mut() {
+                        *x *= scale;
+                    }
+                    for (i, &x) in v.iter().enumerate() {
+                        totals[i] += x;
+                        slice_max[i] = slice_max[i].max(x.abs());
+                    }
+                    for bit in 0..self.n_out {
+                        let side = b.get(bit) as usize;
+                        for (i, &x) in v.iter().enumerate() {
+                            marginals[bit][side][i] += x;
+                        }
+                    }
+                }
+                self.totals = totals;
+                self.slice_max = slice_max;
+                self.marginals = marginals;
+            }
+        }
+    }
+
+    /// Property: random build / overwrite / insert / rescale sequences on
+    /// the interned tensor match the ordered-map reference model bit for
+    /// bit — same support, same emission order, same coefficient and
+    /// derived-sum float bits. Covers empty-support and single-entry
+    /// tensors (the `n_entries` range starts at 0).
+    #[test]
+    fn interned_tensor_matches_btreemap_reference_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(777);
+        for case in 0..60 {
+            // One input cut, one output cut, three circuit-output bits.
+            let n_out = 3;
+            let dim = 16;
+            // Cases 0 and 1 pin the empty-support and single-entry edges.
+            let n_entries = match case {
+                0 => 0,
+                1 => 1,
+                _ => (rng.random::<u64>() % 9) as usize,
+            };
+            let coeff_vec = |rng: &mut StdRng| -> Vec<f64> {
+                (0..dim).map(|_| rng.random::<f64>() - 0.45).collect()
+            };
+            // Duplicate keys on purpose: later entries must overwrite.
+            let entries: Vec<(Bits, Vec<f64>)> = (0..n_entries)
+                .map(|_| {
+                    let b = Bits::from_u64(rng.random::<u64>() % 6, n_out);
+                    (b, coeff_vec(&mut rng))
+                })
+                .collect();
+            let mut tensor = FragmentTensor::from_dense_entries(
+                vec![0],
+                vec![1],
+                vec![0, 1, 2],
+                entries.clone(),
+            );
+            let mut model = reference_model::Model::new(dim, n_out);
+            for (b, v) in entries {
+                model.set_entry(b, v);
+            }
+            model.rebuild_derived(1.0);
+            // Interleave overwrites of existing keys, brand-new keys, and
+            // rescales — the exact op mix the MLFT stage performs.
+            for _ in 0..(rng.random::<u64>() % 6) {
+                match rng.random::<u64>() % 3 {
+                    0 => {
+                        let b = Bits::from_u64(rng.random::<u64>() % 8, n_out);
+                        let v = coeff_vec(&mut rng);
+                        tensor.set_entry(b.clone(), v.clone());
+                        model.set_entry(b, v);
+                        tensor.rebuild_derived(1.0);
+                        model.rebuild_derived(1.0);
+                    }
+                    1 => {
+                        let scale = 0.25 + rng.random::<f64>();
+                        tensor.rebuild_derived(scale);
+                        model.rebuild_derived(scale);
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(
+                tensor.support_len(),
+                model.entries.len(),
+                "case {case}: support"
+            );
+            for ((tb, tv), (mb, mv)) in tensor.iter().zip(model.entries.iter()) {
+                assert_eq!(tb, mb, "case {case}: emission order");
+                for (i, (x, y)) in tv.iter().zip(mv).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "case {case}: coeff at {tb}, idx {i}"
+                    );
+                }
+                assert_eq!(tensor.coeffs(tb).unwrap(), mv.as_slice());
+            }
+            for i in 0..dim {
+                assert!(
+                    tensor.total(i).to_bits() == model.totals[i].to_bits(),
+                    "case {case}: total {i}"
+                );
+                assert!(
+                    tensor.slice_max_abs(i).to_bits() == model.slice_max[i].to_bits(),
+                    "case {case}: slice_max {i}"
+                );
+            }
+            for bit in 0..n_out {
+                let (m0, m1) = tensor.marginal_slices(bit);
+                for i in 0..dim {
+                    assert!(
+                        m0[i].to_bits() == model.marginals[bit][0][i].to_bits()
+                            && m1[i].to_bits() == model.marginals[bit][1][i].to_bits(),
+                        "case {case}: marginal bit {bit}, idx {i}"
+                    );
+                }
+            }
+            // Unobserved outcomes read as zero / absent.
+            let absent = Bits::from_u64(63, n_out);
+            if !model.entries.contains_key(&absent) {
+                assert_eq!(tensor.value(&absent, 0), 0.0, "case {case}: absent value");
+                assert!(
+                    tensor.coeffs(&absent).is_none(),
+                    "case {case}: absent slice"
+                );
+            }
+        }
+    }
+
+    /// Empty-support tensors expose sane derived state.
+    #[test]
+    fn empty_support_tensor_is_well_formed() {
+        let t = FragmentTensor::from_dense_entries(vec![0], vec![], vec![0, 1], Vec::new());
+        assert_eq!(t.support_len(), 0);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.pauli_dim(), 4);
+        for i in 0..4 {
+            assert_eq!(t.total(i), 0.0);
+            assert_eq!(t.slice_max_abs(i), 0.0);
+        }
+        assert!(t.nonzero_indices(0.0).is_empty());
+        assert_eq!(t.value(&Bits::from_u64(0, 2), 0), 0.0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 pub mod intern;
 
-pub use intern::InternPool;
+pub use intern::{InternPool, OutcomeCounts};
 
 use qcir::{Bits, IndexPlan};
 use rand::Rng;

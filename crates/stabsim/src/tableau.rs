@@ -619,23 +619,33 @@ impl AffineSupport {
 
     /// Draws `shots` samples and tallies them, reusing one scratch row —
     /// the allocation-free path for bulk Clifford sampling (a fresh `Bits`
-    /// is cloned only the first time an outcome is seen).
-    pub fn sample_counts(
+    /// is cloned only the first time an outcome is seen). The tally is
+    /// keyed by interned ids ([`metrics::OutcomeCounts`]), so the per-shot
+    /// cost is a hash probe instead of the ordered-map walk the former
+    /// `BTreeMap` return type paid; outcomes emit in lexicographic order
+    /// through [`metrics::OutcomeCounts::iter_sorted`].
+    pub fn sample_counts(&self, shots: usize, rng: &mut impl Rng) -> metrics::OutcomeCounts {
+        let mut counts = metrics::OutcomeCounts::new();
+        self.sample_counts_into(shots, rng, &mut counts);
+        counts
+    }
+
+    /// [`AffineSupport::sample_counts`] into a caller-provided tally —
+    /// lets hot loops reuse one accumulator (and its table allocation)
+    /// across many sampling calls. Counts accumulate on top of whatever
+    /// the tally already holds; call [`metrics::OutcomeCounts::clear`]
+    /// between independent records.
+    pub fn sample_counts_into(
         &self,
         shots: usize,
         rng: &mut impl Rng,
-    ) -> std::collections::BTreeMap<Bits, usize> {
-        let mut counts = std::collections::BTreeMap::new();
+        counts: &mut metrics::OutcomeCounts,
+    ) {
         let mut scratch = self.base.clone();
         for _ in 0..shots {
             self.sample_into(&mut scratch, rng);
-            if let Some(c) = counts.get_mut(&scratch) {
-                *c += 1;
-            } else {
-                counts.insert(scratch.clone(), 1);
-            }
+            counts.record(&scratch);
         }
-        counts
     }
 
     /// Enumerates all `2^dim` support points.

@@ -1,11 +1,25 @@
 //! Noisy near-Clifford circuits through the cut pipeline, and determinism
 //! guarantees of the seeded API.
+//!
+//! CI runs this suite as a thread-count matrix: `SUPERSIM_TEST_THREADS`
+//! pins the worker-pool size the parallel determinism tests use (`0` or
+//! unset = one worker per available core), so the bit-identity guarantee
+//! is exercised at 1, 2, and 8 workers regardless of the runner's core
+//! count.
 
 use metrics::Distribution;
 use qcir::{Bits, Circuit, NoiseChannel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use supersim::{SuperSim, SuperSimConfig};
+
+/// Worker-pool size under test, from `SUPERSIM_TEST_THREADS`.
+fn test_threads() -> usize {
+    std::env::var("SUPERSIM_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 /// Reference distribution for a noisy circuit: average many statevector
 /// noise trajectories.
@@ -112,6 +126,7 @@ fn parallel_flag_is_deterministic_too() {
     let seq = SuperSim::new(base.clone()).run(&w.circuit).unwrap();
     let par = SuperSim::new(SuperSimConfig {
         parallel: true,
+        threads: test_threads(),
         ..base
     })
     .run(&w.circuit)
@@ -120,6 +135,46 @@ fn parallel_flag_is_deterministic_too() {
         seq.marginals, par.marginals,
         "thread count must not change results"
     );
+}
+
+/// The full sampled pipeline — interned evaluation pool, MLFT, and
+/// recombination — is bit-identical between the sequential path and the
+/// worker pool at the matrix thread count (`SUPERSIM_TEST_THREADS`):
+/// same marginal bits, same joint support and emission order, same
+/// per-outcome probability bits, same `mlft_moved` diagnostic.
+#[test]
+fn full_pipeline_bit_identical_at_matrix_thread_count() {
+    let w = workloads::hwea(6, 3, 2, 11);
+    let base = SuperSimConfig {
+        shots: 600,
+        seed: 4242,
+        mlft: true,
+        ..SuperSimConfig::default()
+    };
+    let seq = SuperSim::new(base.clone()).run(&w.circuit).unwrap();
+    let par = SuperSim::new(SuperSimConfig {
+        parallel: true,
+        threads: test_threads(),
+        ..base
+    })
+    .run(&w.circuit)
+    .unwrap();
+    assert!(
+        seq.report.mlft_moved.to_bits() == par.report.mlft_moved.to_bits(),
+        "mlft_moved drifted under the worker pool"
+    );
+    for (q, (s, p)) in seq.marginals.iter().zip(&par.marginals).enumerate() {
+        assert!(
+            s[0].to_bits() == p[0].to_bits() && s[1].to_bits() == p[1].to_bits(),
+            "marginal bits differ at qubit {q}"
+        );
+    }
+    let (sd, pd) = (seq.distribution.unwrap(), par.distribution.unwrap());
+    assert_eq!(sd.support_len(), pd.support_len());
+    for ((sb, sp), (pb, pp)) in sd.iter().zip(pd.iter()) {
+        assert_eq!(sb, pb, "joint emission order drifted");
+        assert!(sp.to_bits() == pp.to_bits(), "probability bits at {sb}");
+    }
 }
 
 #[test]
