@@ -25,6 +25,15 @@
 //! the engine bit-identical to the baseline at 1, 2, and 8 threads before
 //! timing is reported.
 //!
+//! A `tableau` series compares the word-parallel row-major tableau
+//! engine ([`stabsim::TableauSim`]) against the frozen bit-at-a-time
+//! column-major baseline ([`stabsim::ReferenceTableauSim`]):
+//! `measure_24q` (collapse measurement sweeps), `rowsum_48q` (repeated
+//! deterministic sweeps that live in the scratch-row rowsum chain), and
+//! the `sampled_6q` workload end-to-end through each engine
+//! (`EvalOptions::tableau_engine`), asserting identical outcome streams
+//! / bit-identical tensors before timing is reported.
+//!
 //! Plus the §IX sparse-contraction ablation. Every engine result is
 //! checked bit-identical between thread counts before timing is reported.
 //!
@@ -42,9 +51,12 @@
 use cutkit::{
     correct_tensors, cut_circuit, reference_correct_btreemap, reference_evaluate_btreemap,
     reference_joint_btreemap, synthetic_dense_chain, CutStrategy, EvalMode, EvalOptions,
-    FragmentTensor, MlftOptions, Reconstructor, TensorOptions,
+    FragmentTensor, MlftOptions, Reconstructor, TableauEngine, TensorOptions,
 };
 use qcir::{Bits, Circuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stabsim::{ReferenceTableauSim, TableauSim};
 use std::time::Instant;
 
 /// The seed implementation's marginals loop, reproduced verbatim against
@@ -200,6 +212,147 @@ fn bench_eval_pool(
          \"speedup_1t\": {speedup_1t:.3}, \"speedup_mt\": {speedup_mt:.3}, \
          \"bit_identical_to_baseline\": true, \"bit_identical_across_threads\": {identical}}}",
         fragments.len(),
+    )
+}
+
+/// A reproducible random Clifford circuit for the tableau microbenches.
+fn random_clifford_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    let mut gen = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        match gen.random_range(0..6) {
+            0 => {
+                c.h(gen.random_range(0..n));
+            }
+            1 => {
+                c.s(gen.random_range(0..n));
+            }
+            2 => {
+                c.x(gen.random_range(0..n));
+            }
+            _ => {
+                let a = gen.random_range(0..n);
+                let mut b = gen.random_range(0..n);
+                if a == b {
+                    b = (b + 1) % n;
+                }
+                c.cx(a, b);
+            }
+        }
+    }
+    c
+}
+
+/// Rolling hash of a measurement-outcome stream, so equality checks
+/// cover every measured bit without storing them all.
+fn fold_outcome(acc: u64, bit: bool) -> u64 {
+    (acc ^ bit as u64)
+        .rotate_left(5)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Times collapse sampling — clone a prepared `n`-qubit stabilizer state
+/// and measure every qubit, `iters` shots per rep — on the packed engine
+/// against the frozen bit-at-a-time reference, asserting identical
+/// outcome streams for the same seed. State preparation (the gate-bound
+/// part) happens once outside the timed region; the timed loop is the
+/// measurement collapse the row-major transpose targets.
+fn bench_tableau_measure(label: &str, n: usize, iters: usize, reps: usize) -> String {
+    let circuit = random_clifford_circuit(n, 3 * n, 7 + n as u64);
+    let mut rng = StdRng::seed_from_u64(1);
+    let reference_sim = ReferenceTableauSim::run(&circuit, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let packed_sim = TableauSim::run(&circuit, &mut rng).unwrap();
+    let (reference_ms, reference_fold) = time_best(reps, || {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            let mut sim = reference_sim.clone();
+            for q in 0..n {
+                acc = fold_outcome(acc, sim.measure(q, &mut rng));
+            }
+        }
+        acc
+    });
+    let (packed_ms, packed_fold) = time_best(reps, || {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            let mut sim = packed_sim.clone();
+            for q in 0..n {
+                acc = fold_outcome(acc, sim.measure(q, &mut rng));
+            }
+        }
+        acc
+    });
+    assert_eq!(
+        packed_fold, reference_fold,
+        "{label}: packed engine outcome stream diverged from the reference"
+    );
+    let speedup = reference_ms / packed_ms;
+    println!(
+        "tableau {label} (n={n}, {iters} collapse shots): \
+         reference {reference_ms:.2} ms, packed {packed_ms:.2} ms ({speedup:.2}x)"
+    );
+    format!(
+        "{{\"n\": {n}, \"iters\": {iters}, \
+         \"reference_ms\": {reference_ms:.3}, \"packed_1t_ms\": {packed_ms:.3}, \
+         \"speedup_1t\": {speedup:.3}, \"identical_outcomes\": true}}"
+    )
+}
+
+/// Times pure rowsum chains: collapse a prepared `n`-qubit state once
+/// (untimed), then repeatedly re-measure every qubit — all outcomes
+/// deterministic, so each measurement is exactly one stabilizer-product
+/// accumulation (`n` potential rowsums). Outcome streams are asserted
+/// identical between the engines.
+fn bench_tableau_rowsum(label: &str, n: usize, iters: usize, reps: usize) -> String {
+    let circuit = random_clifford_circuit(n, 3 * n, 7 + n as u64);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut reference_sim = ReferenceTableauSim::run(&circuit, &mut rng).unwrap();
+    for q in 0..n {
+        reference_sim.measure(q, &mut rng);
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut packed_sim = TableauSim::run(&circuit, &mut rng).unwrap();
+    for q in 0..n {
+        packed_sim.measure(q, &mut rng);
+    }
+    // Deterministic measurements draw no randomness and do not move the
+    // state, so the timed sweeps need no per-iteration reseeding.
+    let mut rng = StdRng::seed_from_u64(2);
+    let (reference_ms, reference_fold) = time_best(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            for q in 0..n {
+                acc = fold_outcome(acc, reference_sim.measure(q, &mut rng));
+            }
+        }
+        acc
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let (packed_ms, packed_fold) = time_best(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            for q in 0..n {
+                acc = fold_outcome(acc, packed_sim.measure(q, &mut rng));
+            }
+        }
+        acc
+    });
+    assert_eq!(
+        packed_fold, reference_fold,
+        "{label}: packed engine outcome stream diverged from the reference"
+    );
+    let speedup = reference_ms / packed_ms;
+    println!(
+        "tableau {label} (n={n}, {iters} deterministic sweeps): \
+         reference {reference_ms:.2} ms, packed {packed_ms:.2} ms ({speedup:.2}x)"
+    );
+    format!(
+        "{{\"n\": {n}, \"iters\": {iters}, \
+         \"reference_ms\": {reference_ms:.3}, \"packed_1t_ms\": {packed_ms:.3}, \
+         \"speedup_1t\": {speedup:.3}, \"identical_outcomes\": true}}"
     )
 }
 
@@ -373,6 +526,38 @@ fn main() {
         cores,
     );
 
+    // --- Tableau engine: packed row-major vs frozen bit-at-a-time ------
+    // Two microbenches (collapse sampling at 24 qubits; all-deterministic
+    // stabilizer-product sweeps at 48 qubits, i.e. pure rowsum chains)
+    // plus the existing sampled_6q workload run end-to-end through each
+    // engine via `EvalOptions::tableau_engine`.
+    let measure_row = bench_tableau_measure("measure_24q", 24, 600, reps);
+    let rowsum_row = bench_tableau_rowsum("rowsum_48q", 48, 300, reps);
+    let (tab_ref_ms, tab_ref_tensors) = time_best(reps, || {
+        let reference_eval = EvalOptions {
+            tableau_engine: TableauEngine::Reference,
+            ..eval
+        };
+        cutkit::evaluate_fragment_tensors(&cut.fragments, &reference_eval, &opts, &seeds, 1)
+            .unwrap()
+    });
+    let (tab_1t_ms, tab_tensors) = time_best(reps, || {
+        cutkit::evaluate_fragment_tensors(&cut.fragments, &eval, &opts, &seeds, 1).unwrap()
+    });
+    assert!(
+        tensors_bit_identical(&tab_tensors, &tab_ref_tensors),
+        "sampled_6q: packed tableau engine diverged from the frozen reference"
+    );
+    let tab_speedup = tab_ref_ms / tab_1t_ms;
+    println!(
+        "tableau sampled_6q end-to-end: reference engine {tab_ref_ms:.2} ms, \
+         packed engine {tab_1t_ms:.2} ms ({tab_speedup:.2}x)"
+    );
+    let tableau_sampled_row = format!(
+        "{{\"reference_ms\": {tab_ref_ms:.3}, \"packed_1t_ms\": {tab_1t_ms:.3}, \
+         \"speedup_1t\": {tab_speedup:.3}, \"bit_identical_to_reference\": true}}"
+    );
+
     // --- MLFT correction: interned in-place path vs BTreeMap baseline -
     // Raw (unsnapped) sampled tensors with a tight negativity tolerance,
     // so the PSD projection fires on realistically noisy blocks. The
@@ -476,12 +661,15 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 3,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 4,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
          \"recombine_marginals\": [\n{}\n  ],\n  \
          \"joint_reconstruction\": [\n{}\n  ],\n  \
          \"fragment_eval\": {{\n    \"sampled_6q\": {sampled_row},\n    \
          \"wide_exact\": {wide_row}\n  }},\n  \
+         \"tableau\": {{\n    \"measure_24q\": {measure_row},\n    \
+         \"rowsum_48q\": {rowsum_row},\n    \
+         \"sampled_6q\": {tableau_sampled_row}\n  }},\n  \
          \"mlft\": {{\"fragments\": {}, \
          \"reference_ms\": {mlft_ref_ms:.3}, \
          \"engine_1t_ms\": {mlft_1t_ms:.3}, \"engine_mt_ms\": {mlft_mt_ms:.3}, \

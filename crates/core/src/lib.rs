@@ -38,4 +38,4 @@ pub use backends::{
 pub use pipeline::{RunReport, RunResult, SuperSim, SuperSimConfig, SuperSimError};
 
 // Re-export the pieces users need to configure the pipeline.
-pub use cutkit::{CutPoint, CutStrategy, EvalMode};
+pub use cutkit::{CutPoint, CutStrategy, EvalMode, TableauEngine};

@@ -29,7 +29,7 @@
 
 use cutkit::{
     correct_tensors, cut_circuit, CutBudgetError, CutStrategy, EvalError, EvalMode, EvalOptions,
-    FragmentTensor, MlftError, MlftOptions, Reconstructor, TensorOptions,
+    FragmentTensor, MlftError, MlftOptions, Reconstructor, TableauEngine, TensorOptions,
 };
 use metrics::Distribution;
 use qcir::{Bits, Circuit};
@@ -80,6 +80,12 @@ pub struct SuperSimConfig {
     /// Largest affine-support dimension enumerated in exact Clifford
     /// evaluation.
     pub exact_support_limit: usize,
+    /// Stabilizer engine for noiseless Clifford fragments
+    /// ([`TableauEngine::Packed`] is the word-parallel production path;
+    /// [`TableauEngine::Reference`] is the frozen bit-at-a-time baseline,
+    /// bit-identical in outcomes and RNG consumption — an A/B knob for
+    /// parity checks and speedup measurement).
+    pub tableau_engine: TableauEngine,
 }
 
 impl Default for SuperSimConfig {
@@ -97,6 +103,7 @@ impl Default for SuperSimConfig {
             seed: 0,
             joint_support_limit: 2_000_000,
             exact_support_limit: 16,
+            tableau_engine: TableauEngine::default(),
         }
     }
 }
@@ -291,6 +298,7 @@ impl SuperSim {
             },
             exact_clifford: cfg.exact_clifford,
             exact_support_limit: cfg.exact_support_limit,
+            tableau_engine: cfg.tableau_engine,
         };
         let topts = TensorOptions {
             clifford_snap: cfg.clifford_snap,

@@ -23,6 +23,24 @@ pub enum EvalMode {
     },
 }
 
+/// Which stabilizer engine evaluates noiseless Clifford fragments.
+///
+/// Both engines are bit-identical in outcomes and seeded-RNG consumption
+/// (asserted by the `tableau_engine_parity` suite and the `tableau` bench
+/// series); the reference exists so that guarantee stays testable
+/// end-to-end through the fragment-tensor pipeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum TableauEngine {
+    /// The word-parallel row-major bit-plane engine
+    /// ([`stabsim::TableauSim`]) — the production path.
+    #[default]
+    Packed,
+    /// The frozen bit-at-a-time column-major baseline
+    /// ([`stabsim::ReferenceTableauSim`]), kept for parity tests and
+    /// speedup measurement.
+    Reference,
+}
+
 /// Options controlling fragment evaluation.
 #[derive(Copy, Clone, Debug)]
 pub struct EvalOptions {
@@ -36,6 +54,8 @@ pub struct EvalOptions {
     /// Largest affine-support dimension enumerated exactly (`2^dim`
     /// outcomes).
     pub exact_support_limit: usize,
+    /// Tableau engine for noiseless Clifford fragments.
+    pub tableau_engine: TableauEngine,
 }
 
 impl Default for EvalOptions {
@@ -44,6 +64,7 @@ impl Default for EvalOptions {
             mode: EvalMode::Sampled { shots: 5000 },
             exact_clifford: false,
             exact_support_limit: 16,
+            tableau_engine: TableauEngine::default(),
         }
     }
 }
@@ -115,9 +136,7 @@ pub fn evaluate_variant(
             if noisy {
                 return Err(EvalError::NoiseInExactMode);
             }
-            let sim = stabsim::TableauSim::run(&circuit, rng)
-                .expect("clifford fragment must run on the tableau");
-            let support = sim.support();
+            let support = clifford_support(&circuit, options.tableau_engine, rng);
             let dim = support.dim();
             if dim <= options.exact_support_limit {
                 let p = 1.0 / (1u64 << dim) as f64;
@@ -148,9 +167,7 @@ pub fn evaluate_variant(
             } else {
                 // Bulk sampling through the counting path reuses one
                 // scratch row instead of allocating per shot.
-                let counts = stabsim::TableauSim::run(&circuit, rng)
-                    .expect("clifford fragment must run on the tableau")
-                    .support()
+                let counts = clifford_support(&circuit, options.tableau_engine, rng)
                     .sample_counts(shots, rng);
                 Ok(counts_to_frequencies(counts, shots))
             }
@@ -178,6 +195,25 @@ pub fn evaluate_variant(
                 Ok(count_samples(&sv.sample(shots, rng)))
             }
         }
+    }
+}
+
+/// Runs a noiseless Clifford circuit on the selected tableau engine and
+/// extracts its affine support. Both engines consume `rng` identically
+/// and produce the same support (same base, same direction order), so the
+/// choice never perturbs downstream sampling streams.
+fn clifford_support(
+    circuit: &qcir::Circuit,
+    engine: TableauEngine,
+    rng: &mut impl Rng,
+) -> stabsim::AffineSupport {
+    match engine {
+        TableauEngine::Packed => stabsim::TableauSim::run(circuit, rng)
+            .expect("clifford fragment must run on the tableau")
+            .support(),
+        TableauEngine::Reference => stabsim::ReferenceTableauSim::run(circuit, rng)
+            .expect("clifford fragment must run on the tableau")
+            .support(),
     }
 }
 
@@ -307,6 +343,7 @@ mod tests {
             mode: EvalMode::Sampled { shots: 10 },
             exact_clifford: true,
             exact_support_limit: 16,
+            ..Default::default()
         };
         let mut r = rng();
         let v = &enumerate_variants(cliff)[0];

@@ -42,7 +42,7 @@ mod tensor;
 mod variants;
 
 pub use cut::{cut_circuit, CutBudgetError, CutCircuit, CutPoint, CutStrategy, Fragment};
-pub use evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
+pub use evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions, TableauEngine};
 #[doc(hidden)]
 pub use mlft::reference_correct_btreemap;
 pub use mlft::{correct_tensor, correct_tensors, MlftError, MlftOptions};

@@ -136,13 +136,26 @@ impl Bits {
 
     /// XORs another bitstring of the same length into `self`.
     ///
+    /// `u64×4`-unrolled so the hot GF(2) row operations (tableau rowsums,
+    /// Pauli products, affine-support sampling) run as straight-line word
+    /// arithmetic.
+    ///
     /// # Panics
     ///
     /// Panics on length mismatch.
+    #[inline]
     pub fn xor_assign(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
+        let mut a = self.words.chunks_exact_mut(4);
+        let mut b = other.words.chunks_exact(4);
+        for (aw, bw) in a.by_ref().zip(b.by_ref()) {
+            aw[0] ^= bw[0];
+            aw[1] ^= bw[1];
+            aw[2] ^= bw[2];
+            aw[3] ^= bw[3];
+        }
+        for (aw, bw) in a.into_remainder().iter_mut().zip(b.remainder()) {
+            *aw ^= bw;
         }
     }
 
@@ -151,25 +164,148 @@ impl Bits {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
-    /// Parity (mod-2 sum) of all bits.
-    pub fn parity(&self) -> bool {
-        self.count_ones() % 2 == 1
-    }
-
-    /// Parity of the AND with `other` — the GF(2) inner product.
+    /// Number of positions where both `self` and `other` are set
+    /// (`popcount(self & other)`), without materializing the AND.
     ///
     /// # Panics
     ///
     /// Panics on length mismatch.
+    #[inline]
+    pub fn and_count_ones(&self, other: &Bits) -> u32 {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut a = self.words.chunks_exact(4);
+        let mut b = other.words.chunks_exact(4);
+        let mut total = 0u32;
+        for (aw, bw) in a.by_ref().zip(b.by_ref()) {
+            total += (aw[0] & bw[0]).count_ones()
+                + (aw[1] & bw[1]).count_ones()
+                + (aw[2] & bw[2]).count_ones()
+                + (aw[3] & bw[3]).count_ones();
+        }
+        for (aw, bw) in a.remainder().iter().zip(b.remainder()) {
+            total += (aw & bw).count_ones();
+        }
+        total
+    }
+
+    /// Returns `true` when no bit is set.
+    ///
+    /// Short-circuiting word scan — unlike `count_ones() == 0` it stops at
+    /// the first nonzero word instead of popcounting the whole string.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        let mut chunks = self.words.chunks_exact(4);
+        for c in chunks.by_ref() {
+            if c[0] | c[1] | c[2] | c[3] != 0 {
+                return false;
+            }
+        }
+        chunks.remainder().iter().all(|&w| w == 0)
+    }
+
+    /// Parity (mod-2 sum) of all bits.
+    ///
+    /// XOR-folds the words into one accumulator and popcounts once —
+    /// XOR preserves popcount parity, so this matches the per-word
+    /// popcount sum while doing a single `popcnt` at the end.
+    #[inline]
+    pub fn parity(&self) -> bool {
+        let mut chunks = self.words.chunks_exact(4);
+        let mut acc = [0u64; 4];
+        for c in chunks.by_ref() {
+            acc[0] ^= c[0];
+            acc[1] ^= c[1];
+            acc[2] ^= c[2];
+            acc[3] ^= c[3];
+        }
+        let mut fold = acc[0] ^ acc[1] ^ acc[2] ^ acc[3];
+        for &w in chunks.remainder() {
+            fold ^= w;
+        }
+        fold.count_ones() % 2 == 1
+    }
+
+    /// Parity of the AND with `other` — the GF(2) inner product.
+    ///
+    /// Same XOR-fold trick as [`Bits::parity`]: the per-word ANDs are
+    /// XOR-folded (parity-preserving) and popcounted once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
     pub fn dot(&self, other: &Bits) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones())
-            .sum::<u32>()
-            % 2
-            == 1
+        let mut a = self.words.chunks_exact(4);
+        let mut b = other.words.chunks_exact(4);
+        let mut acc = [0u64; 4];
+        for (aw, bw) in a.by_ref().zip(b.by_ref()) {
+            acc[0] ^= aw[0] & bw[0];
+            acc[1] ^= aw[1] & bw[1];
+            acc[2] ^= aw[2] & bw[2];
+            acc[3] ^= aw[3] & bw[3];
+        }
+        let mut fold = acc[0] ^ acc[1] ^ acc[2] ^ acc[3];
+        for (aw, bw) in a.remainder().iter().zip(b.remainder()) {
+            fold ^= aw & bw;
+        }
+        fold.count_ones() % 2 == 1
+    }
+
+    /// Read-only view of the backing words (bit `i` of word `w` = bit
+    /// `64w + i` of the string; `len..` padding bits are zero).
+    ///
+    /// Lets word-level consumers (e.g. the tableau's flat bit-plane
+    /// arena) mix `Bits` values into slice-based kernels such as
+    /// [`pauli_mul_phase_words`] without per-bit accessors.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites the backing words from a slice.
+    ///
+    /// The caller must supply exactly the backing word count and keep the
+    /// `len..` padding invariant: bits at positions `len..` of the final
+    /// word must be zero (debug-asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the backing word count.
+    #[inline]
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        debug_assert!(
+            self.len % 64 == 0 || words.last().is_none_or(|&w| w >> (self.len % 64) == 0),
+            "copy_from_words source sets padding bits"
+        );
+        self.words.copy_from_slice(words);
+    }
+
+    /// XORs `mask` into word `w` of the backing storage.
+    ///
+    /// The caller must keep the `len..` padding invariant: bits of `mask`
+    /// at positions `len..` must be zero (debug-asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn xor_word(&mut self, w: usize, mask: u64) {
+        debug_assert!(
+            {
+                let lo = w * 64;
+                let valid = if self.len >= lo + 64 {
+                    u64::MAX
+                } else if self.len > lo {
+                    (1u64 << (self.len - lo)) - 1
+                } else {
+                    0
+                };
+                mask & !valid == 0
+            },
+            "xor_word mask touches padding bits"
+        );
+        self.words[w] ^= mask;
     }
 
     /// The bitstring as a `u64`, when it fits.
@@ -300,6 +436,72 @@ impl Bits {
             *w = (*w & !m) | (bit << (p & 63));
         }
     }
+}
+
+/// Fused GF(2) multiply-and-phase kernel for Pauli rows in the
+/// Aaronson–Gottesman `(x, z)` encoding (`Y` ≡ `(1,1)` with no per-qubit
+/// phase): performs `(x2, z2) := (x1 ⊕ x2, z1 ⊕ z2)` in place and returns
+/// the exponent of `i` picked up by the product `P(x1,z1) · P(x2,z2)`,
+/// mod 4.
+///
+/// This is the word-parallel replacement for the per-qubit `g()` phase
+/// match of the textbook rowsum: anticommuting bit positions contribute
+/// `±1` to the `i`-exponent, and the kernel accumulates those
+/// contributions in two carry-save bit-planes per word (`cnt1` = low
+/// counter bit per lane, `cnt2` = high bit, i.e. a 2-bit saturating-free
+/// counter mod 4 per bit lane). Adding `+1` to a lane flips `cnt1` and
+/// carries into `cnt2`; adding `−1` (≡ `+3`) additionally flips `cnt2`,
+/// and the "was this a `−1`" predicate reduces to
+/// `newx ⊕ newz ⊕ (x1 & z2)` on anticommuting lanes. The total exponent
+/// is then `popcount(cnt1) + 2·popcount(cnt2) (mod 4)` — per-lane counts
+/// mod 4 sum to the true count mod 4.
+///
+/// The `len..` padding invariant guarantees the slack bits of the last
+/// word never anticommute, so no tail masking is needed.
+///
+/// # Panics
+///
+/// Panics when the four rows do not share one length.
+#[inline]
+pub fn pauli_mul_phase(x1: &Bits, z1: &Bits, x2: &mut Bits, z2: &mut Bits) -> u8 {
+    assert!(
+        x1.len == z1.len && x1.len == x2.len && x1.len == z2.len,
+        "length mismatch"
+    );
+    pauli_mul_phase_words(&x1.words, &z1.words, &mut x2.words, &mut z2.words)
+}
+
+/// Word-slice form of [`pauli_mul_phase`], for callers that keep rows in
+/// a flat word arena (the tableau's bit-plane layout) rather than in
+/// `Bits` values. Identical semantics; slack bits beyond the operand
+/// width must be zero in all four slices (the `Bits` padding invariant).
+///
+/// # Panics
+///
+/// Panics when the four slices do not share one length.
+#[inline]
+pub fn pauli_mul_phase_words(x1: &[u64], z1: &[u64], x2: &mut [u64], z2: &mut [u64]) -> u8 {
+    assert!(
+        x1.len() == z1.len() && x1.len() == x2.len() && x1.len() == z2.len(),
+        "length mismatch"
+    );
+    let mut cnt1 = 0u64;
+    let mut cnt2 = 0u64;
+    for k in 0..x1.len() {
+        let x1w = x1[k];
+        let z1w = z1[k];
+        let x2w = x2[k];
+        let z2w = z2[k];
+        let newx = x1w ^ x2w;
+        let newz = z1w ^ z2w;
+        let x1z2 = x1w & z2w;
+        let anti = (z1w & x2w) ^ x1z2;
+        cnt2 ^= (cnt1 ^ newx ^ newz ^ x1z2) & anti;
+        cnt1 ^= anti;
+        x2[k] = newx;
+        z2[k] = newz;
+    }
+    ((cnt1.count_ones() + 2 * cnt2.count_ones()) % 4) as u8
 }
 
 /// Precomputed word/shift tables for repeated [`Bits::extract`] /
@@ -640,6 +842,85 @@ mod tests {
             // `patterned` ORs 1 into the seed, so use odd seeds only.
             let b = patterned(130, 2 * s + 1);
             assert!(seen.insert(b.hash_u64()), "collision at seed {s}");
+        }
+    }
+
+    #[test]
+    fn packed_kernels_match_bit_at_a_time_reference() {
+        for &len in &[0usize, 1, 7, 63, 64, 65, 127, 128, 130, 200, 300] {
+            let a = patterned(len, 2 * len as u64 + 1);
+            let b = patterned(len, 2 * len as u64 + 5);
+            // parity / dot / and_count_ones / is_zero against per-bit loops.
+            let slow_parity = (0..len).filter(|&i| a.get(i)).count() % 2 == 1;
+            assert_eq!(a.parity(), slow_parity, "parity len {len}");
+            let slow_dot = (0..len).filter(|&i| a.get(i) && b.get(i)).count() % 2 == 1;
+            assert_eq!(a.dot(&b), slow_dot, "dot len {len}");
+            let slow_and = (0..len).filter(|&i| a.get(i) && b.get(i)).count() as u32;
+            assert_eq!(a.and_count_ones(&b), slow_and, "and_count_ones len {len}");
+            assert_eq!(a.is_zero(), a.count_ones() == 0, "is_zero len {len}");
+            assert!(Bits::zeros(len).is_zero());
+            let mut c = a.clone();
+            c.xor_assign(&b);
+            for i in 0..len {
+                assert_eq!(c.get(i), a.get(i) ^ b.get(i), "xor_assign bit {i}");
+            }
+            c.xor_assign(&c.clone());
+            assert!(c.is_zero(), "x ^ x must be zero");
+            assert_eq!(c.len(), len);
+        }
+    }
+
+    /// Per-qubit reference for the fused Pauli kernel: the textbook
+    /// Aaronson–Gottesman `g()` phase match, accumulated qubit by qubit.
+    fn reference_pauli_mul_phase(x1: &Bits, z1: &Bits, x2: &mut Bits, z2: &mut Bits) -> u8 {
+        let mut ph: i32 = 0;
+        for q in 0..x1.len() {
+            let (a, b) = (x1.get(q), z1.get(q));
+            let (c, d) = (x2.get(q), z2.get(q));
+            ph += match (a, b) {
+                (false, false) => 0,
+                (true, true) => d as i32 - c as i32,
+                (true, false) => d as i32 * (2 * c as i32 - 1),
+                (false, true) => c as i32 * (1 - 2 * d as i32),
+            };
+            x2.set(q, a ^ c);
+            z2.set(q, b ^ d);
+        }
+        ph.rem_euclid(4) as u8
+    }
+
+    #[test]
+    fn pauli_mul_phase_matches_g_function_reference() {
+        // Dense 2-qubit sweep covers every per-qubit Pauli pairing,
+        // including both anticommuting orientations.
+        for bits in 0..256u64 {
+            let x1 = Bits::from_u64(bits & 3, 2);
+            let z1 = Bits::from_u64((bits >> 2) & 3, 2);
+            let mut x2 = Bits::from_u64((bits >> 4) & 3, 2);
+            let mut z2 = Bits::from_u64((bits >> 6) & 3, 2);
+            let mut rx2 = x2.clone();
+            let mut rz2 = z2.clone();
+            let got = pauli_mul_phase(&x1, &z1, &mut x2, &mut z2);
+            let want = reference_pauli_mul_phase(&x1, &z1, &mut rx2, &mut rz2);
+            assert_eq!(got, want, "phase mismatch at case {bits}");
+            assert_eq!(x2, rx2);
+            assert_eq!(z2, rz2);
+        }
+        // Multi-word rows exercise the cross-word carry-save accumulation.
+        for &len in &[63usize, 64, 65, 130, 200] {
+            for seed in 0..8u64 {
+                let x1 = patterned(len, 4 * seed + 1);
+                let z1 = patterned(len, 4 * seed + 3);
+                let mut x2 = patterned(len, 4 * seed + 5);
+                let mut z2 = patterned(len, 4 * seed + 7);
+                let mut rx2 = x2.clone();
+                let mut rz2 = z2.clone();
+                let got = pauli_mul_phase(&x1, &z1, &mut x2, &mut z2);
+                let want = reference_pauli_mul_phase(&x1, &z1, &mut rx2, &mut rz2);
+                assert_eq!(got, want, "phase mismatch len {len} seed {seed}");
+                assert_eq!(x2, rx2, "x mismatch len {len} seed {seed}");
+                assert_eq!(z2, rz2, "z mismatch len {len} seed {seed}");
+            }
         }
     }
 

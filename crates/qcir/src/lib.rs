@@ -32,7 +32,7 @@ mod gate;
 mod pauli;
 pub mod text;
 
-pub use bits::{Bits, IndexPlan};
+pub use bits::{pauli_mul_phase, pauli_mul_phase_words, Bits, IndexPlan};
 pub use circuit::{Circuit, OpKind, Operation};
 pub use gate::{CliffordGate, Gate, NoiseChannel};
 pub use pauli::{Pauli, PauliString};

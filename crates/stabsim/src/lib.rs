@@ -24,10 +24,13 @@
 
 mod frame;
 mod packed;
+mod reference_tableau;
 mod tableau;
 
 pub use frame::FrameSim;
 pub use packed::PackedPauli;
+#[doc(hidden)]
+pub use reference_tableau::ReferenceTableauSim;
 pub use tableau::{AffineSupport, TableauSim};
 
 /// Error returned when a stabilizer engine encounters a non-Clifford gate.

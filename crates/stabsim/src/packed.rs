@@ -62,16 +62,13 @@ impl PackedPauli {
     pub fn to_string_form(&self) -> PauliString {
         let n = self.len();
         let mut s = PauliString::identity(n);
-        let mut y_count = 0u8;
         for q in 0..n {
-            let p = Pauli::from_xz(self.x.get(q), self.z.get(q));
-            if p == Pauli::Y {
-                y_count += 1;
-            }
-            s.set_pauli(q, p);
+            s.set_pauli(q, Pauli::from_xz(self.x.get(q), self.z.get(q)));
         }
-        // i^k X^x Z^z = i^{k - #Y} · Π P_q  (each Y = i·XZ)
-        s.set_phase((self.k + 4 - y_count % 4) % 4);
+        // i^k X^x Z^z = i^{k - #Y} · Π P_q  (each Y = i·XZ); the Y count
+        // is the popcount of x & z, word-level.
+        let y_count = (self.x.and_count_ones(&self.z) % 4) as u8;
+        s.set_phase((self.k + 4 - y_count) % 4);
         s
     }
 
@@ -95,8 +92,11 @@ impl PackedPauli {
     }
 
     /// Returns `true` when the X-component is zero (a pure Z-type operator).
+    ///
+    /// Short-circuits at the first nonzero word ([`Bits::is_zero`]) instead
+    /// of popcounting the whole mask.
     pub fn is_z_type(&self) -> bool {
-        self.x.count_ones() == 0
+        self.x.is_zero()
     }
 }
 

@@ -1,48 +1,71 @@
-//! Aaronson–Gottesman tableau simulation with bit-packed columns.
+//! Aaronson–Gottesman tableau simulation over row-major bit-planes.
+//!
+//! # Layout
+//!
+//! The tableau stores each of its `2n+1` rows (destabilizers `0..n`,
+//! stabilizers `n..2n`, one scratch row) as two bit-packed masks — the
+//! row's X-mask and Z-mask, `⌈n/64⌉` words each, held at fixed strides in
+//! two flat word arenas (one allocation per plane) — plus one sign bit
+//! per row in a packed [`qcir::Bits`] sign plane. This is the CHP/Stim
+//! *row-major* orientation: a whole generator is contiguous memory, so
+//! the row operations that dominate measurement (`rowsum`, `copy_row`,
+//! Gaussian elimination, support extraction) are straight word-level
+//! loops instead of one-bit-per-qubit probes, and the strided per-qubit
+//! column probes of gate application stay prefetchable. Gate application
+//! pays for the orientation by touching one bit in every row (`O(n)` per
+//! gate, like CHP) — a trade that wins as soon as a circuit measures,
+//! samples, or takes expectations, which is every path SuperSim drives.
+//!
+//! # Word-parallel rowsum
+//!
+//! The rowsum (`row_h := row_i · row_h`) is a word-level XOR of the two
+//! bit-planes fused with the standard bit-sliced phase trick
+//! ([`qcir::pauli_mul_phase_words`]): instead of matching the per-qubit
+//! Aaronson–Gottesman `g()` table, the kernel accumulates the exponent of
+//! `i` in two carry-save bit-planes per word (a 2-bit counter mod 4 per
+//! bit lane; anticommuting lanes add `±1`, where the `−1` predicate is
+//! `newx ⊕ newz ⊕ (x1 & z2)`), and resolves the total with two popcounts
+//! at the end. One `O(n/64)` pass replaces `n` table matches.
+//!
+//! Measurement drives rowsums in two batched shapes, each with its fixed
+//! row hoisted out of the loop: the random-outcome collapse multiplies
+//! one pivot row into every row carrying the measured qubit's X-bit, and
+//! the deterministic branch accumulates a stabilizer product into the
+//! scratch row. At `n ≤ 64` (one word per row) both run fully in
+//! registers.
+//!
+//! The pre-transpose bit-at-a-time engine is frozen as
+//! [`ReferenceTableauSim`](crate::ReferenceTableauSim); the two engines
+//! are asserted bit-identical (same outcomes, same seeded-RNG
+//! consumption) by the `tableau_engine_parity` suite and the `tableau`
+//! series of `bench_json`.
 
 use crate::packed::PackedPauli;
 use crate::NonCliffordError;
-use qcir::{Bits, Circuit, CliffordGate, NoiseChannel, OpKind, PauliString, Qubit};
+use qcir::{pauli_mul_phase_words, Bits, Circuit, CliffordGate, NoiseChannel, OpKind, Qubit};
 use rand::Rng;
 
-/// Splits two distinct columns out of a column store for simultaneous
-/// mutation.
-fn pair_mut(cols: &mut [Vec<u64>], a: usize, b: usize) -> (&mut Vec<u64>, &mut Vec<u64>) {
-    assert_ne!(a, b, "need distinct columns");
-    if a < b {
-        let (lo, hi) = cols.split_at_mut(b);
-        (&mut lo[a], &mut hi[0])
-    } else {
-        let (lo, hi) = cols.split_at_mut(a);
-        (&mut hi[0], &mut lo[b])
-    }
-}
-
+/// GF(2) inner product of two equal-length word slices (XOR-fold, one
+/// popcount).
 #[inline]
-fn get_bit(v: &[u64], r: usize) -> bool {
-    (v[r / 64] >> (r % 64)) & 1 == 1
-}
-
-#[inline]
-fn set_bit(v: &mut [u64], r: usize, b: bool) {
-    let m = 1u64 << (r % 64);
-    if b {
-        v[r / 64] |= m;
-    } else {
-        v[r / 64] &= !m;
+fn slice_dot(a: &[u64], b: &[u64]) -> bool {
+    let mut fold = 0u64;
+    for (x, y) in a.iter().zip(b) {
+        fold ^= x & y;
     }
+    fold.count_ones() % 2 == 1
 }
 
 /// A stabilizer-circuit simulator in the style of Stim/CHP.
 ///
-/// The tableau stores `n` destabilizer and `n` stabilizer generators (plus a
-/// scratch row) in *column-major* bit-packed form: gate application is a
-/// handful of word-wide boolean operations per qubit column, `O(n/64)` per
-/// gate. Measurement uses the Aaronson–Gottesman row-sum algorithm, and bulk
-/// computational-basis sampling extracts the affine-subspace support of the
-/// state once (`O(n³/64)`) and then draws shots in `O(n·r/64)` each — the
-/// property that lets SuperSim sample 300-qubit Clifford fragments in
-/// milliseconds.
+/// Rows are stored as packed bit-planes (see the module docs): gate
+/// application flips one bit per row, while measurement's row sums,
+/// Gaussian elimination, and support extraction run `O(n/64)` per row
+/// pair. Measurement uses the Aaronson–Gottesman row-sum algorithm, and
+/// bulk computational-basis sampling extracts the affine-subspace support
+/// of the state once (`O(n³/64)`) and then draws shots in `O(n·r/64)`
+/// each — the property that lets SuperSim sample 300-qubit Clifford
+/// fragments in milliseconds.
 ///
 /// ```
 /// use stabsim::TableauSim;
@@ -60,29 +83,34 @@ fn set_bit(v: &mut [u64], r: usize, b: bool) {
 #[derive(Clone, Debug)]
 pub struct TableauSim {
     n: usize,
-    /// Words per column; rows are `0..n` destabilizers, `n..2n` stabilizers,
-    /// row `2n` scratch.
-    words: usize,
-    xs: Vec<Vec<u64>>,
-    zs: Vec<Vec<u64>>,
-    signs: Vec<u64>,
+    /// Words per row (`⌈n/64⌉`, min 1).
+    stride: usize,
+    /// X bit-plane arena: row `r` occupies words `r·stride ..
+    /// (r+1)·stride`; rows `0..n` destabilizers, `n..2n` stabilizers, row
+    /// `2n` scratch. One contiguous allocation keeps row scans and
+    /// strided per-qubit probes cache-friendly.
+    xs: Vec<u64>,
+    /// Z bit-plane arena, same geometry.
+    zs: Vec<u64>,
+    /// Sign plane: bit `r` is row `r`'s `(-1)` phase.
+    signs: Bits,
 }
 
 impl TableauSim {
     /// Creates the all-`|0⟩` state on `n` qubits.
     pub fn new(n: usize) -> Self {
         let rows = 2 * n + 1;
-        let words = rows.div_ceil(64).max(1);
+        let stride = n.div_ceil(64).max(1);
         let mut sim = TableauSim {
             n,
-            words,
-            xs: vec![vec![0u64; words]; n],
-            zs: vec![vec![0u64; words]; n],
-            signs: vec![0u64; words],
+            stride,
+            xs: vec![0u64; rows * stride],
+            zs: vec![0u64; rows * stride],
+            signs: Bits::zeros(rows),
         };
         for q in 0..n {
-            set_bit(&mut sim.xs[q], q, true); // destabilizer q = X_q
-            set_bit(&mut sim.zs[q], n + q, true); // stabilizer q = Z_q
+            sim.xs[q * stride + (q >> 6)] |= 1u64 << (q & 63); // destabilizer q = X_q
+            sim.zs[(n + q) * stride + (q >> 6)] |= 1u64 << (q & 63); // stabilizer q = Z_q
         }
         sim
     }
@@ -91,6 +119,18 @@ impl TableauSim {
     #[inline]
     pub fn num_qubits(&self) -> usize {
         self.n
+    }
+
+    /// The words of row `r` in the X-plane.
+    #[inline]
+    fn x_row(&self, r: usize) -> &[u64] {
+        &self.xs[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// The words of row `r` in the Z-plane.
+    #[inline]
+    fn z_row(&self, r: usize) -> &[u64] {
+        &self.zs[r * self.stride..(r + 1) * self.stride]
     }
 
     /// Runs a circuit from `|0…0⟩`.
@@ -135,7 +175,106 @@ impl TableauSim {
         Ok(())
     }
 
+    /// Visits every generator row with a single-qubit Clifford action
+    /// `(x, z) → (x', z', sign_flip)` over 0/1-valued words, monomorphized
+    /// per gate.
+    ///
+    /// The arena offset and bit mask of qubit `q` are hoisted out of the
+    /// row loop; the per-row update is branchless (unconditional
+    /// XOR-with-difference stores, sign flips accumulated into one delta
+    /// word per 64-row block), so data-dependent bits never cost a
+    /// mispredict. The scratch row is skipped: its content is dead between
+    /// deterministic measurements (always cleared before use).
+    #[inline]
+    fn for_each_row_1q<F>(&mut self, q: usize, f: F)
+    where
+        F: Fn(u64, u64) -> (u64, u64, u64),
+    {
+        assert!(q < self.n, "qubit out of range");
+        let stride = self.stride;
+        let sh = (q & 63) as u32;
+        // Arena index of qubit q's word in row 0; advances by `stride`.
+        let mut idx = q >> 6;
+        let rows = 2 * self.n; // generators only; scratch row content is dead
+        let mut r = 0;
+        let mut sw = 0;
+        while r < rows {
+            let hi = (r + 64).min(rows);
+            let mut delta = 0u64;
+            let mut bit = 1u64;
+            while r < hi {
+                let xw = self.xs[idx];
+                let zw = self.zs[idx];
+                let x = (xw >> sh) & 1;
+                let z = (zw >> sh) & 1;
+                let (nx, nz, s) = f(x, z);
+                self.xs[idx] = xw ^ ((x ^ nx) << sh);
+                self.zs[idx] = zw ^ ((z ^ nz) << sh);
+                delta |= s * bit;
+                bit <<= 1;
+                idx += stride;
+                r += 1;
+            }
+            self.signs.xor_word(sw, delta);
+            sw += 1;
+        }
+    }
+
+    /// Two-qubit analogue of [`TableauSim::for_each_row_1q`]:
+    /// `(xa, za, xb, zb) → (xa', za', xb', zb', sign_flip)`.
+    #[inline]
+    fn for_each_row_2q<F>(&mut self, a: usize, b: usize, f: F)
+    where
+        F: Fn(u64, u64, u64, u64) -> (u64, u64, u64, u64, u64),
+    {
+        assert!(a < self.n && b < self.n, "qubit out of range");
+        assert_ne!(a, b, "need distinct qubits");
+        let stride = self.stride;
+        let sha = (a & 63) as u32;
+        let shb = (b & 63) as u32;
+        let mut ia = a >> 6;
+        let mut ib = b >> 6;
+        let rows = 2 * self.n; // generators only; scratch row content is dead
+        let mut r = 0;
+        let mut sw = 0;
+        while r < rows {
+            let hi = (r + 64).min(rows);
+            let mut delta = 0u64;
+            let mut bit = 1u64;
+            while r < hi {
+                let xaw = self.xs[ia];
+                let zaw = self.zs[ia];
+                let xbw = self.xs[ib];
+                let zbw = self.zs[ib];
+                let xa = (xaw >> sha) & 1;
+                let za = (zaw >> sha) & 1;
+                let xb = (xbw >> shb) & 1;
+                let zb = (zbw >> shb) & 1;
+                let (nxa, nza, nxb, nzb, s) = f(xa, za, xb, zb);
+                self.xs[ia] = xaw ^ ((xa ^ nxa) << sha);
+                self.zs[ia] = zaw ^ ((za ^ nza) << sha);
+                // `a` and `b` may share an arena word (same row, same
+                // 64-qubit block): reload so the write above is seen.
+                let xbw = self.xs[ib];
+                let zbw = self.zs[ib];
+                self.xs[ib] = xbw ^ ((xb ^ nxb) << shb);
+                self.zs[ib] = zbw ^ ((zb ^ nzb) << shb);
+                delta |= s * bit;
+                bit <<= 1;
+                ia += stride;
+                ib += stride;
+                r += 1;
+            }
+            self.signs.xor_word(sw, delta);
+            sw += 1;
+        }
+    }
+
     /// Applies a Clifford gate.
+    ///
+    /// Row-major orientation: each gate reads/flips the gate qubits' bits
+    /// in every row and conditionally flips the row's sign — `O(n)` per
+    /// gate (the CHP trade for word-parallel row operations).
     ///
     /// # Panics
     ///
@@ -144,106 +283,27 @@ impl TableauSim {
     pub fn apply(&mut self, gate: CliffordGate, qubits: &[Qubit]) {
         assert_eq!(qubits.len(), gate.arity(), "arity mismatch");
         use CliffordGate as G;
-        let w = self.words;
         match gate {
             G::I => {}
-            G::X => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.zs[q][k];
-                }
-            }
-            G::Y => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.xs[q][k] ^ self.zs[q][k];
-                }
-            }
-            G::Z => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.xs[q][k];
-                }
-            }
-            G::H => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.xs[q][k] & self.zs[q][k];
-                }
-                let (x, z) = (&mut self.xs[q], &mut self.zs[q]);
-                std::mem::swap(x, z);
-            }
-            G::S => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.xs[q][k] & self.zs[q][k];
-                    self.zs[q][k] ^= self.xs[q][k];
-                }
-            }
-            G::Sdg => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.xs[q][k] & !self.zs[q][k];
-                    self.zs[q][k] ^= self.xs[q][k];
-                }
-            }
-            G::SqrtX => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.zs[q][k] & !self.xs[q][k];
-                    self.xs[q][k] ^= self.zs[q][k];
-                }
-            }
-            G::SqrtXdg => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.zs[q][k] & self.xs[q][k];
-                    self.xs[q][k] ^= self.zs[q][k];
-                }
-            }
-            G::SqrtY => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.xs[q][k] & !self.zs[q][k];
-                }
-                std::mem::swap(&mut self.xs[q], &mut self.zs[q]);
-            }
-            G::SqrtYdg => {
-                let q = qubits[0].index();
-                for k in 0..w {
-                    self.signs[k] ^= self.zs[q][k] & !self.xs[q][k];
-                }
-                std::mem::swap(&mut self.xs[q], &mut self.zs[q]);
-            }
+            G::X => self.for_each_row_1q(qubits[0].index(), |x, z| (x, z, z)),
+            G::Y => self.for_each_row_1q(qubits[0].index(), |x, z| (x, z, x ^ z)),
+            G::Z => self.for_each_row_1q(qubits[0].index(), |x, z| (x, z, x)),
+            G::H => self.for_each_row_1q(qubits[0].index(), |x, z| (z, x, x & z)),
+            G::S => self.for_each_row_1q(qubits[0].index(), |x, z| (x, z ^ x, x & z)),
+            G::Sdg => self.for_each_row_1q(qubits[0].index(), |x, z| (x, z ^ x, x & (z ^ 1))),
+            G::SqrtX => self.for_each_row_1q(qubits[0].index(), |x, z| (x ^ z, z, z & (x ^ 1))),
+            G::SqrtXdg => self.for_each_row_1q(qubits[0].index(), |x, z| (x ^ z, z, z & x)),
+            G::SqrtY => self.for_each_row_1q(qubits[0].index(), |x, z| (z, x, x & (z ^ 1))),
+            G::SqrtYdg => self.for_each_row_1q(qubits[0].index(), |x, z| (z, x, z & (x ^ 1))),
             G::Cx => {
-                let (c, t) = (qubits[0].index(), qubits[1].index());
-                for k in 0..w {
-                    self.signs[k] ^=
-                        self.xs[c][k] & self.zs[t][k] & !(self.xs[t][k] ^ self.zs[c][k]);
-                }
-                {
-                    let (xc, xt) = pair_mut(&mut self.xs, c, t);
-                    for k in 0..w {
-                        xt[k] ^= xc[k];
-                    }
-                }
-                let (zc, zt) = pair_mut(&mut self.zs, c, t);
-                for k in 0..w {
-                    zc[k] ^= zt[k];
-                }
+                self.for_each_row_2q(qubits[0].index(), qubits[1].index(), |xc, zc, xt, zt| {
+                    (xc, zc ^ zt, xt ^ xc, zt, xc & zt & (xt ^ zc ^ 1))
+                })
             }
             G::Cz => {
-                let (a, b) = (qubits[0].index(), qubits[1].index());
-                for k in 0..w {
-                    self.signs[k] ^=
-                        self.xs[a][k] & self.xs[b][k] & (self.zs[a][k] ^ self.zs[b][k]);
-                }
-                for k in 0..w {
-                    let xa = self.xs[a][k];
-                    let xb = self.xs[b][k];
-                    self.zs[a][k] ^= xb;
-                    self.zs[b][k] ^= xa;
-                }
+                self.for_each_row_2q(qubits[0].index(), qubits[1].index(), |xa, za, xb, zb| {
+                    (xa, za ^ xb, xb, zb ^ xa, xa & xb & (za ^ zb))
+                })
             }
             G::Cy => {
                 self.apply(G::Sdg, &[qubits[1]]);
@@ -251,9 +311,9 @@ impl TableauSim {
                 self.apply(G::S, &[qubits[1]]);
             }
             G::Swap => {
-                let (a, b) = (qubits[0].index(), qubits[1].index());
-                self.xs.swap(a, b);
-                self.zs.swap(a, b);
+                self.for_each_row_2q(qubits[0].index(), qubits[1].index(), |xa, za, xb, zb| {
+                    (xb, zb, xa, za, 0)
+                })
             }
         }
     }
@@ -299,65 +359,160 @@ impl TableauSim {
         }
     }
 
-    #[inline]
-    fn x_bit(&self, q: usize, row: usize) -> bool {
-        get_bit(&self.xs[q], row)
-    }
-
-    #[inline]
-    fn z_bit(&self, q: usize, row: usize) -> bool {
-        get_bit(&self.zs[q], row)
-    }
-
-    #[inline]
-    fn sign_bit(&self, row: usize) -> bool {
-        get_bit(&self.signs, row)
-    }
-
-    /// The Aaronson–Gottesman phase function `g` (exponent of `i`
-    /// contributed when multiplying single-qubit Paulis `(x1,z1)·(x2,z2)`).
-    #[inline]
-    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
-        match (x1, z1) {
-            (false, false) => 0,
-            (true, true) => z2 as i32 - x2 as i32,
-            (true, false) => z2 as i32 * (2 * x2 as i32 - 1),
-            (false, true) => x2 as i32 * (1 - 2 * z2 as i32),
+    /// The fused hot loop of the random-outcome collapse: multiplies
+    /// pivot row `p` into every other row whose X-bit at `(wq, m)` is set
+    /// (skipping the pivot's destabilizer partner `p − n`), i.e. a batch
+    /// of `rowsum(r, p)` with the pivot's bit-planes and sign hoisted out
+    /// of the loop.
+    fn collapse_rowsums(&mut self, p: usize, wq: usize, m: u64) {
+        let stride = self.stride;
+        let n = self.n;
+        let sp = self.signs.get(p) as u32;
+        // Rows below the pivot borrow the pivot from the upper half…
+        {
+            let (xlo, xhi) = self.xs.split_at_mut(p * stride);
+            let (zlo, zhi) = self.zs.split_at_mut(p * stride);
+            let xp = &xhi[..stride];
+            let zp = &zhi[..stride];
+            for r in 0..p {
+                if r == p - n {
+                    continue;
+                }
+                let xr = &mut xlo[r * stride..(r + 1) * stride];
+                if xr[wq] & m == 0 {
+                    continue;
+                }
+                let zr = &mut zlo[r * stride..(r + 1) * stride];
+                let g = pauli_mul_phase_words(xp, zp, xr, zr) as u32;
+                let ph = (2 * (self.signs.get(r) as u32 + sp) + g) % 4;
+                debug_assert!(ph == 0 || ph == 2, "rowsum produced imaginary phase");
+                self.signs.set(r, ph == 2);
+            }
+        }
+        // …and rows above it borrow it from the lower half.
+        let (xlo, xhi) = self.xs.split_at_mut((p + 1) * stride);
+        let (zlo, zhi) = self.zs.split_at_mut((p + 1) * stride);
+        let xp = &xlo[p * stride..];
+        let zp = &zlo[p * stride..];
+        for r in p + 1..2 * n {
+            let off = (r - p - 1) * stride;
+            let xr = &mut xhi[off..off + stride];
+            if xr[wq] & m == 0 {
+                continue;
+            }
+            let zr = &mut zhi[off..off + stride];
+            let g = pauli_mul_phase_words(xp, zp, xr, zr) as u32;
+            let ph = (2 * (self.signs.get(r) as u32 + sp) + g) % 4;
+            debug_assert!(ph == 0 || ph == 2, "rowsum produced imaginary phase");
+            self.signs.set(r, ph == 2);
         }
     }
 
-    /// Row operation: `row_h := row_i · row_h` with exact phase tracking.
-    fn rowsum(&mut self, h: usize, i: usize) {
-        let mut ph: i32 = 2 * (self.sign_bit(h) as i32) + 2 * (self.sign_bit(i) as i32);
-        for q in 0..self.n {
-            let (x1, z1) = (self.x_bit(q, i), self.z_bit(q, i));
-            let (x2, z2) = (self.x_bit(q, h), self.z_bit(q, h));
-            ph += Self::g(x1, z1, x2, z2);
-            set_bit(&mut self.xs[q], h, x1 ^ x2);
-            set_bit(&mut self.zs[q], h, z1 ^ z2);
+    /// Single-word specialization of [`TableauSim::collapse_rowsums`] for
+    /// `stride == 1` (n ≤ 64): the pivot's planes live in registers, each
+    /// row product is ~a dozen ALU ops (the same carry-save phase formula
+    /// as [`qcir::pauli_mul_phase_words`], collapsed to one word where
+    /// `cnt1 = anti`, `cnt2 = minus`), and no borrow splitting is needed.
+    fn collapse_rowsums_w1(&mut self, p: usize, m: u64) {
+        let n = self.n;
+        let x1 = self.xs[p];
+        let z1 = self.zs[p];
+        let sp = self.signs.get(p) as u32;
+        let skip = p - n;
+        for r in 0..2 * n {
+            let x2 = self.xs[r];
+            if x2 & m == 0 || r == p || r == skip {
+                continue;
+            }
+            let z2 = self.zs[r];
+            let newx = x1 ^ x2;
+            let newz = z1 ^ z2;
+            let x1z2 = x1 & z2;
+            let anti = (z1 & x2) ^ x1z2;
+            let minus = (newx ^ newz ^ x1z2) & anti;
+            let g = anti.count_ones() + 2 * minus.count_ones();
+            let ph = (2 * (self.signs.get(r) as u32 + sp) + g) % 4;
+            debug_assert!(ph == 0 || ph == 2, "rowsum produced imaginary phase");
+            self.xs[r] = newx;
+            self.zs[r] = newz;
+            self.signs.set(r, ph == 2);
         }
-        let ph = ph.rem_euclid(4);
-        debug_assert!(ph == 0 || ph == 2, "rowsum produced imaginary phase");
-        set_bit(&mut self.signs, h, ph == 2);
+    }
+
+    /// The fused hot loop of the deterministic-outcome branch: clears the
+    /// scratch row and accumulates `rowsum(scratch, n + i)` for every
+    /// destabilizer `i` whose X-bit at `(wq, m)` is set, with the scratch
+    /// bit-planes and running sign held out of the loop. Returns the
+    /// accumulated sign — the measurement outcome.
+    fn scratch_accumulate(&mut self, wq: usize, m: u64) -> bool {
+        let stride = self.stride;
+        let n = self.n;
+        self.clear_row(2 * n);
+        let (xlo, xhi) = self.xs.split_at_mut(2 * n * stride);
+        let (zlo, zhi) = self.zs.split_at_mut(2 * n * stride);
+        let xscratch = &mut xhi[..stride];
+        let zscratch = &mut zhi[..stride];
+        let mut sign = 0u32;
+        for i in 0..n {
+            if xlo[i * stride + wq] & m == 0 {
+                continue;
+            }
+            let xi = &xlo[(n + i) * stride..(n + i + 1) * stride];
+            let zi = &zlo[(n + i) * stride..(n + i + 1) * stride];
+            let g = pauli_mul_phase_words(xi, zi, xscratch, zscratch) as u32;
+            let ph = (2 * (sign + self.signs.get(n + i) as u32) + g) % 4;
+            debug_assert!(ph == 0 || ph == 2, "rowsum produced imaginary phase");
+            sign = (ph == 2) as u32;
+        }
+        self.signs.set(2 * n, sign == 1);
+        sign == 1
+    }
+
+    /// Single-word specialization of [`TableauSim::scratch_accumulate`]
+    /// for `stride == 1`: the accumulator never leaves registers — the
+    /// in-memory scratch row is not touched at all.
+    fn scratch_accumulate_w1(&mut self, m: u64) -> bool {
+        let n = self.n;
+        let mut xacc = 0u64;
+        let mut zacc = 0u64;
+        let mut sign = 0u32;
+        for i in 0..n {
+            if self.xs[i] & m == 0 {
+                continue;
+            }
+            // rowsum(scratch, n+i): left = stabilizer row, right = acc.
+            let x1 = self.xs[n + i];
+            let z1 = self.zs[n + i];
+            let newx = x1 ^ xacc;
+            let newz = z1 ^ zacc;
+            let x1z2 = x1 & zacc;
+            let anti = (z1 & xacc) ^ x1z2;
+            let minus = (newx ^ newz ^ x1z2) & anti;
+            let g = anti.count_ones() + 2 * minus.count_ones();
+            let ph = (2 * (sign + self.signs.get(n + i) as u32) + g) % 4;
+            debug_assert!(ph == 0 || ph == 2, "rowsum produced imaginary phase");
+            xacc = newx;
+            zacc = newz;
+            sign = (ph == 2) as u32;
+        }
+        sign == 1
     }
 
     fn copy_row(&mut self, src: usize, dst: usize) {
-        for q in 0..self.n {
-            let x = self.x_bit(q, src);
-            let z = self.z_bit(q, src);
-            set_bit(&mut self.xs[q], dst, x);
-            set_bit(&mut self.zs[q], dst, z);
-        }
-        let s = self.sign_bit(src);
-        set_bit(&mut self.signs, dst, s);
+        let stride = self.stride;
+        self.xs
+            .copy_within(src * stride..(src + 1) * stride, dst * stride);
+        self.zs
+            .copy_within(src * stride..(src + 1) * stride, dst * stride);
+        let s = self.signs.get(src);
+        self.signs.set(dst, s);
     }
 
     fn clear_row(&mut self, row: usize) {
-        for q in 0..self.n {
-            set_bit(&mut self.xs[q], row, false);
-            set_bit(&mut self.zs[q], row, false);
-        }
-        set_bit(&mut self.signs, row, false);
+        let stride = self.stride;
+        self.xs[row * stride..(row + 1) * stride].fill(0);
+        self.zs[row * stride..(row + 1) * stride].fill(0);
+        self.signs.set(row, false);
     }
 
     /// Measures qubit `q` in the computational basis, collapsing the state.
@@ -370,65 +525,84 @@ impl TableauSim {
     pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> bool {
         assert!(q < self.n, "qubit out of range");
         let n = self.n;
-        if let Some(p) = (n..2 * n).find(|&r| self.x_bit(q, r)) {
+        // Hoisted arena offset/mask of qubit q. The row scans walk the
+        // X-plane at `stride`-word steps through an iterator, so each
+        // probe is a bounds-check-free strided load.
+        let stride = self.stride;
+        let wq = q >> 6;
+        let m = 1u64 << (q & 63);
+        let pivot = self.xs[n * stride + wq..]
+            .iter()
+            .step_by(stride)
+            .take(n)
+            .position(|&w| w & m != 0);
+        if let Some(p) = pivot.map(|i| n + i) {
             // Random outcome. Row p's own destabilizer partner (row p−n)
             // anticommutes with row p, so multiplying it would produce an
             // imaginary phase — but it is overwritten below anyway, so it
-            // is skipped here.
-            for r in 0..2 * n {
-                if r != p && r != p - n && self.x_bit(q, r) {
-                    self.rowsum(r, p);
-                }
+            // is skipped inside the fused loop.
+            if stride == 1 {
+                self.collapse_rowsums_w1(p, m);
+            } else {
+                self.collapse_rowsums(p, wq, m);
             }
             self.copy_row(p, p - n);
             self.clear_row(p);
             let outcome: bool = rng.random();
-            set_bit(&mut self.zs[q], p, true);
-            set_bit(&mut self.signs, p, outcome);
+            self.zs[p * stride + wq] |= m;
+            self.signs.set(p, outcome);
             outcome
+        } else if stride == 1 {
+            // Deterministic outcome, single-word fast path: the stabilizer
+            // product accumulates entirely in registers.
+            self.scratch_accumulate_w1(m)
         } else {
-            // Deterministic outcome.
-            let scratch = 2 * n;
-            self.clear_row(scratch);
-            for i in 0..n {
-                if self.x_bit(q, i) {
-                    self.rowsum(scratch, n + i);
-                }
-            }
-            self.sign_bit(scratch)
+            // Deterministic outcome: accumulate the stabilizer product on
+            // the scratch row.
+            self.scratch_accumulate(wq, m)
         }
     }
 
     /// Extracts row `row` of the tableau as a packed Pauli.
     fn row_pauli(&self, row: usize) -> PackedPauli {
-        let mut x = Bits::zeros(self.n);
-        let mut z = Bits::zeros(self.n);
-        let mut ys = 0u8;
-        for q in 0..self.n {
-            let xb = self.x_bit(q, row);
-            let zb = self.z_bit(q, row);
-            x.set(q, xb);
-            z.set(q, zb);
-            if xb && zb {
-                ys = (ys + 1) % 4;
-            }
-        }
-        PackedPauli {
-            x,
-            z,
-            k: (2 * self.sign_bit(row) as u8 + ys) % 4,
-        }
+        let mut out = PackedPauli::identity(self.n);
+        self.row_pauli_into(row, &mut out);
+        out
+    }
+
+    /// [`TableauSim::row_pauli`] into a caller-provided Pauli, reusing its
+    /// bit-plane allocations — the scratch-friendly path for loops that
+    /// extract many rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `num_qubits` wide.
+    fn row_pauli_into(&self, row: usize, out: &mut PackedPauli) {
+        out.x.copy_from_words(self.x_row(row));
+        out.z.copy_from_words(self.z_row(row));
+        // Y = i·X·Z per (1,1) qubit: the i-exponent is the Y count mod 4.
+        let ys = out.x.and_count_ones(&out.z) % 4;
+        out.k = ((2 * self.signs.get(row) as u32 + ys) % 4) as u8;
+    }
+
+    /// Returns `true` when row `row` anticommutes with `p`.
+    ///
+    /// Two GF(2) inner products straight off the bit-planes — no row
+    /// extraction, no allocation.
+    #[inline]
+    fn row_anticommutes(&self, row: usize, p: &PackedPauli) -> bool {
+        slice_dot(self.x_row(row), p.z.as_words()) ^ slice_dot(self.z_row(row), p.x.as_words())
     }
 
     /// The current stabilizer generators as phase-tracked Pauli strings.
-    pub fn stabilizers(&self) -> Vec<PauliString> {
+    pub fn stabilizers(&self) -> Vec<qcir::PauliString> {
         (self.n..2 * self.n)
             .map(|r| self.row_pauli(r).to_string_form())
             .collect()
     }
 
     /// The current destabilizer generators.
-    pub fn destabilizers(&self) -> Vec<PauliString> {
+    pub fn destabilizers(&self) -> Vec<qcir::PauliString> {
         (0..self.n)
             .map(|r| self.row_pauli(r).to_string_form())
             .collect()
@@ -445,21 +619,24 @@ impl TableauSim {
     ///
     /// Panics if `p.len() != num_qubits` or the string carries an imaginary
     /// phase (non-Hermitian operator).
-    pub fn expectation(&self, p: &PauliString) -> i32 {
+    pub fn expectation(&self, p: &qcir::PauliString) -> i32 {
         assert_eq!(p.len(), self.n, "operator width mismatch");
         assert!(p.phase() % 2 == 0, "non-Hermitian Pauli operator");
         let target = PackedPauli::from_string(p);
         // ⟨P⟩ = 0 unless P commutes with every stabilizer generator.
         for r in self.n..2 * self.n {
-            if !self.row_pauli(r).commutes_with(&target) {
+            if self.row_anticommutes(r, &target) {
                 return 0;
             }
         }
         // P = ± Π of the stabilizers paired with anticommuting destabilizers.
+        // One scratch row serves every extraction.
         let mut product = PackedPauli::identity(self.n);
+        let mut scratch = PackedPauli::identity(self.n);
         for i in 0..self.n {
-            if !self.row_pauli(i).commutes_with(&target) {
-                product.mul_assign(&self.row_pauli(self.n + i));
+            if self.row_anticommutes(i, &target) {
+                self.row_pauli_into(self.n + i, &mut scratch);
+                product.mul_assign(&scratch);
             }
         }
         debug_assert_eq!(product.x, target.x, "membership reconstruction failed");
@@ -478,7 +655,11 @@ impl TableauSim {
     ///
     /// The distribution of measuring all qubits of a stabilizer state is
     /// uniform over `base ⊕ span(directions)`; this performs the one-time
-    /// `O(n³/64)` Gaussian elimination that makes bulk sampling cheap.
+    /// `O(n³/64)` Gaussian elimination that makes bulk sampling cheap. In
+    /// the row-major layout each stabilizer row is extracted with two word
+    /// copies, and the elimination's row products run on the packed
+    /// kernels; the extracted bit-planes are moved (not recloned) into the
+    /// returned support.
     pub fn support(&self) -> AffineSupport {
         let n = self.n;
         let mut rows: Vec<PackedPauli> = (n..2 * n).map(|r| self.row_pauli(r)).collect();
@@ -498,16 +679,18 @@ impl TableauSim {
             }
         }
 
-        let directions: Vec<Bits> = rows[..rank].iter().map(|r| r.x.clone()).collect();
+        // Move the bit-planes out of the eliminated rows: the first `rank`
+        // X-masks become the directions, the rest are pure-Z constraints.
+        let mut rows_iter = rows.into_iter();
+        let directions: Vec<Bits> = rows_iter.by_ref().take(rank).map(|r| r.x).collect();
 
         // Remaining rows are pure-Z stabilizers: (-1)^{k/2} Z^z fixes
         // z·x ≡ k/2 (mod 2) on the support.
-        let mut cons: Vec<(Bits, bool)> = rows[rank..]
-            .iter()
+        let mut cons: Vec<(Bits, bool)> = rows_iter
             .map(|r| {
                 debug_assert!(r.is_z_type());
                 debug_assert!(r.k % 2 == 0);
-                (r.z.clone(), r.k % 4 == 2)
+                (r.z, r.k % 4 == 2)
             })
             .collect();
 
@@ -694,14 +877,14 @@ impl AffineSupport {
                 rank += 1;
             }
         }
-        v.count_ones() == 0
+        v.is_zero()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcir::Circuit;
+    use qcir::{Circuit, PauliString};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

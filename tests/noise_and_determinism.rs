@@ -177,6 +177,54 @@ fn full_pipeline_bit_identical_at_matrix_thread_count() {
     }
 }
 
+/// The packed word-parallel tableau engine feeds the same fragment
+/// tensors as the frozen bit-at-a-time reference at the matrix thread
+/// count: same supports, same emission order, same coefficient bits.
+/// (Engine parity at explicit thread counts is in
+/// `tableau_engine_parity`; this is the matrix-pinned variant.)
+#[test]
+fn packed_tableau_engine_matches_reference_bit_exact() {
+    use cutkit::{cut_circuit, CutStrategy, EvalMode, EvalOptions, TableauEngine, TensorOptions};
+    let w = workloads::hwea(6, 3, 2, 19);
+    let cut = cut_circuit(&w.circuit, CutStrategy::default()).unwrap();
+    let seeds: Vec<u64> = (0..cut.fragments.len() as u64).map(|i| 640 + i).collect();
+    let opts = TensorOptions::default();
+    let mk = |engine| EvalOptions {
+        mode: EvalMode::Sampled { shots: 700 },
+        tableau_engine: engine,
+        ..Default::default()
+    };
+    let reference = cutkit::evaluate_fragment_tensors(
+        &cut.fragments,
+        &mk(TableauEngine::Reference),
+        &opts,
+        &seeds,
+        1,
+    )
+    .unwrap();
+    let packed = cutkit::evaluate_fragment_tensors(
+        &cut.fragments,
+        &mk(TableauEngine::Packed),
+        &opts,
+        &seeds,
+        test_threads(),
+    )
+    .unwrap();
+    assert_eq!(packed.len(), reference.len());
+    for (fi, (p, r)) in packed.iter().zip(&reference).enumerate() {
+        assert_eq!(p.support_len(), r.support_len(), "fragment {fi} support");
+        for ((pb, pv), (rb, rv)) in p.iter().zip(r.iter()) {
+            assert_eq!(pb, rb, "fragment {fi} emission order");
+            for (x, y) in pv.iter().zip(rv) {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "fragment {fi} coefficient bits at {pb}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn frame_and_trajectory_noise_models_agree() {
     // The frame simulator (batched) and statevector trajectories implement
