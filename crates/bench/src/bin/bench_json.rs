@@ -58,6 +58,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stabsim::{ReferenceTableauSim, TableauSim};
 use std::time::Instant;
+use supersim::{ExecParams, RunResult, SuperSim, SuperSimConfig};
 
 /// The seed implementation's marginals loop, reproduced verbatim against
 /// the public tensor API: one `4^k` sweep, fresh prefix/suffix vectors per
@@ -622,6 +623,101 @@ fn main() {
         raw_tensors.len(),
     );
 
+    // --- Batch sweep: plan-reuse vs re-cut-per-point baseline ----------
+    // A deep T-rich ladder under a tight cut budget: the greedy merge
+    // pass dominates each run, which is exactly the cost plan reuse
+    // amortizes. The baseline re-cuts per sweep point (one SuperSim::run
+    // each); the engine plans once and drives every point through
+    // Executor::run_sweep on one shared pool. Output is asserted
+    // bit-identical to the sequential per-point runs at 1, 2, and 8
+    // worker threads before timing is reported.
+    let ladder = workloads::t_ladder(2, 150);
+    let sweep_cfg = SuperSimConfig {
+        shots: 400,
+        cut_strategy: CutStrategy::IsolateNonClifford { max_cuts: 4 },
+        ..SuperSimConfig::default()
+    };
+    let points: Vec<ExecParams> = (0..8u64)
+        .map(|i| ExecParams {
+            seed: 1000 + i,
+            shots: 400,
+        })
+        .collect();
+    let (recut_ms, baseline_runs) = time_best(reps, || {
+        points
+            .iter()
+            .map(|p| {
+                SuperSim::new(SuperSimConfig {
+                    seed: p.seed,
+                    shots: p.shots,
+                    ..sweep_cfg.clone()
+                })
+                .run(&ladder.circuit)
+                .unwrap()
+            })
+            .collect::<Vec<_>>()
+    });
+    let run_sweep_at = |threads: usize| -> Vec<RunResult> {
+        let sim = SuperSim::new(SuperSimConfig {
+            parallel: threads != 1,
+            threads,
+            ..sweep_cfg.clone()
+        });
+        let plan = sim.plan(&ladder.circuit).unwrap();
+        sim.executor()
+            .run_sweep(&plan, &points)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect()
+    };
+    let (sweep_1t_ms, sweep_runs) = time_best(reps, || run_sweep_at(1));
+    let (sweep_mt_ms, _) = time_best(reps, || run_sweep_at(0));
+    // Two distinct parity claims, collected separately and asserted after
+    // each comparison: the 1-thread sweep against the sequential re-cut
+    // baseline, and the 2/8-thread sweeps against the 1-thread sweep.
+    let sweep_vs_sequential = baseline_runs
+        .iter()
+        .zip(&sweep_runs)
+        .all(|(b, e)| b.bit_identical_to(e));
+    assert!(
+        sweep_vs_sequential,
+        "batch_sweep: plan-reuse sweep diverged from the sequential per-point runs"
+    );
+    let sweep_across_threads = [2usize, 8].iter().all(|&threads| {
+        run_sweep_at(threads)
+            .iter()
+            .zip(&sweep_runs)
+            .all(|(e, one)| e.bit_identical_to(one))
+    });
+    assert!(
+        sweep_across_threads,
+        "batch_sweep: sweep output changed with the worker count"
+    );
+    let sweep_speedup_1t = recut_ms / sweep_1t_ms;
+    let sweep_speedup_mt = recut_ms / sweep_mt_ms;
+    println!(
+        "batch_sweep ({} points, {} ops, {} T gates, k={}): \
+         re-cut baseline {recut_ms:.2} ms, plan-reuse(1t) {sweep_1t_ms:.2} ms \
+         ({sweep_speedup_1t:.2}x), plan-reuse({cores} workers) {sweep_mt_ms:.2} ms \
+         ({sweep_speedup_mt:.2}x)",
+        points.len(),
+        ladder.circuit.len(),
+        ladder.circuit.t_count(),
+        baseline_runs[0].report.num_cuts,
+    );
+    let batch_sweep_row = format!(
+        "{{\"points\": {}, \"ops\": {}, \"t_gates\": {}, \"cuts\": {}, \
+         \"recut_1t_ms\": {recut_ms:.3}, \"sweep_1t_ms\": {sweep_1t_ms:.3}, \
+         \"sweep_mt_ms\": {sweep_mt_ms:.3}, \"speedup_1t\": {sweep_speedup_1t:.3}, \
+         \"speedup_mt\": {sweep_speedup_mt:.3}, \
+         \"bit_identical_to_sequential\": {sweep_vs_sequential}, \
+         \"bit_identical_across_threads\": {sweep_across_threads}}}",
+        points.len(),
+        ladder.circuit.len(),
+        ladder.circuit.t_count(),
+        baseline_runs[0].report.num_cuts,
+    );
+
     // --- §IX sparse-contraction ablation ------------------------------
     let mut ghz_t = Circuit::new(4);
     ghz_t.h(0);
@@ -670,6 +766,7 @@ fn main() {
          \"tableau\": {{\n    \"measure_24q\": {measure_row},\n    \
          \"rowsum_48q\": {rowsum_row},\n    \
          \"sampled_6q\": {tableau_sampled_row}\n  }},\n  \
+         \"batch_sweep\": {batch_sweep_row},\n  \
          \"mlft\": {{\"fragments\": {}, \
          \"reference_ms\": {mlft_ref_ms:.3}, \
          \"engine_1t_ms\": {mlft_1t_ms:.3}, \"engine_mt_ms\": {mlft_mt_ms:.3}, \

@@ -3,19 +3,47 @@
 //!
 //! This crate is the user-facing framework of the reproduction of
 //! *"Clifford-based Circuit Cutting for Quantum Simulation"* (ISCA 2023).
-//! It wires the three pipeline stages of the paper's §V together:
 //!
-//! 1. the **circuit cutter** isolates non-Clifford gates
-//!    ([`cutkit::cut_circuit`]);
-//! 2. the **fragment evaluator** runs every fragment variant on the right
-//!    backend — the stabilizer simulator for Clifford fragments, the exact
-//!    statevector simulator for the rest — optionally in parallel;
-//! 3. the **distribution builder** recombines fragment tensors into the
-//!    uncut circuit's output distribution or single-qubit marginals.
+//! # Plan / execute / batch architecture
+//!
+//! The pipeline of the paper's §V is staged so its one-time structure is
+//! separated from its per-run work:
+//!
+//! 1. **Plan** ([`SuperSim::plan`] → [`CutPlan`]): the circuit cutter
+//!    isolates non-Clifford gates ([`cutkit::cut_circuit`]) and
+//!    precomputes everything reusable — fragment structure, tomography
+//!    variant enumeration, extraction and recombination index plans.
+//! 2. **Execute** ([`Executor`]): every fragment variant runs on the
+//!    right backend (stabilizer simulator for Clifford fragments, exact
+//!    statevector for the rest), sampled tensors get the MLFT correction,
+//!    and the distribution builder recombines the fragment tensors. Each
+//!    execution takes its own [`ExecParams`] (seed, shot budget), so
+//!    parameterized sweeps ([`Executor::run_sweep`]) cut **once** and
+//!    execute many times — the CAFQA/VQE and fragment-tomography shape.
+//! 3. **Batch** ([`SuperSim::run_batch`]): many circuits flatten into
+//!    one worker pool spanning all circuits *and* all stages. Work is a
+//!    dependency-driven task queue of fixed (circuit × fragment ×
+//!    variant) evaluation chunks, per-fragment MLFT corrections, and
+//!    per-circuit recombinations: a circuit advances to its next stage
+//!    the moment its own last task lands, so there are no per-circuit
+//!    stage barriers and one slow circuit cannot serialize the batch.
+//!
+//! # Cross-circuit threading model
+//!
+//! One pool, sized by [`SuperSimConfig::threads`], serves everything.
+//! Single runs parallelize within each stage; batches and sweeps
+//! parallelize across circuits (each batch recombination contracts
+//! single-threaded — recombination is bit-identical for any thread
+//! count, so this is purely a scheduling choice). **Determinism:** for a
+//! given seed, every path — sequential, parallel, batched — produces
+//! bit-identical results at every thread count, and batch/sweep output is
+//! bit-identical to independent sequential [`SuperSim::run`] calls; work
+//! decompositions are fixed and float folds happen in (circuit, fragment,
+//! variant) order, never in completion order.
 //!
 //! ```
 //! use qcir::Circuit;
-//! use supersim::{SuperSim, SuperSimConfig};
+//! use supersim::{ExecParams, SuperSim, SuperSimConfig};
 //!
 //! let mut c = Circuit::new(2);
 //! c.h(0).cx(0, 1).t(1).h(1);
@@ -23,10 +51,20 @@
 //!     exact: true,
 //!     ..SuperSimConfig::default()
 //! });
+//!
+//! // One-shot: plan + execute fused.
 //! let result = sim.run(&c).unwrap();
 //! assert_eq!(result.report.num_cuts, 2);
 //! let dist = result.distribution.as_ref().unwrap();
 //! assert!((dist.total_mass() - 1.0).abs() < 1e-9);
+//!
+//! // Sweep: cut once, execute for many seeds on one shared pool.
+//! let plan = sim.plan(&c).unwrap();
+//! let points: Vec<ExecParams> = (0..3)
+//!     .map(|s| ExecParams::from_config(sim.config()).with_seed(s))
+//!     .collect();
+//! let runs = sim.executor().run_sweep(&plan, &points);
+//! assert_eq!(runs.len(), 3);
 //! ```
 
 mod backends;
@@ -35,7 +73,9 @@ mod pipeline;
 pub use backends::{
     BackendError, ExtStabBackend, MpsBackend, Simulator, StabilizerBackend, StatevectorBackend,
 };
-pub use pipeline::{RunReport, RunResult, SuperSim, SuperSimConfig, SuperSimError};
+pub use pipeline::{
+    CutPlan, ExecParams, Executor, RunReport, RunResult, SuperSim, SuperSimConfig, SuperSimError,
+};
 
 // Re-export the pieces users need to configure the pipeline.
 pub use cutkit::{CutPoint, CutStrategy, EvalMode, TableauEngine};

@@ -1,0 +1,467 @@
+//! The batch stage: one shared worker pool spanning all circuits and all
+//! pipeline stages.
+//!
+//! [`execute_jobs`] drives a set of (plan, params) jobs — the backend of
+//! both [`SuperSim::run_batch`](crate::SuperSim::run_batch) (many
+//! circuits) and [`Executor::run_sweep`](crate::Executor::run_sweep)
+//! (one plan, many parameter points) — through a dependency-driven task
+//! queue:
+//!
+//! * every job's evaluation decomposes into the same fixed (fragment ×
+//!   variant) chunks a standalone run uses
+//!   ([`cutkit::evaluate_planned_chunk`]); all jobs' chunks go into one
+//!   FIFO queue, so workers drain whatever is ready regardless of which
+//!   circuit it belongs to;
+//! * when a job's **last** evaluation chunk lands, the finishing worker
+//!   folds its chunks in chunk order ([`cutkit::merge_planned_chunks`])
+//!   and enqueues that job's per-fragment MLFT tasks — no global stage
+//!   barrier, so one slow circuit cannot hold every other circuit's MLFT
+//!   and recombination hostage;
+//! * when a job's last MLFT task lands, its `mlft_moved` folds in fragment
+//!   order and a single recombination task is enqueued (recombination is
+//!   bit-identical for any thread count, so the batch contracts each job
+//!   with one thread and takes its parallelism from running many jobs at
+//!   once).
+//!
+//! # Determinism
+//!
+//! The work-item decomposition is a pure function of each job (never of
+//! the worker count or schedule), and every float fold happens in a fixed
+//! order — chunks in chunk order, fragments in fragment order, jobs
+//! independent — so each job's output is **bit-identical to an
+//! independent sequential [`SuperSim::run`](crate::SuperSim::run)** with
+//! the same parameters, for every pool size. Per-job RNG streams are
+//! derived from the job's own seed exactly as single runs derive them,
+//! which isolates the streams of different circuits in a batch.
+//!
+//! # Errors
+//!
+//! Failures stay per-job: a circuit whose evaluation or correction fails
+//! reports the same error an independent run would (the earliest failing
+//! chunk in chunk order / fragment in fragment order) without disturbing
+//! the other jobs.
+
+use super::execute::{
+    base_seeds, eval_options, finish_run, mlft_enabled, tensor_options, worker_threads, ExecParams,
+    RunResult,
+};
+use super::plan::CutPlan;
+use super::{SuperSimConfig, SuperSimError};
+use cutkit::{
+    correct_tensor, evaluate_planned_chunk, merge_planned_chunks, planned_num_chunks, EvalChunk,
+    EvalError, EvalOptions, FragmentTensor, MlftError, MlftOptions, TensorOptions,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One unit of batch work: a plan executed with one set of parameters.
+pub(crate) struct BatchJob<'p> {
+    pub plan: &'p CutPlan,
+    pub params: ExecParams,
+}
+
+/// A schedulable task. Tasks of one job are enqueued in dependency order
+/// (all evaluation chunks, then — once those complete — MLFT fragments,
+/// then recombination); the FIFO queue preserves within-job chunk order,
+/// which the deterministic error selection relies on.
+#[derive(Clone, Copy, Debug)]
+enum Task {
+    EvalChunk { job: usize, chunk: usize },
+    Mlft { job: usize, frag: usize },
+    Recombine { job: usize },
+}
+
+/// Mutable per-job state, shared across workers. Slots are written by
+/// exactly one worker each (the queue hands out distinct tasks), so the
+/// mutexes are uncontended handles for `&mut` access.
+struct JobState<'p> {
+    plan: &'p CutPlan,
+    eval: EvalOptions,
+    topts: TensorOptions,
+    seeds: Vec<u64>,
+    num_chunks: usize,
+    /// Completed evaluation chunks (`None` = not run / skipped after an
+    /// earlier chunk of this job failed).
+    chunks: Mutex<Vec<Option<Result<EvalChunk, EvalError>>>>,
+    chunks_left: AtomicUsize,
+    /// Early-exit flag: set by the first failing chunk so later chunks of
+    /// this job are skipped. Claims are FIFO in chunk order, so every
+    /// chunk below the first failure has already been claimed and will
+    /// record its result — the reported error is the earliest failing
+    /// chunk, exactly like the sequential path.
+    eval_failed: AtomicBool,
+    /// Finished fragment tensors, populated when the last chunk folds;
+    /// corrected in place by the per-fragment MLFT tasks.
+    tensors: Vec<Mutex<Option<FragmentTensor>>>,
+    /// Per-fragment MLFT outcomes, folded in fragment order at the end.
+    moved: Mutex<Vec<Option<Result<f64, MlftError>>>>,
+    mlft_left: AtomicUsize,
+    /// Folded `mlft_moved` (set between the MLFT and recombine stages).
+    mlft_moved: Mutex<f64>,
+    started: Instant,
+    /// Wall time from job start to the end of its correction stage (the
+    /// batch analogue of the single-run `eval_time`; overlaps other jobs'
+    /// work on the shared pool).
+    eval_time: Mutex<std::time::Duration>,
+    result: Mutex<Option<Result<RunResult, SuperSimError>>>,
+}
+
+impl<'p> JobState<'p> {
+    fn new(config: &SuperSimConfig, job: &BatchJob<'p>) -> Self {
+        let plan = job.plan;
+        let fragments = plan.num_fragments();
+        let num_chunks = planned_num_chunks(&plan.eval_plans);
+        JobState {
+            plan,
+            eval: eval_options(config, job.params),
+            topts: tensor_options(config),
+            seeds: base_seeds(job.params.seed, fragments),
+            num_chunks,
+            chunks: Mutex::new((0..num_chunks).map(|_| None).collect()),
+            chunks_left: AtomicUsize::new(num_chunks),
+            eval_failed: AtomicBool::new(false),
+            tensors: (0..fragments).map(|_| Mutex::new(None)).collect(),
+            moved: Mutex::new(vec![None; fragments]),
+            mlft_left: AtomicUsize::new(fragments),
+            mlft_moved: Mutex::new(0.0),
+            started: Instant::now(),
+            eval_time: Mutex::new(std::time::Duration::ZERO),
+            result: Mutex::new(None),
+        }
+    }
+}
+
+/// FIFO task queue with completion-based termination.
+struct Queue {
+    tasks: Mutex<VecDeque<Task>>,
+    ready: Condvar,
+    jobs_done: AtomicUsize,
+    total_jobs: usize,
+    /// Pool size, for tasks that can borrow idle capacity (tail-job
+    /// recombination).
+    workers: usize,
+    /// Set when a worker panics mid-task: termination is completion-based
+    /// (`jobs_done == total_jobs`), and a panicked worker's job would
+    /// never complete — without this flag its siblings would wait on the
+    /// condvar forever and the scope join would deadlock instead of
+    /// propagating the panic.
+    aborted: AtomicBool,
+}
+
+impl Queue {
+    fn push(&self, new: impl IntoIterator<Item = Task>) {
+        let mut q = self.tasks.lock().expect("task queue poisoned");
+        q.extend(new);
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    /// Pops the next task, blocking while the queue is empty but jobs are
+    /// still in flight (their completions will enqueue follow-up tasks).
+    /// Returns `None` once every job has recorded its result or a sibling
+    /// worker panicked (the panic then propagates from the scope join).
+    fn pop(&self) -> Option<Task> {
+        let mut q = self.tasks.lock().expect("task queue poisoned");
+        loop {
+            if self.aborted.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if self.jobs_done.load(Ordering::Acquire) >= self.total_jobs {
+                return None;
+            }
+            q = self.ready.wait(q).expect("task queue poisoned");
+        }
+    }
+
+    /// Marks one job complete; wakes idle workers so they can re-check the
+    /// termination condition.
+    fn job_done(&self) {
+        let done = self.jobs_done.fetch_add(1, Ordering::AcqRel) + 1;
+        if done >= self.total_jobs {
+            self.wake_all();
+        }
+    }
+
+    /// Flags the pool as dead and wakes every waiter (worker-panic path).
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    fn wake_all(&self) {
+        // Taking the lock orders the flag/counter store before any
+        // waiter's re-check; ignore poisoning — this runs on panic paths.
+        let _guard = self.tasks.lock();
+        self.ready.notify_all();
+    }
+}
+
+/// Aborts the queue when dropped during a panic, so sibling workers wake
+/// and exit instead of waiting for a job that will never complete.
+struct AbortOnPanic<'q>(&'q Queue);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// Executes every job on one shared pool (see the module docs) and
+/// returns per-job results in job order.
+pub(crate) fn execute_jobs(
+    config: &SuperSimConfig,
+    jobs: &[BatchJob<'_>],
+) -> Vec<Result<RunResult, SuperSimError>> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let states: Vec<JobState<'_>> = jobs.iter().map(|j| JobState::new(config, j)).collect();
+    let workers = worker_threads(config)
+        .min(total_tasks_bound(&states))
+        .max(1);
+    let queue = Queue {
+        tasks: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        jobs_done: AtomicUsize::new(0),
+        total_jobs: states.len(),
+        workers,
+        aborted: AtomicBool::new(false),
+    };
+    // Seed the queue with every job's evaluation chunks, job-major: the
+    // FIFO drain then keeps each job's chunks in chunk order.
+    queue.push(
+        states.iter().enumerate().flat_map(|(j, s)| {
+            (0..s.num_chunks).map(move |c| Task::EvalChunk { job: j, chunk: c })
+        }),
+    );
+    if workers <= 1 {
+        // Sequential drain on the current thread — the identical task
+        // structure, so results match the pooled paths bit for bit.
+        while let Some(task) = queue.pop() {
+            run_task(config, &states, &queue, task);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let _abort_guard = AbortOnPanic(&queue);
+                    while let Some(task) = queue.pop() {
+                        run_task(config, &states, &queue, task);
+                    }
+                });
+            }
+        });
+    }
+
+    states
+        .into_iter()
+        .map(|s| {
+            s.result
+                .into_inner()
+                .expect("job result poisoned")
+                .expect("every job records a result")
+        })
+        .collect()
+}
+
+/// A loose upper bound on useful workers (no point spawning more threads
+/// than initially queued evaluation chunks across all jobs).
+fn total_tasks_bound(states: &[JobState<'_>]) -> usize {
+    states.iter().map(|s| s.num_chunks).sum::<usize>().max(1)
+}
+
+fn run_task(config: &SuperSimConfig, states: &[JobState<'_>], queue: &Queue, task: Task) {
+    match task {
+        Task::EvalChunk { job, chunk } => {
+            let s = &states[job];
+            if !s.eval_failed.load(Ordering::Relaxed) {
+                let r = evaluate_planned_chunk(
+                    &s.plan.cut.fragments,
+                    &s.plan.eval_plans,
+                    &s.eval,
+                    &s.seeds,
+                    chunk,
+                );
+                if r.is_err() {
+                    s.eval_failed.store(true, Ordering::Relaxed);
+                }
+                s.chunks.lock().expect("chunk slots poisoned")[chunk] = Some(r);
+            }
+            if s.chunks_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                finish_eval(config, s, queue, job);
+            }
+        }
+        Task::Mlft { job, frag } => {
+            let s = &states[job];
+            let r = {
+                let mut slot = s.tensors[frag].lock().expect("tensor slot poisoned");
+                let tensor = slot.as_mut().expect("MLFT before tensors finalized");
+                correct_tensor(tensor, &MlftOptions::default())
+            };
+            s.moved.lock().expect("moved slots poisoned")[frag] = Some(r);
+            if s.mlft_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                finish_mlft(s, queue, job);
+            }
+        }
+        Task::Recombine { job } => {
+            let s = &states[job];
+            let tensors: Vec<FragmentTensor> = s
+                .tensors
+                .iter()
+                .map(|m| {
+                    m.lock()
+                        .expect("tensor slot poisoned")
+                        .take()
+                        .expect("recombine before tensors finalized")
+                })
+                .collect();
+            let mlft_moved = *s.mlft_moved.lock().expect("mlft_moved poisoned");
+            let eval_time = *s.eval_time.lock().expect("eval_time poisoned");
+            // Recombination is bit-identical for any thread count, so the
+            // contraction may soak up idle pool capacity when few jobs
+            // remain (a tail sweep point on a large 4^k plan would
+            // otherwise contract single-threaded while workers idle) —
+            // purely a scheduling choice, never a numerical one.
+            let remaining = queue
+                .total_jobs
+                .saturating_sub(queue.jobs_done.load(Ordering::Acquire))
+                .max(1);
+            let rec_threads = (queue.workers / remaining).max(1);
+            let result = finish_run(config, s.plan, tensors, mlft_moved, eval_time, rec_threads);
+            *s.result.lock().expect("job result poisoned") = Some(Ok(result));
+            queue.job_done();
+        }
+    }
+}
+
+/// Runs when a job's last evaluation chunk lands: folds the chunks in
+/// chunk order into fragment tensors, then opens the job's next stage.
+fn finish_eval(config: &SuperSimConfig, s: &JobState<'_>, queue: &Queue, job: usize) {
+    let slots = std::mem::take(&mut *s.chunks.lock().expect("chunk slots poisoned"));
+    let mut chunks: Vec<EvalChunk> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(chunk)) => chunks.push(chunk),
+            Some(Err(e)) => {
+                // First error in chunk order — identical to the error an
+                // independent sequential run reports.
+                *s.result.lock().expect("job result poisoned") = Some(Err(SuperSimError::Eval(e)));
+                queue.job_done();
+                return;
+            }
+            // Skipped after a failure; the error precedes it in order.
+            None => {}
+        }
+    }
+    let tensors = merge_planned_chunks(
+        &s.plan.cut.fragments,
+        &s.plan.eval_plans,
+        &s.eval,
+        &s.topts,
+        chunks,
+    );
+    for (slot, tensor) in s.tensors.iter().zip(tensors) {
+        *slot.lock().expect("tensor slot poisoned") = Some(tensor);
+    }
+    if mlft_enabled(config) {
+        queue.push((0..s.plan.num_fragments()).map(|f| Task::Mlft { job, frag: f }));
+    } else {
+        *s.eval_time.lock().expect("eval_time poisoned") = s.started.elapsed();
+        queue.push([Task::Recombine { job }]);
+    }
+}
+
+/// Runs when a job's last MLFT task lands: folds `mlft_moved` in fragment
+/// order (the first failing fragment's error wins, like the sequential
+/// path) and enqueues recombination.
+fn finish_mlft(s: &JobState<'_>, queue: &Queue, job: usize) {
+    let outcomes = std::mem::take(&mut *s.moved.lock().expect("moved slots poisoned"));
+    let mut total = 0.0;
+    for outcome in outcomes {
+        match outcome.expect("every fragment records an MLFT outcome") {
+            Ok(moved) => total += moved,
+            Err(e) => {
+                *s.result.lock().expect("job result poisoned") = Some(Err(SuperSimError::Mlft(e)));
+                queue.job_done();
+                return;
+            }
+        }
+    }
+    *s.mlft_moved.lock().expect("mlft_moved poisoned") = total;
+    *s.eval_time.lock().expect("eval_time poisoned") = s.started.elapsed();
+    queue.push([Task::Recombine { job }]);
+}
+
+/// Builds every circuit's plan, on the configured pool size when it pays:
+/// plans are independent and placed by index, so the output is identical
+/// to the sequential loop for any worker count. Parallelizing this
+/// matters because cutting *is* the dominant stage for cut-bound batches
+/// (the `batch_sweep` workload) — a serial planning pass would serialize
+/// exactly the cost the batch front-end exists to amortize.
+fn build_plans(
+    config: &SuperSimConfig,
+    circuits: &[qcir::Circuit],
+) -> Vec<Result<CutPlan, SuperSimError>> {
+    let build = |c: &qcir::Circuit| {
+        CutPlan::build(c, config.cut_strategy.clone()).map_err(SuperSimError::Cut)
+    };
+    let workers = worker_threads(config).min(circuits.len()).max(1);
+    if workers <= 1 {
+        return circuits.iter().map(build).collect();
+    }
+    let slots: Vec<Mutex<Option<Result<CutPlan, SuperSimError>>>> =
+        circuits.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= circuits.len() {
+                    break;
+                }
+                *slots[i].lock().expect("plan slot poisoned") = Some(build(&circuits[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("plan slot poisoned")
+                .expect("every circuit gets planned")
+        })
+        .collect()
+}
+
+/// Plans and executes a batch of circuits (the backend of
+/// [`SuperSim::run_batch`](crate::SuperSim::run_batch)): each circuit is
+/// cut and planned up front (a cut-budget failure stays per-circuit),
+/// then every successfully planned circuit executes on the shared pool.
+pub(crate) fn plan_and_run_batch(
+    config: &SuperSimConfig,
+    circuits: &[qcir::Circuit],
+) -> Vec<Result<RunResult, SuperSimError>> {
+    let plans = build_plans(config, circuits);
+    let params = ExecParams::from_config(config);
+    let jobs: Vec<BatchJob<'_>> = plans
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .map(|plan| BatchJob { plan, params })
+        .collect();
+    let mut executed = execute_jobs(config, &jobs).into_iter();
+    plans
+        .iter()
+        .map(|p| match p {
+            Ok(_) => executed.next().expect("one result per planned job"),
+            Err(SuperSimError::Cut(e)) => Err(SuperSimError::Cut(e.clone())),
+            Err(_) => unreachable!("planning only produces cut errors"),
+        })
+        .collect()
+}

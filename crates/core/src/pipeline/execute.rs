@@ -1,0 +1,400 @@
+//! The execute stage: running evaluate → MLFT → recombine against a
+//! [`CutPlan`].
+//!
+//! An [`Executor`] owns no state beyond a reference to the configuration;
+//! every run replays a prebuilt plan with a choice of [`ExecParams`]
+//! (seed + shot budget). [`Executor::run_sweep`] executes many parameter
+//! points against **one** plan on one shared worker pool (see the
+//! [`batch`](super::batch) scheduler) — the plan is built once, the cutter
+//! never re-runs, and points proceed through the pipeline stages
+//! independently.
+
+use super::batch::{execute_jobs, BatchJob};
+use super::plan::CutPlan;
+use super::{SuperSimConfig, SuperSimError};
+use cutkit::{
+    correct_tensors, EvalMode, EvalOptions, FragmentTensor, MlftOptions, Reconstructor,
+    TensorOptions,
+};
+use metrics::Distribution;
+use qcir::Bits;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-run execution parameters: the knobs a sweep varies while the cut
+/// structure (the [`CutPlan`]) stays fixed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecParams {
+    /// Base RNG seed of this run (each fragment derives its own stream,
+    /// exactly as [`SuperSimConfig::seed`] does for
+    /// [`SuperSim::run`](crate::SuperSim::run)).
+    pub seed: u64,
+    /// Shots per fragment variant in sampled mode (ignored in exact mode).
+    pub shots: usize,
+}
+
+impl ExecParams {
+    /// The parameters [`SuperSim::run`](crate::SuperSim::run) itself uses:
+    /// the config's seed and shot budget.
+    pub fn from_config(config: &SuperSimConfig) -> Self {
+        ExecParams {
+            seed: config.seed,
+            shots: config.shots,
+        }
+    }
+
+    /// This run's parameters with a different seed — the common sweep
+    /// shape (independent tomography repetitions of one cut structure).
+    pub fn with_seed(self, seed: u64) -> Self {
+        ExecParams { seed, ..self }
+    }
+
+    /// This run's parameters with a different shot budget.
+    pub fn with_shots(self, shots: usize) -> Self {
+        ExecParams { shots, ..self }
+    }
+}
+
+/// Diagnostics of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of fragments after cutting.
+    pub num_fragments: usize,
+    /// Number of Clifford fragments (evaluated on the stabilizer backend).
+    pub clifford_fragments: usize,
+    /// Number of cuts (`k` in the `4^k` reconstruction bound).
+    pub num_cuts: usize,
+    /// Total fragment variants executed.
+    pub num_variants: usize,
+    /// Wall time of the cutting stage. Runs that reuse a [`CutPlan`]
+    /// report the plan's one-time build cost here, so a sweep's points all
+    /// show the same (amortized) value.
+    pub cut_time: Duration,
+    /// Wall time of fragment evaluation (all variants, including the MLFT
+    /// correction). On the batch scheduler this is wall-clock time during
+    /// which other circuits' work shares the pool.
+    pub eval_time: Duration,
+    /// Wall time of recombination.
+    pub recombine_time: Duration,
+    /// Total Frobenius movement of the MLFT correction (0 without MLFT).
+    pub mlft_moved: f64,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fragments ({} Clifford), {} cuts, {} variants; \
+             cut {:?}, eval {:?}, recombine {:?}",
+            self.num_fragments,
+            self.clifford_fragments,
+            self.num_cuts,
+            self.num_variants,
+            self.cut_time,
+            self.eval_time,
+            self.recombine_time
+        )
+    }
+}
+
+/// Result of one pipeline execution ([`SuperSim::run`](crate::SuperSim::run),
+/// [`Executor::run`], or one point of a sweep/batch).
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Single-qubit marginals of the reconstructed distribution — always
+    /// available, even for hundreds of qubits.
+    pub marginals: Vec<[f64; 2]>,
+    /// The full joint distribution, when the fragment supports are small
+    /// enough (see [`SuperSimConfig::joint_support_limit`]).
+    pub distribution: Option<Distribution>,
+    /// Pipeline diagnostics.
+    pub report: RunReport,
+    tensors: Vec<FragmentTensor>,
+    num_cuts: usize,
+    n_qubits: usize,
+    sparse: bool,
+    /// Contraction pool size for follow-up queries (1 = sequential,
+    /// 0 = one worker per core), mirroring the config this run used.
+    threads: usize,
+}
+
+impl RunResult {
+    /// "Strong simulation": the reconstructed probability of a specific
+    /// bitstring (machine precision in exact mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the circuit width.
+    pub fn probability_of(&self, bits: &Bits) -> f64 {
+        Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
+            .with_sparse(self.sparse)
+            .with_threads(self.threads)
+            .probability_of(bits)
+    }
+
+    /// The fragment tensors of this run (advanced inspection).
+    pub fn tensors(&self) -> &[FragmentTensor] {
+        &self.tensors
+    }
+
+    /// Draws measurement samples from the reconstructed joint distribution.
+    ///
+    /// Returns `None` when the joint distribution was withheld (fragment
+    /// supports too large); use [`RunResult::marginals`] instead in that
+    /// regime.
+    pub fn sample(&self, shots: usize, rng: &mut impl rand::Rng) -> Option<Vec<Bits>> {
+        self.distribution.as_ref().map(|d| d.sample(shots, rng))
+    }
+
+    /// Expectation value `⟨Π_{q∈subset} Z_q⟩` of a diagonal observable on
+    /// the reconstructed distribution. Scales to hundreds of qubits (does
+    /// not require the joint distribution) — the workhorse for VQE-style
+    /// cost functions (paper §IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range.
+    pub fn expectation_z(&self, subset: &[usize]) -> f64 {
+        Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
+            .with_sparse(self.sparse)
+            .with_threads(self.threads)
+            .expectation_z(subset)
+    }
+
+    /// Whether two runs agree **bit for bit** on every numeric output of
+    /// the determinism contract: marginal float bits, joint availability,
+    /// support size and emission order, per-outcome probability bits, and
+    /// the `mlft_moved` diagnostic. This is the comparison the
+    /// determinism suites and the `batch_sweep` benchmark gate on —
+    /// batch/sweep results must satisfy it against independent sequential
+    /// runs for every thread count.
+    pub fn bit_identical_to(&self, other: &RunResult) -> bool {
+        self.report.mlft_moved.to_bits() == other.report.mlft_moved.to_bits()
+            && self.marginals.len() == other.marginals.len()
+            && self
+                .marginals
+                .iter()
+                .zip(&other.marginals)
+                .all(|(x, y)| x[0].to_bits() == y[0].to_bits() && x[1].to_bits() == y[1].to_bits())
+            && match (&self.distribution, &other.distribution) {
+                (Some(da), Some(db)) => {
+                    da.support_len() == db.support_len()
+                        && da
+                            .iter()
+                            .zip(db.iter())
+                            .all(|((ab, ap), (bb, bp))| ab == bb && ap.to_bits() == bp.to_bits())
+                }
+                (None, None) => true,
+                _ => false,
+            }
+    }
+}
+
+/// Executes prebuilt [`CutPlan`]s: single runs, and parameter sweeps on
+/// one shared worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor<'c> {
+    config: &'c SuperSimConfig,
+}
+
+impl<'c> Executor<'c> {
+    /// Creates an executor over a configuration.
+    pub fn new(config: &'c SuperSimConfig) -> Self {
+        Executor { config }
+    }
+
+    /// Runs the evaluate → MLFT → recombine stages against `plan` with the
+    /// configuration's own seed and shot budget. `SuperSim::run` is
+    /// exactly `plan` + this call, so results are identical to the
+    /// monolithic pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuperSimError`] when a fragment cannot be evaluated or
+    /// the MLFT correction cannot normalize a fragment.
+    pub fn run(&self, plan: &CutPlan) -> Result<RunResult, SuperSimError> {
+        self.run_with(plan, ExecParams::from_config(self.config))
+    }
+
+    /// [`Executor::run`] with explicit per-run parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuperSimError`] like [`Executor::run`].
+    pub fn run_with(&self, plan: &CutPlan, params: ExecParams) -> Result<RunResult, SuperSimError> {
+        let cfg = self.config;
+        let threads = worker_threads(cfg);
+        let t1 = Instant::now();
+        let seeds = base_seeds(params.seed, plan.num_fragments());
+        let mut tensors = cutkit::evaluate_fragment_tensors_planned(
+            &plan.cut.fragments,
+            &plan.eval_plans,
+            &eval_options(cfg, params),
+            &tensor_options(cfg),
+            &seeds,
+            threads,
+        )?;
+        let mut mlft_moved = 0.0;
+        if mlft_enabled(cfg) {
+            // Fragments are corrected independently on the same worker
+            // pool sizing as evaluation; `mlft_moved` folds in fragment
+            // order, so the diagnostic is bit-identical for any thread
+            // count.
+            mlft_moved = correct_tensors(&mut tensors, &MlftOptions::default(), threads)?;
+        }
+        let eval_time = t1.elapsed();
+        Ok(finish_run(
+            cfg,
+            plan,
+            tensors,
+            mlft_moved,
+            eval_time,
+            contraction_pool(cfg),
+        ))
+    }
+
+    /// Executes one plan across many parameter points — the sweep shape of
+    /// CAFQA/VQE and fragment tomography: cut once, execute many times.
+    ///
+    /// All (point × fragment × variant) work items share **one** worker
+    /// pool spanning every point and every pipeline stage (evaluation,
+    /// MLFT, recombination), so a slow point cannot serialize the sweep
+    /// behind a stage barrier. Each point's output is **bit-identical** to
+    /// an independent [`SuperSim::run`](crate::SuperSim::run) with that
+    /// point's seed and shot budget, for every thread count: per-point RNG
+    /// streams are derived exactly as single runs derive them, and every
+    /// merge folds in (point, fragment, variant) order.
+    pub fn run_sweep(
+        &self,
+        plan: &CutPlan,
+        params: &[ExecParams],
+    ) -> Vec<Result<RunResult, SuperSimError>> {
+        let jobs: Vec<BatchJob<'_>> = params
+            .iter()
+            .map(|&p| BatchJob { plan, params: p })
+            .collect();
+        execute_jobs(self.config, &jobs)
+    }
+}
+
+/// Worker-pool size shared by fragment evaluation, MLFT correction, and
+/// the batch scheduler: 1 when [`SuperSimConfig::parallel`] is off,
+/// otherwise the configured thread count (`0` = one worker per available
+/// core).
+pub(crate) fn worker_threads(config: &SuperSimConfig) -> usize {
+    if config.parallel {
+        if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    } else {
+        1
+    }
+}
+
+/// Contraction pool size recorded on results (and used by `run`'s own
+/// recombination): 1 sequential, 0 = all cores.
+pub(crate) fn contraction_pool(config: &SuperSimConfig) -> usize {
+    if config.parallel {
+        config.threads
+    } else {
+        1
+    }
+}
+
+/// Whether the MLFT correction stage runs under this configuration.
+pub(crate) fn mlft_enabled(config: &SuperSimConfig) -> bool {
+    config.mlft && !config.exact
+}
+
+/// The evaluation options of one run.
+pub(crate) fn eval_options(config: &SuperSimConfig, params: ExecParams) -> EvalOptions {
+    EvalOptions {
+        mode: if config.exact {
+            EvalMode::Exact
+        } else {
+            EvalMode::Sampled {
+                shots: params.shots,
+            }
+        },
+        exact_clifford: config.exact_clifford,
+        exact_support_limit: config.exact_support_limit,
+        tableau_engine: config.tableau_engine,
+    }
+}
+
+/// The tensor-construction options of one run.
+pub(crate) fn tensor_options(config: &SuperSimConfig) -> TensorOptions {
+    TensorOptions {
+        clifford_snap: config.clifford_snap,
+    }
+}
+
+/// One base seed per fragment, derived from the run seed exactly as every
+/// path (single run, sweep point, batch circuit) derives them — the RNG
+/// stream isolation that keeps batch output bit-identical to independent
+/// runs.
+pub(crate) fn base_seeds(seed: u64, fragments: usize) -> Vec<u64> {
+    (0..fragments)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            rng.random()
+        })
+        .collect()
+}
+
+/// The recombination stage + result assembly, shared by the single-run
+/// path and the batch scheduler's finish task. `recombine_threads` is a
+/// scheduling choice only — recombination is bit-identical for any thread
+/// count — so the batch scheduler contracts with one thread per finish
+/// task (its parallelism comes from running many circuits at once) while
+/// single runs use the configured pool.
+pub(crate) fn finish_run(
+    config: &SuperSimConfig,
+    plan: &CutPlan,
+    tensors: Vec<FragmentTensor>,
+    mlft_moved: f64,
+    eval_time: Duration,
+    recombine_threads: usize,
+) -> RunResult {
+    let t2 = Instant::now();
+    let rec = Reconstructor::new(&tensors, plan.cut.num_cuts, plan.cut.original_qubits)
+        .with_sparse(config.sparse_contraction)
+        .with_threads(recombine_threads)
+        .with_output_plans(&plan.output_plans);
+    let marginals = rec.marginals();
+    let support: usize = tensors
+        .iter()
+        .map(|t| t.support_len().max(1))
+        .fold(1usize, |a, b| a.saturating_mul(b));
+    let distribution = if support <= config.joint_support_limit {
+        let mut d = rec.joint(config.joint_support_limit);
+        d.clip_and_normalize();
+        Some(d)
+    } else {
+        None
+    };
+    let recombine_time = t2.elapsed();
+    RunResult {
+        marginals,
+        distribution,
+        report: RunReport {
+            num_fragments: plan.num_fragments(),
+            clifford_fragments: plan.clifford_fragments,
+            num_cuts: plan.cut.num_cuts,
+            num_variants: plan.num_variants,
+            cut_time: plan.cut_time,
+            eval_time,
+            recombine_time,
+            mlft_moved,
+        },
+        tensors,
+        num_cuts: plan.cut.num_cuts,
+        n_qubits: plan.cut.original_qubits,
+        sparse: config.sparse_contraction,
+        threads: contraction_pool(config),
+    }
+}

@@ -1,42 +1,61 @@
-//! The SuperSim pipeline: cut → evaluate → recombine.
+//! The SuperSim pipeline, staged as **plan → execute**, batch-first.
+//!
+//! # Architecture
+//!
+//! The pipeline is split into three modules:
+//!
+//! * [`plan`] — [`CutPlan`]: cut placement, fragment structure, variant
+//!   enumeration, and recombination scatter plans, built **once** per cut
+//!   structure by [`SuperSim::plan`];
+//! * [`execute`] — [`Executor`]: evaluate → MLFT → recombine against a
+//!   plan, with per-run [`ExecParams`] (seed, shot budget) and
+//!   [`Executor::run_sweep`] for parameter sweeps over one plan;
+//! * [`batch`] — the shared worker pool behind [`SuperSim::run_batch`]
+//!   and [`Executor::run_sweep`]: all (circuit × fragment × variant) work
+//!   items and all pipeline stages drain through one dependency-driven
+//!   task queue, so there are no per-circuit stage barriers and one slow
+//!   circuit cannot serialize a batch.
+//!
+//! [`SuperSim::run`] is exactly `plan` + `execute` — the monolithic entry
+//! point is a thin composition of the stages.
 //!
 //! # Threading model
 //!
-//! With [`SuperSimConfig::parallel`] enabled, the two expensive stages run
-//! on worker pools sized by [`SuperSimConfig::threads`] (`0` = one worker
-//! per available core):
+//! With [`SuperSimConfig::parallel`] enabled, worker pools are sized by
+//! [`SuperSimConfig::threads`] (`0` = one worker per available core):
 //!
-//! * **Fragment evaluation** schedules every (fragment × variant) pair
-//!   onto one shared pool ([`cutkit::evaluate_fragment_tensors`]) — the
-//!   paper's §X "embarrassingly parallel" variant simulations, lifted
-//!   above the per-fragment level so one expensive fragment cannot
-//!   serialize the stage.
-//! * **Recombination** splits the `4^k` cut-assignment range into
-//!   fixed-size chunks contracted in parallel and merged in chunk order
+//! * **Single runs** schedule every (fragment × variant) pair onto one
+//!   shared evaluation pool ([`cutkit::evaluate_fragment_tensors`]), ride
+//!   the same pool for MLFT ([`cutkit::correct_tensors`]), and contract
+//!   the `4^k` assignment range in fixed-size chunks
 //!   ([`cutkit::Reconstructor::with_threads`]).
+//! * **Batches and sweeps** flatten all circuits' work into one pool
+//!   spanning every stage: evaluation chunks of all circuits interleave
+//!   freely; a circuit moves to MLFT the moment its own last chunk lands,
+//!   and to recombination the moment its last fragment is corrected.
+//!   Cross-circuit parallelism replaces intra-stage parallelism (each
+//!   batch recombination contracts single-threaded), which keeps the pool
+//!   busy without nesting pools.
 //!
-//! The MLFT correction stage rides the same pool
-//! ([`cutkit::correct_tensors`]): fragments are corrected independently
-//! and the `mlft_moved` diagnostic folds in fragment order.
-//!
-//! **Determinism-in-seed guarantee:** both stages produce bit-identical
-//! results for a given [`SuperSimConfig::seed`] regardless of thread
-//! count. Fragment evaluation derives one RNG stream per (fragment,
-//! variant) from the seed and folds per-variant accumulators in variant
-//! order; recombination's chunk decomposition and merge order are
-//! independent of the worker count. `parallel: false` is therefore purely
-//! a scheduling choice, never a numerical one.
+//! **Determinism-in-seed guarantee:** every path produces bit-identical
+//! results for a given seed regardless of thread count, and batch/sweep
+//! output is bit-identical to independent sequential [`SuperSim::run`]
+//! calls: work-item decompositions are fixed (never derived from worker
+//! counts or schedules), all float folds happen in (circuit, fragment,
+//! variant) / chunk order, and each circuit derives its RNG streams from
+//! its own seed exactly as a single run does. `parallel: false` is
+//! therefore purely a scheduling choice, never a numerical one.
 
-use cutkit::{
-    correct_tensors, cut_circuit, CutBudgetError, CutStrategy, EvalError, EvalMode, EvalOptions,
-    FragmentTensor, MlftError, MlftOptions, Reconstructor, TableauEngine, TensorOptions,
-};
-use metrics::Distribution;
-use qcir::{Bits, Circuit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub(crate) mod batch;
+pub(crate) mod execute;
+pub(crate) mod plan;
+
+pub use execute::{ExecParams, Executor, RunReport, RunResult};
+pub use plan::CutPlan;
+
+use cutkit::{CutBudgetError, CutStrategy, EvalError, MlftError, TableauEngine};
+use qcir::Circuit;
 use std::fmt;
-use std::time::{Duration, Instant};
 
 /// Configuration of a [`SuperSim`] instance.
 ///
@@ -65,8 +84,8 @@ pub struct SuperSimConfig {
     /// Skip identically-zero Pauli assignments during recombination
     /// (paper §IX optimization 2).
     pub sparse_contraction: bool,
-    /// Run fragment evaluation and recombination on worker pools (see the
-    /// module docs for the threading model).
+    /// Run fragment evaluation, recombination, and batch scheduling on
+    /// worker pools (see the module docs for the threading model).
     pub parallel: bool,
     /// Worker-pool size when [`SuperSimConfig::parallel`] is set
     /// (`0` = one worker per available core). Ignored when `parallel` is
@@ -158,108 +177,6 @@ impl From<MlftError> for SuperSimError {
     }
 }
 
-/// Diagnostics of one pipeline run.
-#[derive(Clone, Debug)]
-pub struct RunReport {
-    /// Number of fragments after cutting.
-    pub num_fragments: usize,
-    /// Number of Clifford fragments (evaluated on the stabilizer backend).
-    pub clifford_fragments: usize,
-    /// Number of cuts (`k` in the `4^k` reconstruction bound).
-    pub num_cuts: usize,
-    /// Total fragment variants executed.
-    pub num_variants: usize,
-    /// Wall time of the cutting stage.
-    pub cut_time: Duration,
-    /// Wall time of fragment evaluation (all variants).
-    pub eval_time: Duration,
-    /// Wall time of recombination.
-    pub recombine_time: Duration,
-    /// Total Frobenius movement of the MLFT correction (0 without MLFT).
-    pub mlft_moved: f64,
-}
-
-/// Result of a [`SuperSim::run`] call.
-#[derive(Clone, Debug)]
-pub struct RunResult {
-    /// Single-qubit marginals of the reconstructed distribution — always
-    /// available, even for hundreds of qubits.
-    pub marginals: Vec<[f64; 2]>,
-    /// The full joint distribution, when the fragment supports are small
-    /// enough (see [`SuperSimConfig::joint_support_limit`]).
-    pub distribution: Option<Distribution>,
-    /// Pipeline diagnostics.
-    pub report: RunReport,
-    tensors: Vec<FragmentTensor>,
-    num_cuts: usize,
-    n_qubits: usize,
-    sparse: bool,
-    /// Contraction pool size for follow-up queries (1 = sequential,
-    /// 0 = one worker per core), mirroring the config this run used.
-    threads: usize,
-}
-
-impl RunResult {
-    /// "Strong simulation": the reconstructed probability of a specific
-    /// bitstring (machine precision in exact mode).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bits.len()` differs from the circuit width.
-    pub fn probability_of(&self, bits: &Bits) -> f64 {
-        Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
-            .with_sparse(self.sparse)
-            .with_threads(self.threads)
-            .probability_of(bits)
-    }
-
-    /// The fragment tensors of this run (advanced inspection).
-    pub fn tensors(&self) -> &[FragmentTensor] {
-        &self.tensors
-    }
-
-    /// Draws measurement samples from the reconstructed joint distribution.
-    ///
-    /// Returns `None` when the joint distribution was withheld (fragment
-    /// supports too large); use [`RunResult::marginals`] instead in that
-    /// regime.
-    pub fn sample(&self, shots: usize, rng: &mut impl rand::Rng) -> Option<Vec<Bits>> {
-        self.distribution.as_ref().map(|d| d.sample(shots, rng))
-    }
-
-    /// Expectation value `⟨Π_{q∈subset} Z_q⟩` of a diagonal observable on
-    /// the reconstructed distribution. Scales to hundreds of qubits (does
-    /// not require the joint distribution) — the workhorse for VQE-style
-    /// cost functions (paper §IV-B).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a qubit index is out of range.
-    pub fn expectation_z(&self, subset: &[usize]) -> f64 {
-        Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
-            .with_sparse(self.sparse)
-            .with_threads(self.threads)
-            .expectation_z(subset)
-    }
-}
-
-impl fmt::Display for RunReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} fragments ({} Clifford), {} cuts, {} variants; \
-             cut {:?}, eval {:?}, recombine {:?}",
-            self.num_fragments,
-            self.clifford_fragments,
-            self.num_cuts,
-            self.num_variants,
-            self.cut_time,
-            self.eval_time,
-            self.recombine_time
-        )
-    }
-}
-
 /// The SuperSim framework: Clifford-based circuit cutting simulation.
 #[derive(Clone, Debug, Default)]
 pub struct SuperSim {
@@ -277,7 +194,24 @@ impl SuperSim {
         &self.config
     }
 
-    /// Runs the full pipeline on a circuit.
+    /// Builds the reusable [`CutPlan`] of a circuit: cut placement,
+    /// fragment structure, variant enumeration, and recombination scatter
+    /// plans. Sweeps and repeated runs pay this once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuperSimError::Cut`] when cutting exceeds the cut budget.
+    pub fn plan(&self, circuit: &Circuit) -> Result<CutPlan, SuperSimError> {
+        Ok(CutPlan::build(circuit, self.config.cut_strategy.clone())?)
+    }
+
+    /// An [`Executor`] over this instance's configuration.
+    pub fn executor(&self) -> Executor<'_> {
+        Executor::new(&self.config)
+    }
+
+    /// Runs the full pipeline on a circuit — exactly [`SuperSim::plan`]
+    /// followed by [`Executor::run`].
     ///
     /// # Errors
     ///
@@ -285,129 +219,25 @@ impl SuperSim {
     /// fragment cannot be evaluated (too wide for the statevector backend,
     /// support too large for exact enumeration, noise in exact mode).
     pub fn run(&self, circuit: &Circuit) -> Result<RunResult, SuperSimError> {
-        let cfg = &self.config;
-        let t0 = Instant::now();
-        let cut = cut_circuit(circuit, cfg.cut_strategy.clone())?;
-        let cut_time = t0.elapsed();
-
-        let eval = EvalOptions {
-            mode: if cfg.exact {
-                EvalMode::Exact
-            } else {
-                EvalMode::Sampled { shots: cfg.shots }
-            },
-            exact_clifford: cfg.exact_clifford,
-            exact_support_limit: cfg.exact_support_limit,
-            tableau_engine: cfg.tableau_engine,
-        };
-        let topts = TensorOptions {
-            clifford_snap: cfg.clifford_snap,
-        };
-
-        let t1 = Instant::now();
-        let num_variants: usize = cut.fragments.iter().map(|f| f.num_variants()).sum();
-        let clifford_fragments = cut.fragments.iter().filter(|f| f.is_clifford).count();
-        let mut tensors = self.evaluate_fragments(&cut.fragments, &eval, &topts)?;
-
-        let mut mlft_moved = 0.0;
-        if cfg.mlft && !cfg.exact {
-            // Fragments are corrected independently on the same worker
-            // pool sizing as evaluation; `mlft_moved` folds in fragment
-            // order, so the diagnostic is bit-identical for any thread
-            // count.
-            mlft_moved =
-                correct_tensors(&mut tensors, &MlftOptions::default(), self.worker_threads())?;
-        }
-        let eval_time = t1.elapsed();
-
-        let t2 = Instant::now();
-        let pool = if cfg.parallel { cfg.threads } else { 1 };
-        let rec = Reconstructor::new(&tensors, cut.num_cuts, cut.original_qubits)
-            .with_sparse(cfg.sparse_contraction)
-            .with_threads(pool);
-        let marginals = rec.marginals();
-        let support: usize = tensors
-            .iter()
-            .map(|t| t.support_len().max(1))
-            .fold(1usize, |a, b| a.saturating_mul(b));
-        let distribution = if support <= cfg.joint_support_limit {
-            let mut d = rec.joint(cfg.joint_support_limit);
-            d.clip_and_normalize();
-            Some(d)
-        } else {
-            None
-        };
-        let recombine_time = t2.elapsed();
-
-        Ok(RunResult {
-            marginals,
-            distribution,
-            report: RunReport {
-                num_fragments: cut.fragments.len(),
-                clifford_fragments,
-                num_cuts: cut.num_cuts,
-                num_variants,
-                cut_time,
-                eval_time,
-                recombine_time,
-                mlft_moved,
-            },
-            tensors,
-            num_cuts: cut.num_cuts,
-            n_qubits: cut.original_qubits,
-            sparse: cfg.sparse_contraction,
-            threads: pool,
-        })
+        let plan = self.plan(circuit)?;
+        self.executor().run(&plan)
     }
 
-    /// Worker-pool size shared by fragment evaluation and MLFT correction:
-    /// 1 when [`SuperSimConfig::parallel`] is off, otherwise the
-    /// configured thread count (`0` = one worker per available core).
-    fn worker_threads(&self) -> usize {
-        if self.config.parallel {
-            if self.config.threads > 0 {
-                self.config.threads
-            } else {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            }
-        } else {
-            1
-        }
-    }
-
-    fn evaluate_fragments(
-        &self,
-        fragments: &[cutkit::Fragment],
-        eval: &EvalOptions,
-        topts: &TensorOptions,
-    ) -> Result<Vec<FragmentTensor>, SuperSimError> {
-        let seed = self.config.seed;
-        // Paper §X: per-variant simulations are embarrassingly parallel.
-        // All (fragment × variant) pairs are scheduled onto one shared
-        // worker pool; each fragment derives its own base seed from the
-        // config seed, and each variant its own RNG stream from that, so
-        // results are deterministic in `seed` regardless of thread count.
-        let threads = self.worker_threads();
-        let base_seeds: Vec<u64> = (0..fragments.len())
-            .map(|i| {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                rng.random()
-            })
-            .collect();
-        Ok(cutkit::evaluate_fragment_tensors(
-            fragments,
-            eval,
-            topts,
-            &base_seeds,
-            threads,
-        )?)
+    /// Runs the full pipeline on a batch of circuits, flattening all
+    /// (circuit × fragment × variant) work items into **one** worker pool
+    /// spanning every circuit and every pipeline stage (see the module
+    /// docs). Failures stay per-circuit; each result — including the
+    /// error, when any — is **bit-identical** to an independent
+    /// [`SuperSim::run`] on that circuit, for every thread count.
+    pub fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<RunResult, SuperSimError>> {
+        batch::plan_and_run_batch(&self.config, circuits)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcir::Bits;
     use svsim::StateVec;
 
     fn exact_config() -> SuperSimConfig {
@@ -551,7 +381,7 @@ mod tests {
         assert!(r.distribution.is_none());
         assert_eq!(r.marginals.len(), 4);
         let sv = StateVec::run(&c).unwrap();
-        let sv_dist = Distribution::from_pairs(4, sv.distribution(1e-12));
+        let sv_dist = metrics::Distribution::from_pairs(4, sv.distribution(1e-12));
         for q in 0..4 {
             let m = sv_dist.marginal(q);
             assert!(
@@ -586,7 +416,7 @@ mod tests {
         };
         let r = SuperSim::new(cfg).run(&c).unwrap();
         let sv = StateVec::run(&c).unwrap();
-        let sv_marg = Distribution::from_pairs(3, sv.distribution(1e-12));
+        let sv_marg = metrics::Distribution::from_pairs(3, sv.distribution(1e-12));
         // Only the tiny T fragment is sampled; since it has no circuit
         // outputs of its own the marginals stay near-exact.
         for q in 0..2 {
@@ -594,6 +424,118 @@ mod tests {
                 (r.marginals[q][0] - sv_marg.marginal(q)[0]).abs() < 0.05,
                 "qubit {q}"
             );
+        }
+    }
+
+    /// `plan` + `Executor::run` is the same pipeline as `run`, and plan
+    /// reuse across repeated executions changes nothing: identical
+    /// marginals, joint support, probability bits, and diagnostics.
+    #[test]
+    fn planned_execution_bit_identical_to_run() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).t(2).h(2);
+        let cfg = SuperSimConfig {
+            shots: 350,
+            seed: 99,
+            ..SuperSimConfig::default()
+        };
+        let sim = SuperSim::new(cfg);
+        let direct = sim.run(&c).unwrap();
+        let plan = sim.plan(&c).unwrap();
+        assert_eq!(plan.num_cuts(), direct.report.num_cuts);
+        assert_eq!(plan.num_variants(), direct.report.num_variants);
+        assert_eq!(plan.clifford_fragments(), direct.report.clifford_fragments);
+        let executor = sim.executor();
+        for rep in 0..2 {
+            let replay = executor.run(&plan).unwrap();
+            assert!(
+                replay.report.mlft_moved.to_bits() == direct.report.mlft_moved.to_bits(),
+                "mlft_moved drifted on replay {rep}"
+            );
+            for (q, (a, b)) in direct.marginals.iter().zip(&replay.marginals).enumerate() {
+                assert!(
+                    a[0].to_bits() == b[0].to_bits() && a[1].to_bits() == b[1].to_bits(),
+                    "marginal bits differ at qubit {q}, replay {rep}"
+                );
+            }
+            let (da, db) = (
+                direct.distribution.as_ref().unwrap(),
+                replay.distribution.as_ref().unwrap(),
+            );
+            assert_eq!(da.support_len(), db.support_len());
+            for ((ab, ap), (bb, bp)) in da.iter().zip(db.iter()) {
+                assert_eq!(ab, bb, "support order, replay {rep}");
+                assert!(ap.to_bits() == bp.to_bits(), "probability at {ab}");
+            }
+        }
+    }
+
+    /// `run_with` overrides seed and shots exactly like a reconfigured
+    /// single run.
+    #[test]
+    fn run_with_matches_reconfigured_run() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).h(1);
+        let base = SuperSimConfig {
+            shots: 200,
+            seed: 5,
+            ..SuperSimConfig::default()
+        };
+        let sim = SuperSim::new(base.clone());
+        let plan = sim.plan(&c).unwrap();
+        let swept = sim
+            .executor()
+            .run_with(
+                &plan,
+                ExecParams::from_config(&base).with_seed(77).with_shots(300),
+            )
+            .unwrap();
+        let reconfigured = SuperSim::new(SuperSimConfig {
+            seed: 77,
+            shots: 300,
+            ..base
+        })
+        .run(&c)
+        .unwrap();
+        for (a, b) in swept.marginals.iter().zip(&reconfigured.marginals) {
+            assert!(a[0].to_bits() == b[0].to_bits() && a[1].to_bits() == b[1].to_bits());
+        }
+    }
+
+    /// Evaluation failures in a batch stay per-circuit: the failing
+    /// circuit reports the same error an independent run would, and the
+    /// other circuits' results are untouched.
+    #[test]
+    fn batch_isolates_per_circuit_failures() {
+        let mut fine = Circuit::new(2);
+        fine.h(0).t(0).cx(0, 1);
+        // Uncut non-Clifford circuit wider than the statevector backend
+        // allows: evaluation fails with FragmentTooWide.
+        let mut infeasible = Circuit::new(svsim::MAX_QUBITS + 1);
+        infeasible.t(0);
+        let cfg = SuperSimConfig {
+            cut_strategy: CutStrategy::None,
+            shots: 100,
+            seed: 2,
+            ..SuperSimConfig::default()
+        };
+        let sim = SuperSim::new(cfg);
+        let results = sim.run_batch(&[fine.clone(), infeasible.clone()]);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok(), "feasible circuit must run");
+        let standalone = sim.run(&infeasible).unwrap_err();
+        match (&results[1], &standalone) {
+            (
+                Err(SuperSimError::Eval(cutkit::EvalError::FragmentTooWide(a))),
+                SuperSimError::Eval(cutkit::EvalError::FragmentTooWide(b)),
+            ) => assert_eq!(a, b),
+            other => panic!("unexpected error pair {other:?}"),
+        }
+        // The feasible circuit's batch result matches its standalone run.
+        let solo = sim.run(&fine).unwrap();
+        let batch_fine = results[0].as_ref().unwrap();
+        for (a, b) in solo.marginals.iter().zip(&batch_fine.marginals) {
+            assert!(a[0].to_bits() == b[0].to_bits() && a[1].to_bits() == b[1].to_bits());
         }
     }
 }

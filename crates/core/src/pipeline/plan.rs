@@ -1,0 +1,110 @@
+//! The plan stage: cut placement and reusable execution structure.
+//!
+//! A [`CutPlan`] captures everything about a pipeline run that depends
+//! only on the circuit's *cut structure* — the cut placement, the
+//! fragment decomposition, the enumerated tomography variants with their
+//! extraction plans ([`cutkit::FragmentEvalPlan`]), and the recombination
+//! scatter plans — and nothing that depends on execution parameters
+//! (seed, shot budget, thread count).
+//!
+//! That split is what makes parameterized sweeps cheap: CAFQA/VQE-style
+//! workloads and fragment tomography re-run the **same cut structure**
+//! with different seeds and shot budgets, so [`SuperSim::plan`] runs the
+//! cutter once and an [`Executor`] replays the plan for every point
+//! instead of re-cutting per call.
+//!
+//! [`SuperSim::plan`]: crate::SuperSim::plan
+//! [`Executor`]: crate::Executor
+
+use cutkit::{cut_circuit, CutBudgetError, CutCircuit, CutStrategy, Fragment, FragmentEvalPlan};
+use qcir::{Circuit, IndexPlan};
+use std::time::{Duration, Instant};
+
+/// A reusable execution plan: cut placement + fragment structure +
+/// variant enumeration + recombination scatter plans, built once by
+/// [`SuperSim::plan`](crate::SuperSim::plan) and executed many times by
+/// an [`Executor`](crate::Executor).
+#[derive(Clone, Debug)]
+pub struct CutPlan {
+    pub(crate) cut: CutCircuit,
+    /// Per-fragment evaluation plans (variants + extraction tables).
+    pub(crate) eval_plans: Vec<FragmentEvalPlan>,
+    /// Per-fragment circuit-output scatter plans for joint reconstruction
+    /// and strong simulation.
+    pub(crate) output_plans: Vec<IndexPlan>,
+    pub(crate) num_variants: usize,
+    pub(crate) clifford_fragments: usize,
+    /// Wall time of the cutting + planning stage (reported once per run
+    /// via [`RunReport::cut_time`](crate::RunReport::cut_time); sweeps
+    /// amortize it over every point).
+    pub(crate) cut_time: Duration,
+}
+
+impl CutPlan {
+    /// Cuts `circuit` with `strategy` and precomputes the reusable
+    /// execution structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CutBudgetError`] when the cutter cannot respect the cut
+    /// budget.
+    pub fn build(circuit: &Circuit, strategy: CutStrategy) -> Result<CutPlan, CutBudgetError> {
+        let t0 = Instant::now();
+        let cut = cut_circuit(circuit, strategy)?;
+        let eval_plans: Vec<FragmentEvalPlan> =
+            cut.fragments.iter().map(FragmentEvalPlan::new).collect();
+        let output_plans: Vec<IndexPlan> = cut
+            .fragments
+            .iter()
+            .map(|f| {
+                let globals: Vec<usize> = f.circuit_outputs.iter().map(|&(_, g)| g).collect();
+                IndexPlan::new(&globals, cut.original_qubits)
+            })
+            .collect();
+        let num_variants = eval_plans.iter().map(FragmentEvalPlan::num_variants).sum();
+        let clifford_fragments = cut.fragments.iter().filter(|f| f.is_clifford).count();
+        Ok(CutPlan {
+            cut,
+            eval_plans,
+            output_plans,
+            num_variants,
+            clifford_fragments,
+            cut_time: t0.elapsed(),
+        })
+    }
+
+    /// The fragments of the cut circuit, in deterministic discovery order.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.cut.fragments
+    }
+
+    /// Number of fragments.
+    pub fn num_fragments(&self) -> usize {
+        self.cut.fragments.len()
+    }
+
+    /// Number of Clifford fragments (stabilizer-simulable).
+    pub fn clifford_fragments(&self) -> usize {
+        self.clifford_fragments
+    }
+
+    /// Number of cuts (`k` in the `4^k` reconstruction bound).
+    pub fn num_cuts(&self) -> usize {
+        self.cut.num_cuts
+    }
+
+    /// Total fragment variants one execution of this plan runs.
+    pub fn num_variants(&self) -> usize {
+        self.num_variants
+    }
+
+    /// Width of the original circuit.
+    pub fn original_qubits(&self) -> usize {
+        self.cut.original_qubits
+    }
+
+    /// Wall time the cutter + planner took to build this plan.
+    pub fn cut_time(&self) -> Duration {
+        self.cut_time
+    }
+}

@@ -53,6 +53,8 @@ pub use recombine::{Reconstructor, ASSIGNMENTS_PER_CHUNK, MAX_CONTRACTION_CUTS};
 pub use tensor::reference_evaluate_btreemap;
 pub use tensor::{
     build_fragment_tensor, build_fragment_tensor_threaded, evaluate_fragment_tensors,
-    synthetic_dense_chain, FragmentTensor, TensorOptions, PREP_TO_PAULI,
+    evaluate_fragment_tensors_planned, evaluate_planned_chunk, merge_planned_chunks,
+    planned_num_chunks, synthetic_dense_chain, EvalChunk, FragmentEvalPlan, FragmentTensor,
+    TensorOptions, PREP_TO_PAULI,
 };
 pub use variants::{enumerate_variants, variant_circuit, MeasBasis, PrepState, Variant};

@@ -61,6 +61,12 @@ pub const MAX_CONTRACTION_CUTS: usize = 13;
 /// sequential path while giving enough chunks at k ≥ 8 to balance load.
 pub const ASSIGNMENTS_PER_CHUNK: u64 = 4096;
 
+/// Base-4 digits spanned by one chunk: cut digits at positions ≥ this are
+/// constant within an aligned chunk, which is what the chunk-level caches
+/// (constant-mask prefilter, constant prefix/suffix product hoists) key on.
+const CHUNK_CUT_DIGITS: usize = 6;
+const _: () = assert!(ASSIGNMENTS_PER_CHUNK == 1 << (2 * CHUNK_CUT_DIGITS));
+
 /// Per-tensor bitmask of Pauli indices whose slice is not identically zero.
 #[derive(Clone, Debug)]
 struct NonzeroMask {
@@ -100,6 +106,24 @@ pub struct Reconstructor<'a> {
     /// contributes to — the incremental-update table of the assignment
     /// sweep (each cut has exactly one upstream and one downstream end).
     cut_tensors: Vec<Vec<(usize, usize)>>,
+    /// Whether a tensor's every incident cut has id ≥ [`CHUNK_CUT_DIGITS`]:
+    /// its composite Pauli index is then constant within an aligned chunk,
+    /// so its sparse-mask test and its prefix/suffix product factors are
+    /// hoisted to once per chunk instead of once per assignment.
+    chunk_constant: Vec<bool>,
+    /// Tensors with at least one low (< [`CHUNK_CUT_DIGITS`]) cut — the
+    /// only ones whose index moves within a chunk, and therefore the only
+    /// ones the per-assignment sparse test must consult.
+    varying: Vec<usize>,
+    /// Length of the maximal leading run of chunk-constant tensors.
+    const_prefix: usize,
+    /// Start of the maximal trailing run of chunk-constant tensors.
+    const_suffix: usize,
+    /// Prebuilt circuit-output scatter plans (one per tensor, mapping the
+    /// fragment's output bits into the global bitstring), shared from a
+    /// session-level plan so repeated joint reconstructions skip rebuilding
+    /// them.
+    output_plans: Option<&'a [IndexPlan]>,
 }
 
 /// Per-worker scratch for the assignment sweep.
@@ -125,6 +149,7 @@ impl<'a> Reconstructor<'a> {
         let tol = 1e-12;
         let nonzero = tensors.iter().map(|t| NonzeroMask::build(t, tol)).collect();
         let mut cut_tensors: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_cuts];
+        let mut chunk_constant = vec![true; tensors.len()];
         for (fi, t) in tensors.iter().enumerate() {
             let axes: Vec<usize> = t
                 .input_cuts()
@@ -135,8 +160,22 @@ impl<'a> Reconstructor<'a> {
             let m = axes.len();
             for (j, &c) in axes.iter().enumerate() {
                 cut_tensors[c].push((fi, 1usize << (2 * (m - 1 - j))));
+                if c < CHUNK_CUT_DIGITS {
+                    chunk_constant[fi] = false;
+                }
             }
         }
+        let varying: Vec<usize> = (0..tensors.len())
+            .filter(|&fi| !chunk_constant[fi])
+            .collect();
+        let const_prefix = chunk_constant.iter().take_while(|&&c| c).count();
+        let const_suffix = tensors.len()
+            - chunk_constant
+                .iter()
+                .rev()
+                .take_while(|&&c| c)
+                .count()
+                .min(tensors.len() - const_prefix);
         Reconstructor {
             tensors,
             num_cuts,
@@ -145,6 +184,11 @@ impl<'a> Reconstructor<'a> {
             threads: 1,
             nonzero,
             cut_tensors,
+            chunk_constant,
+            varying,
+            const_prefix,
+            const_suffix,
+            output_plans: None,
         }
     }
 
@@ -158,6 +202,23 @@ impl<'a> Reconstructor<'a> {
     /// available core). Results are bit-identical for every thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Shares prebuilt circuit-output scatter plans (one per tensor, in
+    /// tensor order, each mapping that fragment's output bits into the
+    /// `n_qubits`-wide global bitstring). Session-level plans build these
+    /// once; [`Reconstructor::joint`] and
+    /// [`Reconstructor::probability_of`] then skip rebuilding them per
+    /// query. Purely a caching hint — results are bit-identical with or
+    /// without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the tensor count.
+    pub fn with_output_plans(mut self, plans: &'a [IndexPlan]) -> Self {
+        assert_eq!(plans.len(), self.tensors.len(), "one plan per tensor");
+        self.output_plans = Some(plans);
         self
     }
 
@@ -187,6 +248,7 @@ impl<'a> Reconstructor<'a> {
         &self,
         chunk: u64,
         acc: &mut A,
+        chunk_start: &(impl Fn(&mut A, &[usize]) + Sync),
         body: &(impl Fn(&mut A, &[usize]) + Sync),
         scratch: &mut SweepScratch,
     ) -> usize {
@@ -201,19 +263,37 @@ impl<'a> Reconstructor<'a> {
         for (fi, t) in self.tensors.iter().enumerate() {
             indices[fi] = t.pauli_index(|c| digits[c] as usize);
         }
+        // Chunk-constant tensors (every incident cut ≥ 6) keep one
+        // composite index across the whole aligned 4^6 chunk, so their
+        // sparse-mask tests run once here instead of once per assignment.
+        // A failing constant mask vanishes every assignment in the chunk
+        // — skip it outright, which visits exactly the same (empty)
+        // surviving set the per-assignment test would.
+        if self.sparse
+            && self
+                .chunk_constant
+                .iter()
+                .zip(self.nonzero.iter())
+                .zip(indices.iter())
+                .any(|((&constant, mask), &idx)| constant && !mask.test(idx))
+        {
+            return 0;
+        }
+        chunk_start(acc, indices);
         let mut visited = 0;
         let mut kappa = start;
         loop {
             // Exact skip: a zero slice maximum means every term of this
             // assignment vanishes (stabilizer fragments hit this for most
             // multi-qubit Paulis — paper §IX optimization 2). The
-            // precomputed mask makes this a single bit test per tensor.
+            // precomputed mask makes this a single bit test per tensor,
+            // and only the tensors whose index moves within the chunk
+            // (`varying`) need testing — the constant ones passed above.
             let surviving = !self.sparse
                 || self
-                    .nonzero
+                    .varying
                     .iter()
-                    .zip(indices.iter())
-                    .all(|(mask, &idx)| mask.test(idx));
+                    .all(|&f| self.nonzero[f].test(indices[f]));
             if surviving {
                 visited += 1;
                 body(acc, indices);
@@ -256,7 +336,24 @@ impl<'a> Reconstructor<'a> {
         body: impl Fn(&mut A, &[usize]) + Sync,
         merge: impl FnMut(&mut A, A),
     ) -> (A, usize) {
-        self.run_contraction_capped(usize::MAX, init, body, |_| {}, merge)
+        self.run_contraction_full(usize::MAX, init, |_, _| {}, body, |_| {}, merge)
+    }
+
+    /// [`Reconstructor::run_contraction`] with a chunk-start hook: called
+    /// once per chunk, after the chunk's first assignment indices are in
+    /// place and before any `body` call, on both the sequential and the
+    /// parallel path. Accumulators use it to precompute values that are
+    /// constant within the chunk (the constant prefix/suffix product
+    /// hoists of the marginal sweeps) without changing any per-assignment
+    /// float association — results stay bit-identical.
+    fn run_contraction_hoisted<A: Send>(
+        &self,
+        init: impl Fn() -> A + Sync,
+        chunk_start: impl Fn(&mut A, &[usize]) + Sync,
+        body: impl Fn(&mut A, &[usize]) + Sync,
+        merge: impl FnMut(&mut A, A),
+    ) -> (A, usize) {
+        self.run_contraction_full(usize::MAX, init, chunk_start, body, |_| {}, merge)
     }
 
     /// [`Reconstructor::run_contraction`] with a hard cap on workers —
@@ -275,6 +372,20 @@ impl<'a> Reconstructor<'a> {
         init: impl Fn() -> A + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
+        merge: impl FnMut(&mut A, A),
+    ) -> (A, usize) {
+        self.run_contraction_full(max_threads, init, |_, _| {}, body, finish, merge)
+    }
+
+    /// The fully-general chunked contraction driver: worker cap,
+    /// chunk-start hook, per-chunk finish hook, ordered merge.
+    fn run_contraction_full<A: Send>(
+        &self,
+        max_threads: usize,
+        init: impl Fn() -> A + Sync,
+        chunk_start: impl Fn(&mut A, &[usize]) + Sync,
+        body: impl Fn(&mut A, &[usize]) + Sync,
+        finish: impl Fn(&mut A) + Sync,
         mut merge: impl FnMut(&mut A, A),
     ) -> (A, usize) {
         let num_chunks = self.num_chunks();
@@ -289,7 +400,7 @@ impl<'a> Reconstructor<'a> {
             let mut scratch = new_scratch();
             for chunk in 0..num_chunks {
                 let mut chunk_acc = init();
-                visited += self.run_chunk(chunk, &mut chunk_acc, &body, &mut scratch);
+                visited += self.run_chunk(chunk, &mut chunk_acc, &chunk_start, &body, &mut scratch);
                 finish(&mut chunk_acc);
                 merge(&mut acc, chunk_acc);
             }
@@ -307,7 +418,13 @@ impl<'a> Reconstructor<'a> {
                                     break;
                                 }
                                 let mut chunk_acc = init();
-                                let v = self.run_chunk(chunk, &mut chunk_acc, &body, &mut scratch);
+                                let v = self.run_chunk(
+                                    chunk,
+                                    &mut chunk_acc,
+                                    &chunk_start,
+                                    &body,
+                                    &mut scratch,
+                                );
                                 finish(&mut chunk_acc);
                                 out.push((chunk, chunk_acc, v));
                             }
@@ -386,8 +503,19 @@ impl<'a> Reconstructor<'a> {
             tensor_index: usize,
             support: usize,
             entries: Vec<(&'t Bits, &'t [f64])>,
-            plan: IndexPlan,
+            plan: &'t IndexPlan,
         }
+        // Scatter plans come shared from the session plan when available
+        // (`with_output_plans`), else are built for this query.
+        let built: Vec<IndexPlan> = match self.output_plans {
+            Some(_) => Vec::new(),
+            None => self
+                .tensors
+                .iter()
+                .map(|t| IndexPlan::new(t.output_globals(), self.n_qubits))
+                .collect(),
+        };
+        let plans: &[IndexPlan] = self.output_plans.unwrap_or(&built);
         let views: Vec<FragView<'_>> = self
             .tensors
             .iter()
@@ -397,7 +525,7 @@ impl<'a> Reconstructor<'a> {
                 tensor_index: fi,
                 support: t.support_len(),
                 entries: t.iter().collect(),
-                plan: IndexPlan::new(t.output_globals(), self.n_qubits),
+                plan: &plans[fi],
             })
             .collect();
         // Per-chunk accumulator: dense id-indexed weights, a touched-id
@@ -550,7 +678,8 @@ impl<'a> Reconstructor<'a> {
             suffix: Vec<f64>,
         }
         let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
-        let (acc, _) = self.run_contraction(
+        let (cp, cs) = (self.const_prefix, self.const_suffix);
+        let (acc, _) = self.run_contraction_hoisted(
             || GroupedAcc {
                 weights: totals.iter().map(|t| vec![0.0f64; t.len()]).collect(),
                 mass: 0.0,
@@ -558,12 +687,27 @@ impl<'a> Reconstructor<'a> {
                 suffix: vec![1.0; nf + 1],
             },
             |acc, indices| {
-                // Prefix/suffix products of fragment totals (slots 0 and nf
-                // stay 1.0 from initialization).
-                for f in 0..nf {
+                // Chunk-constant runs at the ends of the fragment order:
+                // their prefix/suffix factors are identical for every
+                // assignment in the chunk, so compute them once here. The
+                // per-assignment sweeps below continue from these cached
+                // slots with the exact same multiplication order, keeping
+                // results bit-identical to the unhoisted sweep.
+                for f in 0..cp {
                     acc.prefix[f + 1] = acc.prefix[f] * totals[f][indices[f]];
                 }
-                for f in (0..nf).rev() {
+                for f in (cs..nf).rev() {
+                    acc.suffix[f] = acc.suffix[f + 1] * totals[f][indices[f]];
+                }
+            },
+            |acc, indices| {
+                // Prefix/suffix products of fragment totals (slots 0 and nf
+                // stay 1.0 from initialization; the chunk-constant head and
+                // tail were filled once at chunk start).
+                for f in cp..nf {
+                    acc.prefix[f + 1] = acc.prefix[f] * totals[f][indices[f]];
+                }
+                for f in (0..cs).rev() {
                     acc.suffix[f] = acc.suffix[f + 1] * totals[f][indices[f]];
                 }
                 acc.mass += acc.prefix[nf];
@@ -626,7 +770,8 @@ impl<'a> Reconstructor<'a> {
                     .collect(),
             })
             .collect();
-        let (acc, _) = self.run_contraction(
+        let (cp, cs) = (self.const_prefix, self.const_suffix);
+        let (acc, _) = self.run_contraction_hoisted(
             || DirectAcc {
                 marg: vec![[0.0f64; 2]; self.n_qubits],
                 mass: 0.0,
@@ -634,10 +779,21 @@ impl<'a> Reconstructor<'a> {
                 suffix: vec![1.0; nf + 1],
             },
             |acc, indices| {
-                for f in 0..nf {
+                // Chunk-constant head/tail products, once per chunk (see
+                // `marginals_grouped` — same hoist, same bit-identity
+                // argument).
+                for f in 0..cp {
                     acc.prefix[f + 1] = acc.prefix[f] * views[f].totals[indices[f]];
                 }
-                for f in (0..nf).rev() {
+                for f in (cs..nf).rev() {
+                    acc.suffix[f] = acc.suffix[f + 1] * views[f].totals[indices[f]];
+                }
+            },
+            |acc, indices| {
+                for f in cp..nf {
+                    acc.prefix[f + 1] = acc.prefix[f] * views[f].totals[indices[f]];
+                }
+                for f in (0..cs).rev() {
                     acc.suffix[f] = acc.suffix[f + 1] * views[f].totals[indices[f]];
                 }
                 acc.mass += acc.prefix[nf];
@@ -675,8 +831,12 @@ impl<'a> Reconstructor<'a> {
         // Resolve each fragment's coefficient slice once; an unobserved
         // outcome in any fragment zeroes the whole probability.
         let mut slices: Vec<&[f64]> = Vec::with_capacity(self.tensors.len());
-        for t in self.tensors {
-            match t.coeffs(&bits.extract(t.output_globals())) {
+        for (fi, t) in self.tensors.iter().enumerate() {
+            let local = match self.output_plans {
+                Some(plans) => plans[fi].extract(bits),
+                None => bits.extract(t.output_globals()),
+            };
+            match t.coeffs(&local) {
                 Some(s) => slices.push(s),
                 None => return 0.0,
             }
@@ -1106,6 +1266,88 @@ mod tests {
                 seq.3 == par.3,
                 "synthetic expectation_z at {threads} threads"
             );
+        }
+    }
+
+    /// A zeroed Pauli slice on a chunk-constant tensor (all cuts ≥ 6)
+    /// triggers the whole-chunk sparse skip: the pruned sweep must visit
+    /// exactly the assignments the per-assignment test would, and every
+    /// query must agree with the dense contraction at 1, 2, and 8 threads.
+    #[test]
+    fn chunk_constant_mask_prefilter_prunes_whole_chunks() {
+        let k = 8;
+        let (mut tensors, n) = synthetic_dense_chain(k, 1);
+        // Zero Pauli index 2 of the last fragment (input cut 7 — constant
+        // within every 4^6 chunk), so digit(cut 7) = 2 kills 1/4 of the
+        // range, one whole chunk at a time.
+        let last = tensors.len() - 1;
+        let zeroed: Vec<(Bits, Vec<f64>)> = tensors[last]
+            .iter()
+            .map(|(b, v)| {
+                let mut v = v.to_vec();
+                v[2] = 0.0;
+                (b.clone(), v)
+            })
+            .collect();
+        tensors[last] = FragmentTensor::from_dense_entries(
+            tensors[last].input_cuts().to_vec(),
+            tensors[last].output_cuts().to_vec(),
+            tensors[last].output_globals().to_vec(),
+            zeroed,
+        );
+        let sparse = Reconstructor::new(&tensors, k, n);
+        let dense = Reconstructor::new(&tensors, k, n).with_sparse(false);
+        let visited_dense = dense.visited_assignments();
+        assert_eq!(visited_dense, 1 << (2 * k));
+        assert_eq!(
+            sparse.visited_assignments(),
+            visited_dense / 4 * 3,
+            "digit(cut 7) = 2 must prune exactly a quarter of the range"
+        );
+        for (s, d) in sparse.marginals().iter().zip(dense.marginals()) {
+            assert!((s[0] - d[0]).abs() < 1e-12 && (s[1] - d[1]).abs() < 1e-12);
+        }
+        let b = Bits::from_u64(0b1011, n);
+        assert!((sparse.probability_of(&b) - dense.probability_of(&b)).abs() < 1e-12);
+        let seq = (
+            sparse.total_mass(),
+            sparse.marginals(),
+            sparse.probability_of(&b),
+            sparse.expectation_z(&[0, 4]),
+        );
+        for threads in [2usize, 8] {
+            let r = Reconstructor::new(&tensors, k, n).with_threads(threads);
+            assert!(seq.0 == r.total_mass(), "mass at {threads} threads");
+            assert_eq!(seq.1, r.marginals(), "marginals at {threads} threads");
+            assert!(seq.2 == r.probability_of(&b), "prob at {threads} threads");
+            assert!(
+                seq.3 == r.expectation_z(&[0, 4]),
+                "expectation at {threads} threads"
+            );
+        }
+    }
+
+    /// Shared output scatter plans change nothing: `joint` and
+    /// `probability_of` are bit-identical with and without
+    /// `with_output_plans`.
+    #[test]
+    fn shared_output_plans_are_bit_identical() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let (tensors, k, n) = reconstruct_exact(&c);
+        let plans: Vec<IndexPlan> = tensors
+            .iter()
+            .map(|t| IndexPlan::new(t.output_globals(), n))
+            .collect();
+        let bare = Reconstructor::new(&tensors, k, n);
+        let shared = Reconstructor::new(&tensors, k, n).with_output_plans(&plans);
+        assert_eq!(
+            joint_pairs(&bare.joint(1_000_000)),
+            joint_pairs(&shared.joint(1_000_000))
+        );
+        for x in 0..8u64 {
+            let b = Bits::from_u64(x, n);
+            assert!(bare.probability_of(&b) == shared.probability_of(&b));
         }
     }
 

@@ -407,9 +407,17 @@ pub fn synthetic_dense_chain(k: usize, outputs_per_frag: usize) -> (Vec<Fragment
     (tensors, n_qubits)
 }
 
-/// Per-fragment precomputed context shared by every variant evaluation.
-struct FragmentCtx<'f> {
-    fragment: &'f Fragment,
+/// Per-fragment precomputed evaluation context: the enumerated variants
+/// plus the extraction plans and weights shared by every variant
+/// evaluation of the fragment.
+///
+/// Owning this separately from the [`Fragment`] is what makes plan reuse
+/// possible: a session-level plan (e.g. `supersim`'s `CutPlan`) builds one
+/// `FragmentEvalPlan` per fragment **once** and re-executes it for every
+/// sweep point, instead of re-enumerating variants and rebuilding
+/// [`IndexPlan`]s on every run.
+#[derive(Clone, Debug)]
+pub struct FragmentEvalPlan {
     variants: Vec<Variant>,
     /// Extraction plan for the circuit-output bits of a local outcome.
     co_plan: IndexPlan,
@@ -422,15 +430,15 @@ struct FragmentCtx<'f> {
     inv3: Vec<f64>,
 }
 
-impl<'f> FragmentCtx<'f> {
-    fn new(fragment: &'f Fragment) -> Self {
+impl FragmentEvalPlan {
+    /// Precomputes the evaluation context of one fragment.
+    pub fn new(fragment: &Fragment) -> Self {
         let qi = fragment.quantum_inputs.len();
         let qo = fragment.quantum_outputs.len();
         let width = fragment.num_local_qubits();
         let co_local: Vec<usize> = fragment.circuit_outputs.iter().map(|&(l, _)| l).collect();
         let qo_local: Vec<usize> = fragment.quantum_outputs.iter().map(|&(l, _)| l).collect();
-        FragmentCtx {
-            fragment,
+        FragmentEvalPlan {
             variants: enumerate_variants(fragment),
             co_plan: IndexPlan::new(&co_local, width),
             qo_plan: IndexPlan::new(&qo_local, width),
@@ -438,6 +446,11 @@ impl<'f> FragmentCtx<'f> {
             dim: 1usize << (2 * (qi + qo)),
             inv3: (0..=qo).map(|t| 3f64.powi(-(t as i32))).collect(),
         }
+    }
+
+    /// Number of tomography variants this fragment executes.
+    pub fn num_variants(&self) -> usize {
+        self.variants.len()
     }
 }
 
@@ -460,10 +473,13 @@ impl TensorAccum {
         }
     }
 
-    /// The coefficient slice of `b`, zero-initialized on first touch
-    /// (taking ownership of the key, so no clone is paid either way).
-    fn slot_mut_owned(&mut self, b: Bits) -> &mut [f64] {
-        let id = self.pool.intern_owned(b) as usize;
+    /// The coefficient slice of `b`, zero-initialized on first touch. The
+    /// key is borrowed: a clone is paid only on first sight, so callers
+    /// can reuse one scratch `Bits` per data entry (see
+    /// [`accumulate_variant`]) instead of materializing a fresh key per
+    /// outcome.
+    fn slot_mut(&mut self, b: &Bits) -> &mut [f64] {
+        let id = self.pool.intern(b) as usize;
         if id * self.dim == self.coeffs.len() {
             self.coeffs.resize(self.coeffs.len() + self.dim, 0.0);
         }
@@ -473,20 +489,27 @@ impl TensorAccum {
 
 /// Accumulates one variant's outcome data into the prep-indexed tensor
 /// accumulator `M[b][s·4^qo + po]`.
+///
+/// The circuit-output and quantum-output bit extractions reuse two
+/// caller-provided scratch bitstrings ([`IndexPlan::extract_into`]), so
+/// the per-outcome hot loop allocates nothing: the only key clone is the
+/// intern pool's first-sight copy of a new outcome.
 fn accumulate_variant(
     m: &mut TensorAccum,
     data: Vec<(Bits, f64)>,
     variant: &Variant,
-    ctx: &FragmentCtx<'_>,
+    plan: &FragmentEvalPlan,
+    scratch: &mut ExtractScratch,
 ) {
-    let qo = ctx.qo;
+    let qo = plan.qo;
     let pow4_qo = 1usize << (2 * qo);
     let s = variant.prep_index();
     let basis_digits: Vec<usize> = variant.bases.iter().map(|b| b.pauli_digit()).collect();
     for (bits, p) in data {
-        let b = ctx.co_plan.extract(&bits);
-        let mbits = ctx.qo_plan.extract(&bits);
-        let mv = m.slot_mut_owned(b);
+        plan.co_plan.extract_into(&bits, &mut scratch.co);
+        plan.qo_plan.extract_into(&bits, &mut scratch.qo);
+        let mbits = &scratch.qo;
+        let mv = m.slot_mut(&scratch.co);
         // Each subset of quantum outputs marks positions carrying the
         // variant's basis Pauli; the rest are identity.
         for subset in 0..(1usize << qo) {
@@ -500,23 +523,40 @@ fn accumulate_variant(
                 }
             }
             let t = qo - subset.count_ones() as usize;
-            mv[s * pow4_qo + po] += p * sign * ctx.inv3[t];
+            mv[s * pow4_qo + po] += p * sign * plan.inv3[t];
+        }
+    }
+}
+
+/// Reusable extraction scratch for [`accumulate_variant`].
+struct ExtractScratch {
+    co: Bits,
+    qo: Bits,
+}
+
+impl ExtractScratch {
+    fn new() -> Self {
+        ExtractScratch {
+            co: Bits::zeros(0),
+            qo: Bits::zeros(0),
         }
     }
 }
 
 /// Evaluates one (fragment, variant) work item into its own accumulator.
 fn evaluate_item(
-    ctx: &FragmentCtx<'_>,
+    fragment: &Fragment,
+    plan: &FragmentEvalPlan,
     vi: usize,
     base_seed: u64,
     eval: &EvalOptions,
+    scratch: &mut ExtractScratch,
 ) -> Result<TensorAccum, EvalError> {
     let mut rng = variant_rng(base_seed, vi);
-    let variant = &ctx.variants[vi];
-    let data = evaluate_variant(ctx.fragment, variant, eval, &mut rng)?;
-    let mut local = TensorAccum::new(ctx.dim);
-    accumulate_variant(&mut local, data, variant, ctx);
+    let variant = &plan.variants[vi];
+    let data = evaluate_variant(fragment, variant, eval, &mut rng)?;
+    let mut local = TensorAccum::new(plan.dim);
+    accumulate_variant(&mut local, data, variant, plan, scratch);
     Ok(local)
 }
 
@@ -636,37 +676,63 @@ pub fn evaluate_fragment_tensors(
     base_seeds: &[u64],
     threads: usize,
 ) -> Result<Vec<FragmentTensor>, EvalError> {
+    let plans: Vec<FragmentEvalPlan> = fragments.iter().map(FragmentEvalPlan::new).collect();
+    evaluate_fragment_tensors_planned(fragments, &plans, eval, opts, base_seeds, threads)
+}
+
+/// [`evaluate_fragment_tensors`] against prebuilt [`FragmentEvalPlan`]s —
+/// the plan-reuse entry point: parameterized sweeps build the plans once
+/// and re-execute them for every (seed, shots) point, skipping variant
+/// enumeration and [`IndexPlan`] construction per run. Bit-identical to
+/// the plan-building wrapper for any thread count.
+///
+/// # Errors
+///
+/// Propagates the [`EvalError`] of the earliest failing chunk in chunk
+/// order, like [`evaluate_fragment_tensors`].
+///
+/// # Panics
+///
+/// Panics if `plans` or `base_seeds` length differs from `fragments`.
+pub fn evaluate_fragment_tensors_planned(
+    fragments: &[Fragment],
+    plans: &[FragmentEvalPlan],
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    base_seeds: &[u64],
+    threads: usize,
+) -> Result<Vec<FragmentTensor>, EvalError> {
     assert_eq!(
         fragments.len(),
         base_seeds.len(),
         "one base seed per fragment required"
     );
-    let ctxs: Vec<FragmentCtx<'_>> = fragments.iter().map(FragmentCtx::new).collect();
-    let items: Vec<(usize, usize)> = ctxs
-        .iter()
-        .enumerate()
-        .flat_map(|(fi, ctx)| (0..ctx.variants.len()).map(move |vi| (fi, vi)))
-        .collect();
-    let chunks: Vec<&[(usize, usize)]> = items.chunks(VARIANTS_PER_CHUNK).collect();
-    let threads = threads.clamp(1, chunks.len().max(1));
+    assert_eq!(
+        fragments.len(),
+        plans.len(),
+        "one evaluation plan per fragment required"
+    );
+    let num_chunks = planned_num_chunks(plans);
+    let threads = threads.clamp(1, num_chunks.max(1));
 
-    let mut maps: Vec<TensorAccum> = ctxs.iter().map(|ctx| TensorAccum::new(ctx.dim)).collect();
+    let mut maps: Vec<TensorAccum> = plans.iter().map(|p| TensorAccum::new(p.dim)).collect();
 
     if threads <= 1 {
         // Sequential path: evaluate and fold one chunk at a time (peak
         // retention: one chunk accumulator). Chunk decomposition and merge
         // order match the parallel path exactly, so results are
         // bit-identical for any thread count.
-        for chunk in &chunks {
-            for (fi, m) in evaluate_item_chunk(&ctxs, base_seeds, chunk, eval)? {
-                merge_accumulator(&mut maps[fi], m);
-            }
+        let mut scratch = ExtractScratch::new();
+        for ci in 0..num_chunks {
+            let chunk =
+                evaluate_chunk_with_scratch(fragments, plans, eval, base_seeds, ci, &mut scratch)?;
+            merge_planned_chunk(&mut maps, chunk);
         }
     } else {
         // Parallel path: workers claim chunks dynamically; completed chunk
         // accumulators (already folded per fragment within the chunk) are
         // merged in chunk order after the join.
-        type ChunkResult = Result<Vec<(usize, TensorAccum)>, EvalError>;
+        type ChunkResult = Result<EvalChunk, EvalError>;
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let mut results: Vec<(usize, ChunkResult)> = std::thread::scope(|scope| {
@@ -674,12 +740,20 @@ pub fn evaluate_fragment_tensors(
                 .map(|_| {
                     scope.spawn(|| {
                         let mut out = Vec::new();
+                        let mut scratch = ExtractScratch::new();
                         loop {
                             let ci = next.fetch_add(1, Ordering::Relaxed);
-                            if ci >= chunks.len() || failed.load(Ordering::Relaxed) {
+                            if ci >= num_chunks || failed.load(Ordering::Relaxed) {
                                 break;
                             }
-                            let r = evaluate_item_chunk(&ctxs, base_seeds, chunks[ci], eval);
+                            let r = evaluate_chunk_with_scratch(
+                                fragments,
+                                plans,
+                                eval,
+                                base_seeds,
+                                ci,
+                                &mut scratch,
+                            );
                             if r.is_err() {
                                 failed.store(true, Ordering::Relaxed);
                             }
@@ -699,9 +773,7 @@ pub fn evaluate_fragment_tensors(
         // (chunks skipped by the early exit contribute nothing — the maps
         // are discarded once the error is returned).
         for (_, r) in results {
-            for (fi, m) in r? {
-                merge_accumulator(&mut maps[fi], m);
-            }
+            merge_planned_chunk(&mut maps, r?);
         }
     }
 
@@ -718,24 +790,129 @@ pub fn evaluate_fragment_tensors(
 /// accumulators to one per chunk instead of one per variant.
 const VARIANTS_PER_CHUNK: usize = 16;
 
-/// Evaluates one chunk of (fragment, variant) items, folding accumulators
-/// per fragment in item order. Items arrive sorted by fragment, so a
-/// chunk's output holds one entry per fragment it touches.
-fn evaluate_item_chunk(
-    ctxs: &[FragmentCtx<'_>],
-    base_seeds: &[u64],
-    chunk: &[(usize, usize)],
+/// The accumulated result of one evaluation chunk: per-fragment partial
+/// accumulators, folded in item order within the chunk. Opaque — produced
+/// by [`evaluate_planned_chunk`] and consumed by [`merge_planned_chunks`].
+pub struct EvalChunk {
+    items: Vec<(usize, TensorAccum)>,
+}
+
+/// Number of fixed-size evaluation chunks the (fragment × variant) work
+/// items of `plans` decompose into. The decomposition is a pure function
+/// of the plans (never of the worker count), which is what makes chunked
+/// execution bit-identical for any parallelism.
+pub fn planned_num_chunks(plans: &[FragmentEvalPlan]) -> usize {
+    let total: usize = plans.iter().map(FragmentEvalPlan::num_variants).sum();
+    total.div_ceil(VARIANTS_PER_CHUNK)
+}
+
+/// Evaluates one chunk of the fixed (fragment × variant) decomposition —
+/// the batch scheduler's unit of evaluation work. Chunks of one circuit
+/// can interleave arbitrarily with other circuits' work on a shared pool;
+/// as long as every chunk is produced and merged in chunk order
+/// ([`merge_planned_chunks`]), the result is bit-identical to
+/// [`evaluate_fragment_tensors`].
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from fragment evaluation.
+///
+/// # Panics
+///
+/// Panics if `chunk >= planned_num_chunks(plans)` or the slice lengths
+/// disagree.
+pub fn evaluate_planned_chunk(
+    fragments: &[Fragment],
+    plans: &[FragmentEvalPlan],
     eval: &EvalOptions,
-) -> Result<Vec<(usize, TensorAccum)>, EvalError> {
+    base_seeds: &[u64],
+    chunk: usize,
+) -> Result<EvalChunk, EvalError> {
+    let mut scratch = ExtractScratch::new();
+    evaluate_chunk_with_scratch(fragments, plans, eval, base_seeds, chunk, &mut scratch)
+}
+
+/// [`evaluate_planned_chunk`] with a reusable extraction scratch (one per
+/// worker on the pooled paths).
+fn evaluate_chunk_with_scratch(
+    fragments: &[Fragment],
+    plans: &[FragmentEvalPlan],
+    eval: &EvalOptions,
+    base_seeds: &[u64],
+    chunk: usize,
+    scratch: &mut ExtractScratch,
+) -> Result<EvalChunk, EvalError> {
+    assert_eq!(fragments.len(), plans.len(), "plan count mismatch");
+    assert_eq!(fragments.len(), base_seeds.len(), "seed count mismatch");
+    let total: usize = plans.iter().map(FragmentEvalPlan::num_variants).sum();
+    let start = chunk * VARIANTS_PER_CHUNK;
+    assert!(start < total.max(1), "chunk {chunk} out of range");
+    let end = (start + VARIANTS_PER_CHUNK).min(total);
+
+    // Locate the fragment containing flat item `start`.
+    let mut fi = 0;
+    let mut offset = 0; // flat index of fragment fi's first item
+    while fi < plans.len() && offset + plans[fi].num_variants() <= start {
+        offset += plans[fi].num_variants();
+        fi += 1;
+    }
+
     let mut out: Vec<(usize, TensorAccum)> = Vec::new();
-    for &(fi, vi) in chunk {
-        let local = evaluate_item(&ctxs[fi], vi, base_seeds[fi], eval)?;
+    for flat in start..end {
+        while flat >= offset + plans[fi].num_variants() {
+            offset += plans[fi].num_variants();
+            fi += 1;
+        }
+        let vi = flat - offset;
+        let local = evaluate_item(
+            &fragments[fi],
+            &plans[fi],
+            vi,
+            base_seeds[fi],
+            eval,
+            scratch,
+        )?;
         match out.last_mut() {
             Some((f, m)) if *f == fi => merge_accumulator(m, local),
             _ => out.push((fi, local)),
         }
     }
-    Ok(out)
+    Ok(EvalChunk { items: out })
+}
+
+/// Folds one chunk's partial accumulators into the per-fragment maps.
+fn merge_planned_chunk(maps: &mut [TensorAccum], chunk: EvalChunk) {
+    for (fi, m) in chunk.items {
+        merge_accumulator(&mut maps[fi], m);
+    }
+}
+
+/// Merges every chunk (which **must** arrive complete and in chunk order)
+/// and finishes the fragment tensors — the tail of the chunked evaluation
+/// pipeline, split out so a cross-circuit batch scheduler can interleave
+/// chunk production with other work and fold each circuit's chunks once
+/// its last one lands. Bit-identical to [`evaluate_fragment_tensors`] by
+/// construction: identical chunk decomposition, identical merge order.
+///
+/// # Panics
+///
+/// Panics if `plans` length differs from `fragments`.
+pub fn merge_planned_chunks(
+    fragments: &[Fragment],
+    plans: &[FragmentEvalPlan],
+    eval: &EvalOptions,
+    opts: &TensorOptions,
+    chunks: impl IntoIterator<Item = EvalChunk>,
+) -> Vec<FragmentTensor> {
+    assert_eq!(fragments.len(), plans.len(), "plan count mismatch");
+    let mut maps: Vec<TensorAccum> = plans.iter().map(|p| TensorAccum::new(p.dim)).collect();
+    for chunk in chunks {
+        merge_planned_chunk(&mut maps, chunk);
+    }
+    maps.into_iter()
+        .zip(fragments)
+        .map(|(m, fragment)| finalize_fragment_tensor(fragment, m, eval, opts))
+        .collect()
 }
 
 /// Builds the tomographic tensor of a fragment, evaluating variants on up
@@ -808,29 +985,29 @@ pub fn reference_evaluate_btreemap(
         }
     }
 
-    let ctxs: Vec<FragmentCtx<'_>> = fragments.iter().map(FragmentCtx::new).collect();
-    let items: Vec<(usize, usize)> = ctxs
+    let plans: Vec<FragmentEvalPlan> = fragments.iter().map(FragmentEvalPlan::new).collect();
+    let items: Vec<(usize, usize)> = plans
         .iter()
         .enumerate()
-        .flat_map(|(fi, ctx)| (0..ctx.variants.len()).map(move |vi| (fi, vi)))
+        .flat_map(|(fi, plan)| (0..plan.num_variants()).map(move |vi| (fi, vi)))
         .collect();
     let mut maps: Vec<Map> = fragments.iter().map(|_| Map::new()).collect();
     for chunk in items.chunks(VARIANTS_PER_CHUNK) {
         let mut out: Vec<(usize, Map)> = Vec::new();
         for &(fi, vi) in chunk {
-            let ctx = &ctxs[fi];
+            let plan = &plans[fi];
             let mut rng = variant_rng(base_seeds[fi], vi);
-            let variant = &ctx.variants[vi];
-            let data = evaluate_variant(ctx.fragment, variant, eval, &mut rng)?;
+            let variant = &plan.variants[vi];
+            let data = evaluate_variant(&fragments[fi], variant, eval, &mut rng)?;
             let mut local = Map::new();
-            let qo = ctx.qo;
+            let qo = plan.qo;
             let pow4_qo = 1usize << (2 * qo);
             let s = variant.prep_index();
             let basis_digits: Vec<usize> = variant.bases.iter().map(|b| b.pauli_digit()).collect();
             for (bits, p) in data {
-                let b = ctx.co_plan.extract(&bits);
-                let mbits = ctx.qo_plan.extract(&bits);
-                let mv = local.entry(b).or_insert_with(|| vec![0.0; ctx.dim]);
+                let b = plan.co_plan.extract(&bits);
+                let mbits = plan.qo_plan.extract(&bits);
+                let mv = local.entry(b).or_insert_with(|| vec![0.0; plan.dim]);
                 for subset in 0..(1usize << qo) {
                     let mut po = 0usize;
                     let mut sign = 1.0;
@@ -842,7 +1019,7 @@ pub fn reference_evaluate_btreemap(
                         }
                     }
                     let t = qo - subset.count_ones() as usize;
-                    mv[s * pow4_qo + po] += p * sign * ctx.inv3[t];
+                    mv[s * pow4_qo + po] += p * sign * plan.inv3[t];
                 }
             }
             match out.last_mut() {

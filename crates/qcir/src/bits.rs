@@ -559,11 +559,28 @@ impl IndexPlan {
     ///
     /// Panics if `src.len()` differs from the plan's domain length.
     pub fn extract(&self, src: &Bits) -> Bits {
-        assert_eq!(src.len, self.domain_len, "domain length mismatch");
         let mut out = Bits::zeros(self.len());
+        self.extract_into(src, &mut out);
+        out
+    }
+
+    /// [`IndexPlan::extract`] into a caller-provided scratch bitstring,
+    /// reusing its allocation: `out` is resized to the plan length and
+    /// every word is overwritten. The hot accumulation loops of the
+    /// evaluation stage call this once per observed outcome, so reusing
+    /// one scratch `Bits` removes a heap allocation per data entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the plan's domain length.
+    pub fn extract_into(&self, src: &Bits, out: &mut Bits) {
+        assert_eq!(src.len, self.domain_len, "domain length mismatch");
+        let n = self.len();
+        out.len = n;
+        out.words.resize(n.div_ceil(64), 0);
         let mut acc = 0u64;
         let mut w = 0;
-        for k in 0..self.len() {
+        for k in 0..n {
             let bit = (src.words[self.word[k] as usize] >> self.shift[k]) & 1;
             acc |= bit << (k & 63);
             if k & 63 == 63 {
@@ -572,10 +589,9 @@ impl IndexPlan {
                 w += 1;
             }
         }
-        if self.len() & 63 != 0 {
+        if n & 63 != 0 {
             out.words[w] = acc;
         }
-        out
     }
 
     /// Equivalent of `src.scatter_into(indices, target)` using the
@@ -815,6 +831,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn index_plan_out_of_range_panics() {
         let _ = IndexPlan::new(&[4], 4);
+    }
+
+    #[test]
+    fn extract_into_reuses_scratch_across_plan_widths() {
+        // One scratch reused across plans of different lengths (shrinking,
+        // growing, word-boundary, empty) must always equal a fresh extract,
+        // including the zero-padding invariant of the partial word.
+        let src = patterned(130, 9);
+        let mut scratch = Bits::zeros(0);
+        let plans: Vec<Vec<usize>> = vec![
+            (0..100).collect(),
+            vec![129, 0, 64],
+            (0..64).collect(),
+            vec![],
+            (0..65).rev().collect(),
+        ];
+        for indices in &plans {
+            let plan = IndexPlan::new(indices, 130);
+            plan.extract_into(&src, &mut scratch);
+            assert_eq!(scratch, plan.extract(&src), "indices {indices:?}");
+            assert_eq!(scratch, src.extract(indices));
+        }
+        // Stale high bits from a longer previous extraction must not leak
+        // into the padding of a shorter one (Ord/Eq read whole words).
+        let ones = Bits::from_bools(&[true; 130]);
+        let long = IndexPlan::new(&(0..128).collect::<Vec<_>>(), 130);
+        long.extract_into(&ones, &mut scratch);
+        let short = IndexPlan::new(&[5], 130);
+        short.extract_into(&ones, &mut scratch);
+        assert_eq!(scratch, Bits::from_bools(&[true]));
+        assert_eq!(scratch.count_ones(), 1);
     }
 
     #[test]

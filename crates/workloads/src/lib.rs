@@ -208,6 +208,50 @@ pub fn supercheq_ie(n: usize, updates: &[u64]) -> Circuit {
     c
 }
 
+/// Generates a seed sweep of the HWEA: `seeds.len()` independent
+/// instances of the same shape, the circuit family
+/// `SuperSim::run_batch` amortizes one worker pool over (and — for a
+/// fixed instance re-run under many tomography seeds —
+/// `Executor::run_sweep` amortizes one cut plan over).
+pub fn hwea_sweep(n: usize, rounds: usize, t_gates: usize, seeds: &[u64]) -> Vec<Workload> {
+    seeds.iter().map(|&s| hwea(n, rounds, t_gates, s)).collect()
+}
+
+/// Generates a seed sweep of SK-model QAOA instances (see [`qaoa_sk`]).
+pub fn qaoa_sk_sweep(n: usize, rounds: usize, t_gates: usize, seeds: &[u64]) -> Vec<Workload> {
+    seeds
+        .iter()
+        .map(|&s| qaoa_sk(n, rounds, t_gates, s))
+        .collect()
+}
+
+/// Generates a deterministic deep T-rich ladder: `layers` repetitions of
+/// (per-qubit `H`·`T`, then a CX chain) on `n` qubits.
+///
+/// With a tight cut budget this is the cutter's worst case — hundreds of
+/// Clifford/non-Clifford boundaries whose greedy merge pass dominates the
+/// pipeline — while the merged fragments stay cheap to evaluate (few local
+/// qubits). That cost profile is exactly what plan reuse amortizes, so
+/// this is the workload behind the `batch_sweep` benchmark series.
+pub fn t_ladder(n: usize, layers: usize) -> Workload {
+    assert!(n >= 1, "need at least one qubit");
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.h(q);
+            c.t(q);
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    Workload {
+        circuit: c,
+        name: format!("t-ladder-n{n}-l{layers}"),
+        injected: Vec::new(),
+    }
+}
+
 /// Prepares an `n`-qubit GHZ state.
 pub fn ghz(n: usize) -> Circuit {
     let mut c = Circuit::new(n);
@@ -391,6 +435,30 @@ mod tests {
         let b = supercheq_ie(6, &[1, 3, 2]);
         assert_ne!(a, b, "update order must matter");
         assert_eq!(a, supercheq_ie(6, &[1, 2, 3]), "deterministic encoding");
+    }
+
+    #[test]
+    fn sweep_generators_match_pointwise_generation() {
+        let seeds = [3u64, 9, 27];
+        let hw = hwea_sweep(5, 2, 1, &seeds);
+        assert_eq!(hw.len(), 3);
+        for (w, &s) in hw.iter().zip(&seeds) {
+            assert_eq!(w.circuit, hwea(5, 2, 1, s).circuit);
+        }
+        let qa = qaoa_sk_sweep(4, 1, 1, &seeds);
+        for (w, &s) in qa.iter().zip(&seeds) {
+            assert_eq!(w.circuit, qaoa_sk(4, 1, 1, s).circuit);
+        }
+    }
+
+    #[test]
+    fn t_ladder_shape() {
+        let w = t_ladder(2, 10);
+        assert_eq!(w.circuit.num_qubits(), 2);
+        assert_eq!(w.circuit.t_count(), 20);
+        // Per layer: 2 H + 2 T + 1 CX.
+        assert_eq!(w.circuit.len(), 10 * 5);
+        assert_eq!(w.circuit, t_ladder(2, 10).circuit, "deterministic");
     }
 
     #[test]

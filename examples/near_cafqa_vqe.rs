@@ -62,23 +62,26 @@ fn ansatz(params: &[u8], t_qubit: Option<usize>) -> Circuit {
 /// Number of discrete parameters of the ansatz.
 const NUM_PARAMS: usize = ROUNDS * 2 * N + N;
 
-/// Measures `<H>` with two SuperSim runs: one in the Z basis (for the ZZ
-/// couplings) and one with a final Hadamard layer (for the X fields).
+/// Measures `<H>` with one two-circuit SuperSim batch: the Z-basis
+/// circuit (for the ZZ couplings) and the same ansatz with a final
+/// Hadamard layer (for the X fields). Both measurement bases of one
+/// candidate flow through one shared worker pool — the VQE cost function
+/// is itself a (small) batch, the shape `run_batch` is built for.
 fn energy(sim: &SuperSim, params: &[u8], t_qubit: Option<usize>) -> f64 {
-    // ZZ couplings: directly reconstructed Z-string observables — this
-    // path needs no joint distribution, so it scales to hundreds of
-    // qubits.
     let zz_circuit = ansatz(params, t_qubit);
-    let z_run = sim.run(&zz_circuit).expect("pipeline runs");
-    let zz: f64 = (0..N - 1).map(|q| z_run.expectation_z(&[q, q + 1])).sum();
-
     // X fields: rotate X into Z with a final Hadamard layer, then read
     // single-qubit Z observables.
     let mut x_circuit = ansatz(params, t_qubit);
     for q in 0..N {
         x_circuit.h(q);
     }
-    let x_run = sim.run(&x_circuit).expect("pipeline runs");
+    let mut runs = sim.run_batch(&[zz_circuit, x_circuit]).into_iter();
+    let z_run = runs.next().unwrap().expect("pipeline runs");
+    let x_run = runs.next().unwrap().expect("pipeline runs");
+    // ZZ couplings: directly reconstructed Z-string observables — this
+    // path needs no joint distribution, so it scales to hundreds of
+    // qubits.
+    let zz: f64 = (0..N - 1).map(|q| z_run.expectation_z(&[q, q + 1])).sum();
     let x: f64 = (0..N).map(|q| x_run.expectation_z(&[q])).sum();
     -zz - G * x
 }

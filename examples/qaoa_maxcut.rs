@@ -1,8 +1,7 @@
-//! QAOA MaxCut on the Sherrington–Kirkpatrick model (paper §IV-B, Fig. 6).
-//!
-//! Builds the all-to-all SK QAOA circuit at Clifford angles with one
-//! injected T gate, evaluates the expected cut value with SuperSim, and
-//! cross-checks against the exact statevector simulator.
+//! QAOA MaxCut on the Sherrington–Kirkpatrick model (paper §IV-B, Fig. 6),
+//! on the batch-first API: the SK circuit is cut and planned **once**, then
+//! a shot-budget sweep re-executes the plan — the re-run-same-cut-structure
+//! shape SuperSim's plan/execute split amortizes.
 //!
 //! ```sh
 //! cargo run --release --example qaoa_maxcut
@@ -12,7 +11,7 @@ use metrics::Distribution;
 use qcir::Bits;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use supersim::{SuperSim, SuperSimConfig};
+use supersim::{ExecParams, SuperSim, SuperSimConfig};
 
 /// Expected cut value of a distribution over spin assignments for ±1
 /// weights `w[i][j]`: cut(x) = Σ_{i<j, w≠0} w_ij · [x_i ≠ x_j].
@@ -53,35 +52,57 @@ fn main() {
         workload.circuit.len()
     );
 
-    let sim = SuperSim::new(SuperSimConfig {
-        shots: 5000,
-        seed: 1,
-        ..SuperSimConfig::default()
-    });
-    let t0 = std::time::Instant::now();
-    let result = sim.run(&workload.circuit).expect("pipeline runs");
-    let supersim_time = t0.elapsed();
-    let dist = result.distribution.as_ref().expect("joint available");
-    let cut_supersim = expected_cut(dist, &weights);
-
+    // Exact statevector reference for the sweep's fidelity column.
     let t1 = std::time::Instant::now();
     let sv = svsim::StateVec::run(&workload.circuit).expect("n is small");
     let sv_time = t1.elapsed();
     let reference = Distribution::from_pairs(n, sv.distribution(1e-12));
     let cut_exact = expected_cut(&reference, &weights);
 
+    // Plan once; sweep the tomography shot budget over the same plan.
+    let sim = SuperSim::new(SuperSimConfig {
+        seed: 1,
+        ..SuperSimConfig::default()
+    });
+    let t0 = std::time::Instant::now();
+    let plan = sim.plan(&workload.circuit).expect("circuit cuts");
+    let plan_time = t0.elapsed();
     println!(
-        "\nfragments: {}, cuts: {}",
-        result.report.num_fragments, result.report.num_cuts
-    );
-    println!("expected cut (SuperSim, 5000 shots/variant): {cut_supersim:.4}  [{supersim_time:?}]");
-    println!("expected cut (exact statevector):            {cut_exact:.4}  [{sv_time:?}]");
-    println!(
-        "Hellinger fidelity: {:.4}",
-        reference.hellinger_fidelity(dist)
+        "\nplanned once in {plan_time:?}: {} fragments, {} cuts, {} variants per execution",
+        plan.num_fragments(),
+        plan.num_cuts(),
+        plan.num_variants()
     );
 
-    // Best single sample drawn from the reconstruction.
+    let budgets = [250usize, 1000, 5000];
+    let points: Vec<ExecParams> = budgets
+        .iter()
+        .map(|&shots| ExecParams::from_config(sim.config()).with_shots(shots))
+        .collect();
+    let t2 = std::time::Instant::now();
+    let runs = sim.executor().run_sweep(&plan, &points);
+    let sweep_time = t2.elapsed();
+
+    println!("\nshots   expected cut   fidelity");
+    let mut best_run = None;
+    for (point, run) in points.iter().zip(&runs) {
+        let run = run.as_ref().expect("sweep point runs");
+        let dist = run.distribution.as_ref().expect("joint available");
+        let cut = expected_cut(dist, &weights);
+        let fidelity = reference.hellinger_fidelity(dist);
+        println!("{:>5}   {cut:>12.4}   {fidelity:.4}", point.shots);
+        best_run = Some(run);
+    }
+    println!(
+        "\nexpected cut (exact statevector):   {cut_exact:.4}  [{sv_time:?}]\n\
+         sweep of {} budgets over one plan:  [{sweep_time:?} total]",
+        budgets.len()
+    );
+
+    // Best single sample drawn from the highest-budget reconstruction.
+    let dist = best_run
+        .and_then(|r| r.distribution.as_ref())
+        .expect("joint available");
     let mut rng = StdRng::seed_from_u64(2);
     let best = dist
         .sample(200, &mut rng)

@@ -1,5 +1,6 @@
 //! Quickstart: cut a near-Clifford circuit, simulate it with SuperSim, and
-//! compare against exact statevector simulation.
+//! compare against exact statevector simulation — then reuse the cut plan
+//! for a seed sweep on the batch-first API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,7 +8,7 @@
 
 use metrics::Distribution;
 use qcir::{Bits, Circuit};
-use supersim::{SuperSim, SuperSimConfig};
+use supersim::{ExecParams, SuperSim, SuperSimConfig};
 
 fn main() {
     // A 4-qubit near-Clifford circuit: mostly Clifford gates, one T gate.
@@ -23,18 +24,25 @@ fn main() {
         circuit.non_clifford_count()
     );
 
-    // Run the SuperSim pipeline: cut → evaluate fragments → recombine.
+    // Stage 1 — plan: cut placement + fragment structure + variant
+    // enumeration, built once and reusable across runs.
     let sim = SuperSim::new(SuperSimConfig {
         shots: 5000, // the paper's default sampling budget
         ..SuperSimConfig::default()
     });
-    let result = sim.run(&circuit).expect("pipeline runs");
-
-    let report = &result.report;
+    let plan = sim.plan(&circuit).expect("circuit cuts within budget");
     println!(
-        "\ncut into {} fragments ({} Clifford) joined by {} cuts; {} fragment variants executed",
-        report.num_fragments, report.clifford_fragments, report.num_cuts, report.num_variants
+        "\nplanned: {} fragments ({} Clifford) joined by {} cuts; {} variants per execution",
+        plan.num_fragments(),
+        plan.clifford_fragments(),
+        plan.num_cuts(),
+        plan.num_variants()
     );
+
+    // Stage 2 — execute: evaluate → MLFT → recombine against the plan.
+    // (`sim.run(&circuit)` is exactly these two stages fused.)
+    let result = sim.executor().run(&plan).expect("pipeline runs");
+    let report = &result.report;
     println!(
         "stage times: cut {:?}, evaluate {:?}, recombine {:?}",
         report.cut_time, report.eval_time, report.recombine_time
@@ -58,4 +66,18 @@ fn main() {
         "\nHellinger fidelity vs exact: {:.5}",
         reference.hellinger_fidelity(reconstructed)
     );
+
+    // Stage 3 — sweep: the same plan re-executed for several tomography
+    // seeds on one shared pool (the cutter never re-runs). Each point is
+    // bit-identical to an independent `sim.run` with that seed.
+    let points: Vec<ExecParams> = (1..=4)
+        .map(|s| ExecParams::from_config(sim.config()).with_seed(s))
+        .collect();
+    let runs = sim.executor().run_sweep(&plan, &points);
+    println!("\nseed sweep over one plan ({} points):", runs.len());
+    for (point, run) in points.iter().zip(&runs) {
+        let run = run.as_ref().expect("sweep point runs");
+        let f = reference.hellinger_fidelity(run.distribution.as_ref().unwrap());
+        println!("  seed {}: fidelity {f:.5}", point.seed);
+    }
 }

@@ -11,7 +11,7 @@ use metrics::Distribution;
 use qcir::{Bits, Circuit, NoiseChannel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use supersim::{SuperSim, SuperSimConfig};
+use supersim::{ExecParams, RunResult, SuperSim, SuperSimConfig};
 
 /// Worker-pool size under test, from `SUPERSIM_TEST_THREADS`.
 fn test_threads() -> usize {
@@ -175,6 +175,112 @@ fn full_pipeline_bit_identical_at_matrix_thread_count() {
         assert_eq!(sb, pb, "joint emission order drifted");
         assert!(sp.to_bits() == pp.to_bits(), "probability bits at {sb}");
     }
+}
+
+/// Asserts two runs satisfy the determinism contract's bit-identity
+/// (marginal bits, joint support/order/probability bits, `mlft_moved` —
+/// see [`RunResult::bit_identical_to`]).
+fn assert_runs_bit_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert!(a.bit_identical_to(b), "{label}: runs are not bit-identical");
+}
+
+/// `run_batch` over distinct circuits is bit-identical to independent
+/// sequential `SuperSim::run` calls at the matrix thread count
+/// (`SUPERSIM_TEST_THREADS`): the shared cross-circuit pool must not
+/// perturb any circuit's RNG streams, fold orders, or diagnostics.
+#[test]
+fn batch_bit_identical_to_independent_runs_at_matrix_thread_count() {
+    let circuits: Vec<Circuit> = vec![
+        workloads::hwea(5, 2, 2, 21).circuit,
+        workloads::hwea(6, 3, 1, 22).circuit,
+        workloads::qaoa_sk(4, 1, 1, 23).circuit,
+        workloads::phase_repetition(workloads::RepetitionConfig {
+            data_qubits: 3,
+            phase_noise: None,
+            t_gates: 1,
+            seed: 4,
+        })
+        .circuit,
+    ];
+    let base = SuperSimConfig {
+        shots: 300,
+        seed: 1717,
+        mlft: true,
+        ..SuperSimConfig::default()
+    };
+    // Reference: independent sequential runs.
+    let solo: Vec<RunResult> = circuits
+        .iter()
+        .map(|c| SuperSim::new(base.clone()).run(c).unwrap())
+        .collect();
+    let batch = SuperSim::new(SuperSimConfig {
+        parallel: true,
+        threads: test_threads(),
+        ..base
+    })
+    .run_batch(&circuits);
+    assert_eq!(batch.len(), circuits.len());
+    for (i, (s, b)) in solo.iter().zip(&batch).enumerate() {
+        assert_runs_bit_identical(s, b.as_ref().unwrap(), &format!("circuit {i}"));
+    }
+}
+
+/// `run_sweep` over (seed, shots) points — one plan, cut once — is
+/// bit-identical to independent `SuperSim::run` calls with reconfigured
+/// seed/shots at the matrix thread count, and distinct seeds produce
+/// distinct (isolated) RNG streams.
+#[test]
+fn sweep_bit_identical_to_independent_runs_at_matrix_thread_count() {
+    let w = workloads::hwea(6, 3, 2, 31);
+    let base = SuperSimConfig {
+        shots: 250,
+        seed: 0,
+        mlft: true,
+        ..SuperSimConfig::default()
+    };
+    let points: Vec<ExecParams> = vec![
+        ExecParams {
+            seed: 11,
+            shots: 250,
+        },
+        ExecParams {
+            seed: 12,
+            shots: 250,
+        },
+        ExecParams {
+            seed: 11,
+            shots: 400,
+        },
+    ];
+    let solo: Vec<RunResult> = points
+        .iter()
+        .map(|p| {
+            SuperSim::new(SuperSimConfig {
+                seed: p.seed,
+                shots: p.shots,
+                ..base.clone()
+            })
+            .run(&w.circuit)
+            .unwrap()
+        })
+        .collect();
+    let sim = SuperSim::new(SuperSimConfig {
+        parallel: true,
+        threads: test_threads(),
+        ..base
+    });
+    let plan = sim.plan(&w.circuit).unwrap();
+    let swept = sim.executor().run_sweep(&plan, &points);
+    assert_eq!(swept.len(), points.len());
+    for (i, (s, r)) in solo.iter().zip(&swept).enumerate() {
+        assert_runs_bit_identical(s, r.as_ref().unwrap(), &format!("point {i}"));
+    }
+    // Seed isolation: points 0 and 1 differ only in seed and must not
+    // share outcomes.
+    assert_ne!(
+        solo[0].marginals, solo[1].marginals,
+        "distinct seeds must perturb sampled estimates"
+    );
 }
 
 /// The packed word-parallel tableau engine feeds the same fragment
