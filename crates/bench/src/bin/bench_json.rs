@@ -537,7 +537,7 @@ fn main() {
     let (tab_ref_ms, tab_ref_tensors) = time_best(reps, || {
         let reference_eval = EvalOptions {
             tableau_engine: TableauEngine::Reference,
-            ..eval
+            ..eval.clone()
         };
         cutkit::evaluate_fragment_tensors(&cut.fragments, &reference_eval, &opts, &seeds, 1)
             .unwrap()
@@ -641,6 +641,7 @@ fn main() {
         .map(|i| ExecParams {
             seed: 1000 + i,
             shots: 400,
+            deadline: None,
         })
         .collect();
     let (recut_ms, baseline_runs) = time_best(reps, || {
@@ -718,6 +719,103 @@ fn main() {
         baseline_runs[0].report.num_cuts,
     );
 
+    // --- Supervised batch: isolation overhead --------------------------
+    // A mixed batch timed clean, then with one job killed by an injected
+    // panic (`faultkit::FaultPlan`): the supervision layer must keep the
+    // survivors bit-identical to the clean batch — the panic costs only
+    // the dead job's work, never the pool or its neighbours' results.
+    {
+        // Silence the default panic hook for the injected panic below;
+        // it is deliberate and would otherwise spray a backtrace into
+        // the bench log.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected fault") {
+                default_hook(info);
+            }
+        }));
+    }
+    let super_circuits: Vec<Circuit> = vec![
+        workloads::hwea(5, 2, 1, 41).circuit,
+        workloads::qaoa_sk(4, 1, 1, 43).circuit,
+        workloads::ghz(6),
+        workloads::hwea(4, 1, 2, 44).circuit,
+    ];
+    let super_cfg = SuperSimConfig {
+        shots: 300,
+        seed: 17,
+        mlft: true,
+        parallel: true,
+        threads: 0,
+        ..SuperSimConfig::default()
+    };
+    let (super_clean_1t_ms, clean_1t) = time_best(reps, || {
+        SuperSim::new(SuperSimConfig {
+            parallel: false,
+            ..super_cfg.clone()
+        })
+        .run_batch(&super_circuits)
+    });
+    let (super_clean_mt_ms, clean_mt) = time_best(reps, || {
+        SuperSim::new(super_cfg.clone()).run_batch(&super_circuits)
+    });
+    let faulted_cfg = SuperSimConfig {
+        faults: Some(std::sync::Arc::new(supersim::FaultPlan::new().inject(
+            0,
+            supersim::Stage::Eval,
+            0,
+            supersim::FaultKind::Panic,
+        ))),
+        ..super_cfg.clone()
+    };
+    let (super_faulted_ms, faulted) = time_best(reps, || {
+        SuperSim::new(faulted_cfg.clone()).run_batch(&super_circuits)
+    });
+    let clean_across_threads = clean_1t
+        .iter()
+        .zip(&clean_mt)
+        .all(|(a, b)| a.as_ref().unwrap().bit_identical_to(b.as_ref().unwrap()));
+    assert!(
+        clean_across_threads,
+        "supervised_batch: clean batch differs across thread counts"
+    );
+    assert!(
+        matches!(
+            faulted[0].as_ref().unwrap_err().root(),
+            supersim::SuperSimError::Panicked { .. }
+        ),
+        "supervised_batch: injected panic not reported"
+    );
+    let survivors_identical = clean_mt
+        .iter()
+        .zip(&faulted)
+        .skip(1)
+        .all(|(a, b)| a.as_ref().unwrap().bit_identical_to(b.as_ref().unwrap()));
+    assert!(
+        survivors_identical,
+        "supervised_batch: a panicking job perturbed its neighbours"
+    );
+    println!(
+        "supervised_batch ({} jobs): clean(1t) {super_clean_1t_ms:.2} ms, \
+         clean({cores} workers) {super_clean_mt_ms:.2} ms, \
+         one job panicked {super_faulted_ms:.2} ms",
+        super_circuits.len(),
+    );
+    let supervised_row = format!(
+        "{{\"jobs\": {}, \"clean_1t_ms\": {super_clean_1t_ms:.3}, \
+         \"clean_mt_ms\": {super_clean_mt_ms:.3}, \
+         \"faulted_mt_ms\": {super_faulted_ms:.3}, \
+         \"bit_identical_across_threads\": {clean_across_threads}, \
+         \"survivors_bit_identical\": {survivors_identical}}}",
+        super_circuits.len(),
+    );
+
     // --- §IX sparse-contraction ablation ------------------------------
     let mut ghz_t = Circuit::new(4);
     ghz_t.h(0);
@@ -757,7 +855,7 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 4,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 5,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
          \"recombine_marginals\": [\n{}\n  ],\n  \
          \"joint_reconstruction\": [\n{}\n  ],\n  \
@@ -767,6 +865,7 @@ fn main() {
          \"rowsum_48q\": {rowsum_row},\n    \
          \"sampled_6q\": {tableau_sampled_row}\n  }},\n  \
          \"batch_sweep\": {batch_sweep_row},\n  \
+         \"supervised_batch\": {supervised_row},\n  \
          \"mlft\": {{\"fragments\": {}, \
          \"reference_ms\": {mlft_ref_ms:.3}, \
          \"engine_1t_ms\": {mlft_1t_ms:.3}, \"engine_mt_ms\": {mlft_mt_ms:.3}, \

@@ -206,8 +206,10 @@ impl Simulator for SuperSim {
         cfg.seed = seed;
         let result = SuperSim::new(cfg).run(circuit).map_err(|e| match e {
             SuperSimError::Cut(_) => BackendError::Unsupported(e.to_string()),
-            SuperSimError::Eval(_) => BackendError::TooLarge(e.to_string()),
-            SuperSimError::Mlft(_) => BackendError::Unsupported(e.to_string()),
+            SuperSimError::Eval(_) | SuperSimError::Rejected(_) => {
+                BackendError::TooLarge(e.to_string())
+            }
+            _ => BackendError::Unsupported(e.to_string()),
         })?;
         result.distribution.ok_or_else(|| {
             BackendError::TooLarge("joint distribution support too large; use run_marginals".into())
@@ -224,8 +226,10 @@ impl Simulator for SuperSim {
         cfg.seed = seed;
         let result = SuperSim::new(cfg).run(circuit).map_err(|e| match e {
             SuperSimError::Cut(_) => BackendError::Unsupported(e.to_string()),
-            SuperSimError::Eval(_) => BackendError::TooLarge(e.to_string()),
-            SuperSimError::Mlft(_) => BackendError::Unsupported(e.to_string()),
+            SuperSimError::Eval(_) | SuperSimError::Rejected(_) => {
+                BackendError::TooLarge(e.to_string())
+            }
+            _ => BackendError::Unsupported(e.to_string()),
         })?;
         Ok(result.marginals)
     }

@@ -74,8 +74,13 @@ pub use backends::{
     BackendError, ExtStabBackend, MpsBackend, Simulator, StabilizerBackend, StatevectorBackend,
 };
 pub use pipeline::{
-    CutPlan, ExecParams, Executor, RunReport, RunResult, SuperSim, SuperSimConfig, SuperSimError,
+    Admission, AdmissionError, AdmissionPolicy, CutPlan, ExecParams, Executor, PlanCost, RunReport,
+    RunResult, SuperSim, SuperSimConfig, SuperSimError,
 };
 
 // Re-export the pieces users need to configure the pipeline.
 pub use cutkit::{CutPoint, CutStrategy, EvalMode, TableauEngine};
+
+// Re-export the supervision primitives batch callers configure
+// ([`SuperSimConfig::cancel`], [`SuperSimConfig::faults`]).
+pub use faultkit::{CancelToken, Fault, FaultKind, FaultPlan, Interrupt, Stage};

@@ -1,11 +1,11 @@
 //! The batch stage: one shared worker pool spanning all circuits and all
-//! pipeline stages.
+//! pipeline stages, under a supervision layer.
 //!
 //! [`execute_jobs`] drives a set of (plan, params) jobs — the backend of
-//! both [`SuperSim::run_batch`](crate::SuperSim::run_batch) (many
-//! circuits) and [`Executor::run_sweep`](crate::Executor::run_sweep)
-//! (one plan, many parameter points) — through a dependency-driven task
-//! queue:
+//! [`SuperSim::run_batch`](crate::SuperSim::run_batch) (many circuits),
+//! [`Executor::run_sweep`](crate::Executor::run_sweep) (one plan, many
+//! parameter points), and [`Executor::run_with`](crate::Executor::run_with)
+//! (a single supervised job) — through a dependency-driven task queue:
 //!
 //! * every job's evaluation decomposes into the same fixed (fragment ×
 //!   variant) chunks a standalone run uses
@@ -23,6 +23,20 @@
 //!   with one thread and takes its parallelism from running many jobs at
 //!   once).
 //!
+//! # Supervision
+//!
+//! Before anything is enqueued, every job's [`PlanCost`] is judged by the
+//! configured [`AdmissionPolicy`](crate::AdmissionPolicy): rejected jobs
+//! record [`SuperSimError::Rejected`] without running, and sequentialized
+//! jobs run alone (with the full pool) after the pooled phase. Each
+//! admitted job carries a [`Supervisor`] — job index, cancel token,
+//! per-job/batch deadlines, fault-injection plan — consulted at every
+//! chunk/fragment boundary. Every task body runs under `catch_unwind`, so
+//! a panic (including injected ones) becomes that job's
+//! [`SuperSimError::Panicked`] while the pool, the other jobs, and their
+//! bit-identity all survive; mutexes a panicking task may have poisoned
+//! are recovered, never unwrapped.
+//!
 //! # Determinism
 //!
 //! The work-item decomposition is a pure function of each job (never of
@@ -37,23 +51,29 @@
 //! # Errors
 //!
 //! Failures stay per-job: a circuit whose evaluation or correction fails
-//! reports the same error an independent run would (the earliest failing
-//! chunk in chunk order / fragment in fragment order) without disturbing
-//! the other jobs.
+//! reports the same root error an independent run would. Failed tasks
+//! record into a per-job *failure floor* (a `fetch_min` over task
+//! indices), and tasks above the floor are skipped while tasks at or
+//! below it always run — so the reported failure is the **earliest
+//! faulting task in task order on every schedule**, for every
+//! deterministic fault source (evaluation errors, injected faults).
 
 use super::execute::{
-    base_seeds, eval_options, finish_run, mlft_enabled, tensor_options, worker_threads, ExecParams,
-    RunResult,
+    base_seeds, contraction_pool, eval_options, finish_run, mlft_enabled, tensor_options,
+    worker_threads, ExecParams, RunResult,
 };
 use super::plan::CutPlan;
-use super::{SuperSimConfig, SuperSimError};
+use super::supervise::Admission;
+use super::{fault_error, SuperSimConfig, SuperSimError};
 use cutkit::{
     correct_tensor, evaluate_planned_chunk, merge_planned_chunks, planned_num_chunks, EvalChunk,
     EvalError, EvalOptions, FragmentTensor, MlftError, MlftOptions, TensorOptions,
 };
+use faultkit::{into_inner_or_recover, lock_or_recover, Fault, Stage, Supervisor};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// One unit of batch work: a plan executed with one set of parameters.
@@ -73,30 +93,50 @@ enum Task {
     Recombine { job: usize },
 }
 
+/// How one task of a job failed. Recorded per task slot; the job's
+/// finish step converts the earliest failure (in task order) into the
+/// job's [`SuperSimError`].
+#[derive(Debug)]
+enum TaskFailure {
+    /// The evaluation kernel returned an error (including supervision
+    /// interrupts and injected errors observed inside the kernel).
+    Eval(EvalError),
+    /// The MLFT correction returned an error.
+    Mlft(MlftError),
+    /// A supervision checkpoint in the scheduler itself tripped.
+    Fault(Fault),
+    /// The task panicked; payload rendered to a string.
+    Panicked(String),
+}
+
 /// Mutable per-job state, shared across workers. Slots are written by
 /// exactly one worker each (the queue hands out distinct tasks), so the
-/// mutexes are uncontended handles for `&mut` access.
+/// mutexes are uncontended handles for `&mut` access. All locks recover
+/// from poisoning: a panicking task must not take down its siblings.
 struct JobState<'p> {
     plan: &'p CutPlan,
     eval: EvalOptions,
     topts: TensorOptions,
     seeds: Vec<u64>,
     num_chunks: usize,
+    /// This job's supervision context (job index, cancel token, deadline,
+    /// fault plan) — cloned into the evaluation options and the
+    /// recombination step, checked directly by the MLFT arm.
+    supervisor: Supervisor,
     /// Completed evaluation chunks (`None` = not run / skipped after an
     /// earlier chunk of this job failed).
-    chunks: Mutex<Vec<Option<Result<EvalChunk, EvalError>>>>,
+    chunks: Mutex<Vec<Option<Result<EvalChunk, TaskFailure>>>>,
     chunks_left: AtomicUsize,
-    /// Early-exit flag: set by the first failing chunk so later chunks of
-    /// this job are skipped. Claims are FIFO in chunk order, so every
-    /// chunk below the first failure has already been claimed and will
-    /// record its result — the reported error is the earliest failing
-    /// chunk, exactly like the sequential path.
-    eval_failed: AtomicBool,
+    /// Lowest failing chunk index (`usize::MAX` = none). Chunks above
+    /// the floor are skipped; chunks at or below it always run, so the
+    /// floor only tightens toward the true minimum and the reported
+    /// error is the earliest failing chunk on every schedule.
+    fail_floor: AtomicUsize,
     /// Finished fragment tensors, populated when the last chunk folds;
     /// corrected in place by the per-fragment MLFT tasks.
     tensors: Vec<Mutex<Option<FragmentTensor>>>,
     /// Per-fragment MLFT outcomes, folded in fragment order at the end.
-    moved: Mutex<Vec<Option<Result<f64, MlftError>>>>,
+    moved: Mutex<Vec<Option<Result<f64, TaskFailure>>>>,
     mlft_left: AtomicUsize,
     /// Folded `mlft_moved` (set between the MLFT and recombine stages).
     mlft_moved: Mutex<f64>,
@@ -105,29 +145,55 @@ struct JobState<'p> {
     /// batch analogue of the single-run `eval_time`; overlaps other jobs'
     /// work on the shared pool).
     eval_time: Mutex<std::time::Duration>,
+    /// Guards result recording: a job completes exactly once even when a
+    /// fold-step panic races its own error path.
+    done: AtomicBool,
     result: Mutex<Option<Result<RunResult, SuperSimError>>>,
 }
 
 impl<'p> JobState<'p> {
-    fn new(config: &SuperSimConfig, job: &BatchJob<'p>) -> Self {
+    /// `index` is the job's position in the caller's batch — the index
+    /// fault plans target and error context reports — independent of
+    /// which scheduling phase (pooled or solo) runs the job.
+    fn new(
+        config: &SuperSimConfig,
+        job: &BatchJob<'p>,
+        index: usize,
+        batch_deadline_at: Option<Instant>,
+    ) -> Self {
         let plan = job.plan;
         let fragments = plan.num_fragments();
         let num_chunks = planned_num_chunks(&plan.eval_plans);
+        let mut supervisor = Supervisor::for_job(index);
+        if let Some(token) = &config.cancel {
+            supervisor = supervisor.with_cancel(token.clone());
+        }
+        if let Some(deadline) = job.params.deadline.or(config.job_deadline) {
+            supervisor = supervisor.with_timeout(deadline);
+        }
+        if let Some(at) = batch_deadline_at {
+            supervisor = supervisor.with_deadline_at(at);
+        }
+        if let Some(faults) = &config.faults {
+            supervisor = supervisor.with_faults(Arc::clone(faults));
+        }
         JobState {
             plan,
-            eval: eval_options(config, job.params),
+            eval: eval_options(config, job.params, supervisor.clone()),
             topts: tensor_options(config),
             seeds: base_seeds(job.params.seed, fragments),
             num_chunks,
+            supervisor,
             chunks: Mutex::new((0..num_chunks).map(|_| None).collect()),
             chunks_left: AtomicUsize::new(num_chunks),
-            eval_failed: AtomicBool::new(false),
+            fail_floor: AtomicUsize::new(usize::MAX),
             tensors: (0..fragments).map(|_| Mutex::new(None)).collect(),
-            moved: Mutex::new(vec![None; fragments]),
+            moved: Mutex::new((0..fragments).map(|_| None).collect()),
             mlft_left: AtomicUsize::new(fragments),
             mlft_moved: Mutex::new(0.0),
             started: Instant::now(),
             eval_time: Mutex::new(std::time::Duration::ZERO),
+            done: AtomicBool::new(false),
             result: Mutex::new(None),
         }
     }
@@ -142,9 +208,10 @@ struct Queue {
     /// Pool size, for tasks that can borrow idle capacity (tail-job
     /// recombination).
     workers: usize,
-    /// Set when a worker panics mid-task: termination is completion-based
-    /// (`jobs_done == total_jobs`), and a panicked worker's job would
-    /// never complete — without this flag its siblings would wait on the
+    /// Set when a worker panics outside the per-task isolation (a
+    /// scheduler bug, not a task fault): termination is completion-based
+    /// (`jobs_done == total_jobs`), and such a worker's job would never
+    /// complete — without this flag its siblings would wait on the
     /// condvar forever and the scope join would deadlock instead of
     /// propagating the panic.
     aborted: AtomicBool,
@@ -152,7 +219,7 @@ struct Queue {
 
 impl Queue {
     fn push(&self, new: impl IntoIterator<Item = Task>) {
-        let mut q = self.tasks.lock().expect("task queue poisoned");
+        let mut q = lock_or_recover(&self.tasks);
         q.extend(new);
         drop(q);
         self.ready.notify_all();
@@ -163,7 +230,7 @@ impl Queue {
     /// Returns `None` once every job has recorded its result or a sibling
     /// worker panicked (the panic then propagates from the scope join).
     fn pop(&self) -> Option<Task> {
-        let mut q = self.tasks.lock().expect("task queue poisoned");
+        let mut q = lock_or_recover(&self.tasks);
         loop {
             if self.aborted.load(Ordering::Acquire) {
                 return None;
@@ -174,7 +241,10 @@ impl Queue {
             if self.jobs_done.load(Ordering::Acquire) >= self.total_jobs {
                 return None;
             }
-            q = self.ready.wait(q).expect("task queue poisoned");
+            q = self
+                .ready
+                .wait(q)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
@@ -213,8 +283,10 @@ impl Drop for AbortOnPanic<'_> {
     }
 }
 
-/// Executes every job on one shared pool (see the module docs) and
-/// returns per-job results in job order.
+/// Executes every job under the supervision layer (see the module docs)
+/// and returns per-job results in job order. Errors are **not** wrapped
+/// in [`SuperSimError::Job`] here — the public batch/sweep entry points
+/// attach that context with their own job indexing.
 pub(crate) fn execute_jobs(
     config: &SuperSimConfig,
     jobs: &[BatchJob<'_>],
@@ -222,7 +294,50 @@ pub(crate) fn execute_jobs(
     if jobs.is_empty() {
         return Vec::new();
     }
-    let states: Vec<JobState<'_>> = jobs.iter().map(|j| JobState::new(config, j)).collect();
+    let batch_deadline_at = config.batch_deadline.map(|d| Instant::now() + d);
+    // Admission control: judge every job before anything is enqueued.
+    let mut results: Vec<Option<Result<RunResult, SuperSimError>>> =
+        jobs.iter().map(|_| None).collect();
+    let mut pooled: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut solo: Vec<usize> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match config.admission.admit(&job.plan.cost()) {
+            Admission::Admit => pooled.push(i),
+            Admission::Solo => solo.push(i),
+            Admission::Reject(e) => results[i] = Some(Err(SuperSimError::Rejected(e))),
+        }
+    }
+    // Pooled phase: every admitted job shares one pool; then the
+    // sequentialized jobs run one at a time, each with the pool to
+    // itself. Both phases use the identical task decomposition, so
+    // results are bit-identical whichever phase runs a job.
+    run_scheduled(config, jobs, &pooled, batch_deadline_at, &mut results);
+    for &i in &solo {
+        run_scheduled(config, jobs, &[i], batch_deadline_at, &mut results);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job records a result"))
+        .collect()
+}
+
+/// Runs the jobs selected by `subset` (indices into `jobs`) on one shared
+/// pool and records their results. Supervisors keep the jobs' original
+/// batch indices, so fault plans and error context are phase-independent.
+fn run_scheduled(
+    config: &SuperSimConfig,
+    jobs: &[BatchJob<'_>],
+    subset: &[usize],
+    batch_deadline_at: Option<Instant>,
+    results: &mut [Option<Result<RunResult, SuperSimError>>],
+) {
+    if subset.is_empty() {
+        return;
+    }
+    let states: Vec<JobState<'_>> = subset
+        .iter()
+        .map(|&i| JobState::new(config, &jobs[i], i, batch_deadline_at))
+        .collect();
     let workers = worker_threads(config)
         .min(total_tasks_bound(&states))
         .max(1);
@@ -259,16 +374,10 @@ pub(crate) fn execute_jobs(
             }
         });
     }
-
-    states
-        .into_iter()
-        .map(|s| {
-            s.result
-                .into_inner()
-                .expect("job result poisoned")
-                .expect("every job records a result")
-        })
-        .collect()
+    for (&i, s) in subset.iter().zip(states) {
+        results[i] =
+            Some(into_inner_or_recover(s.result).expect("every scheduled job records a result"));
+    }
 }
 
 /// A loose upper bound on useful workers (no point spawning more threads
@@ -277,66 +386,176 @@ fn total_tasks_bound(states: &[JobState<'_>]) -> usize {
     states.iter().map(|s| s.num_chunks).sum::<usize>().max(1)
 }
 
+/// Records a job's result and marks it complete, exactly once: losers of
+/// the race (e.g. a fold-step panic whose error path already completed
+/// the job) are dropped.
+fn complete(s: &JobState<'_>, queue: &Queue, result: Result<RunResult, SuperSimError>) {
+    if !s.done.swap(true, Ordering::AcqRel) {
+        *lock_or_recover(&s.result) = Some(result);
+        queue.job_done();
+    }
+}
+
+/// Renders a caught panic payload for [`SuperSimError::Panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Converts the earliest task failure of a stage into the job's typed
+/// error, stamping elapsed time on interrupts and stage/task context on
+/// panics and injections.
+fn task_error(
+    stage: Stage,
+    task: Option<usize>,
+    failure: TaskFailure,
+    supervisor: &Supervisor,
+) -> SuperSimError {
+    match failure {
+        TaskFailure::Eval(EvalError::Interrupted(i)) => {
+            fault_error(stage, Fault::Interrupted(i), supervisor)
+        }
+        TaskFailure::Eval(EvalError::Injected(site)) => {
+            fault_error(stage, Fault::Injected(site), supervisor)
+        }
+        TaskFailure::Eval(e) => SuperSimError::Eval(e),
+        TaskFailure::Mlft(e) => SuperSimError::Mlft(e),
+        TaskFailure::Fault(fault) => fault_error(stage, fault, supervisor),
+        TaskFailure::Panicked(payload) => SuperSimError::Panicked {
+            stage,
+            task,
+            payload,
+        },
+    }
+}
+
 fn run_task(config: &SuperSimConfig, states: &[JobState<'_>], queue: &Queue, task: Task) {
     match task {
         Task::EvalChunk { job, chunk } => {
             let s = &states[job];
-            if !s.eval_failed.load(Ordering::Relaxed) {
-                let r = evaluate_planned_chunk(
-                    &s.plan.cut.fragments,
-                    &s.plan.eval_plans,
-                    &s.eval,
-                    &s.seeds,
-                    chunk,
-                );
+            // Skip only chunks *above* the failure floor: chunks below
+            // the earliest failure always run, so the reported error is
+            // schedule-independent.
+            if chunk <= s.fail_floor.load(Ordering::Relaxed) {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    evaluate_planned_chunk(
+                        &s.plan.cut.fragments,
+                        &s.plan.eval_plans,
+                        &s.eval,
+                        &s.seeds,
+                        chunk,
+                    )
+                }));
+                let r: Result<EvalChunk, TaskFailure> = match outcome {
+                    Ok(Ok(c)) => Ok(c),
+                    Ok(Err(e)) => Err(TaskFailure::Eval(e)),
+                    Err(payload) => Err(TaskFailure::Panicked(panic_message(payload.as_ref()))),
+                };
                 if r.is_err() {
-                    s.eval_failed.store(true, Ordering::Relaxed);
+                    s.fail_floor.fetch_min(chunk, Ordering::Relaxed);
                 }
-                s.chunks.lock().expect("chunk slots poisoned")[chunk] = Some(r);
+                lock_or_recover(&s.chunks)[chunk] = Some(r);
             }
             if s.chunks_left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                finish_eval(config, s, queue, job);
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(|| finish_eval(config, s, queue, job)))
+                {
+                    complete(
+                        s,
+                        queue,
+                        Err(SuperSimError::Panicked {
+                            stage: Stage::Eval,
+                            task: None,
+                            payload: panic_message(payload.as_ref()),
+                        }),
+                    );
+                }
             }
         }
         Task::Mlft { job, frag } => {
             let s = &states[job];
-            let r = {
-                let mut slot = s.tensors[frag].lock().expect("tensor slot poisoned");
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                s.supervisor
+                    .check(Stage::Mlft, frag)
+                    .map_err(TaskFailure::Fault)?;
+                let mut slot = lock_or_recover(&s.tensors[frag]);
                 let tensor = slot.as_mut().expect("MLFT before tensors finalized");
-                correct_tensor(tensor, &MlftOptions::default())
+                correct_tensor(tensor, &MlftOptions::default()).map_err(TaskFailure::Mlft)
+            }));
+            let r: Result<f64, TaskFailure> = match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(TaskFailure::Panicked(panic_message(payload.as_ref()))),
             };
-            s.moved.lock().expect("moved slots poisoned")[frag] = Some(r);
+            lock_or_recover(&s.moved)[frag] = Some(r);
             if s.mlft_left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                finish_mlft(s, queue, job);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| finish_mlft(s, queue, job)))
+                {
+                    complete(
+                        s,
+                        queue,
+                        Err(SuperSimError::Panicked {
+                            stage: Stage::Mlft,
+                            task: None,
+                            payload: panic_message(payload.as_ref()),
+                        }),
+                    );
+                }
             }
         }
         Task::Recombine { job } => {
             let s = &states[job];
-            let tensors: Vec<FragmentTensor> = s
-                .tensors
-                .iter()
-                .map(|m| {
-                    m.lock()
-                        .expect("tensor slot poisoned")
-                        .take()
-                        .expect("recombine before tensors finalized")
-                })
-                .collect();
-            let mlft_moved = *s.mlft_moved.lock().expect("mlft_moved poisoned");
-            let eval_time = *s.eval_time.lock().expect("eval_time poisoned");
-            // Recombination is bit-identical for any thread count, so the
-            // contraction may soak up idle pool capacity when few jobs
-            // remain (a tail sweep point on a large 4^k plan would
-            // otherwise contract single-threaded while workers idle) —
-            // purely a scheduling choice, never a numerical one.
-            let remaining = queue
-                .total_jobs
-                .saturating_sub(queue.jobs_done.load(Ordering::Acquire))
-                .max(1);
-            let rec_threads = (queue.workers / remaining).max(1);
-            let result = finish_run(config, s.plan, tensors, mlft_moved, eval_time, rec_threads);
-            *s.result.lock().expect("job result poisoned") = Some(Ok(result));
-            queue.job_done();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let tensors: Vec<FragmentTensor> = s
+                    .tensors
+                    .iter()
+                    .map(|m| {
+                        lock_or_recover(m)
+                            .take()
+                            .expect("recombine before tensors finalized")
+                    })
+                    .collect();
+                let mlft_moved = *lock_or_recover(&s.mlft_moved);
+                let eval_time = *lock_or_recover(&s.eval_time);
+                // Recombination is bit-identical for any thread count, so
+                // the contraction may soak up idle pool capacity when few
+                // jobs remain (a tail sweep point on a large 4^k plan
+                // would otherwise contract single-threaded while workers
+                // idle) — purely a scheduling choice, never a numerical
+                // one. Single-job calls (run_with, solo phase) use the
+                // configured contraction pool like a standalone run.
+                let rec_threads = if queue.total_jobs == 1 {
+                    contraction_pool(config)
+                } else {
+                    let remaining = queue
+                        .total_jobs
+                        .saturating_sub(queue.jobs_done.load(Ordering::Acquire))
+                        .max(1);
+                    (queue.workers / remaining).max(1)
+                };
+                finish_run(
+                    config,
+                    s.plan,
+                    tensors,
+                    mlft_moved,
+                    eval_time,
+                    rec_threads,
+                    &s.supervisor,
+                )
+            }));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(SuperSimError::Panicked {
+                    stage: Stage::Recombine,
+                    task: None,
+                    payload: panic_message(payload.as_ref()),
+                }),
+            };
+            complete(s, queue, result);
         }
     }
 }
@@ -344,19 +563,22 @@ fn run_task(config: &SuperSimConfig, states: &[JobState<'_>], queue: &Queue, tas
 /// Runs when a job's last evaluation chunk lands: folds the chunks in
 /// chunk order into fragment tensors, then opens the job's next stage.
 fn finish_eval(config: &SuperSimConfig, s: &JobState<'_>, queue: &Queue, job: usize) {
-    let slots = std::mem::take(&mut *s.chunks.lock().expect("chunk slots poisoned"));
+    let slots = std::mem::take(&mut *lock_or_recover(&s.chunks));
     let mut chunks: Vec<EvalChunk> = Vec::with_capacity(slots.len());
-    for slot in slots {
+    for (idx, slot) in slots.into_iter().enumerate() {
         match slot {
             Some(Ok(chunk)) => chunks.push(chunk),
-            Some(Err(e)) => {
-                // First error in chunk order — identical to the error an
+            Some(Err(failure)) => {
+                // First failure in chunk order — identical to the error an
                 // independent sequential run reports.
-                *s.result.lock().expect("job result poisoned") = Some(Err(SuperSimError::Eval(e)));
-                queue.job_done();
+                complete(
+                    s,
+                    queue,
+                    Err(task_error(Stage::Eval, Some(idx), failure, &s.supervisor)),
+                );
                 return;
             }
-            // Skipped after a failure; the error precedes it in order.
+            // Skipped above the failure floor; the failure precedes it.
             None => {}
         }
     }
@@ -368,12 +590,12 @@ fn finish_eval(config: &SuperSimConfig, s: &JobState<'_>, queue: &Queue, job: us
         chunks,
     );
     for (slot, tensor) in s.tensors.iter().zip(tensors) {
-        *slot.lock().expect("tensor slot poisoned") = Some(tensor);
+        *lock_or_recover(slot) = Some(tensor);
     }
     if mlft_enabled(config) {
         queue.push((0..s.plan.num_fragments()).map(|f| Task::Mlft { job, frag: f }));
     } else {
-        *s.eval_time.lock().expect("eval_time poisoned") = s.started.elapsed();
+        *lock_or_recover(&s.eval_time) = s.started.elapsed();
         queue.push([Task::Recombine { job }]);
     }
 }
@@ -382,20 +604,23 @@ fn finish_eval(config: &SuperSimConfig, s: &JobState<'_>, queue: &Queue, job: us
 /// order (the first failing fragment's error wins, like the sequential
 /// path) and enqueues recombination.
 fn finish_mlft(s: &JobState<'_>, queue: &Queue, job: usize) {
-    let outcomes = std::mem::take(&mut *s.moved.lock().expect("moved slots poisoned"));
+    let outcomes = std::mem::take(&mut *lock_or_recover(&s.moved));
     let mut total = 0.0;
-    for outcome in outcomes {
+    for (frag, outcome) in outcomes.into_iter().enumerate() {
         match outcome.expect("every fragment records an MLFT outcome") {
             Ok(moved) => total += moved,
-            Err(e) => {
-                *s.result.lock().expect("job result poisoned") = Some(Err(SuperSimError::Mlft(e)));
-                queue.job_done();
+            Err(failure) => {
+                complete(
+                    s,
+                    queue,
+                    Err(task_error(Stage::Mlft, Some(frag), failure, &s.supervisor)),
+                );
                 return;
             }
         }
     }
-    *s.mlft_moved.lock().expect("mlft_moved poisoned") = total;
-    *s.eval_time.lock().expect("eval_time poisoned") = s.started.elapsed();
+    *lock_or_recover(&s.mlft_moved) = total;
+    *lock_or_recover(&s.eval_time) = s.started.elapsed();
     queue.push([Task::Recombine { job }]);
 }
 
@@ -426,17 +651,13 @@ fn build_plans(
                 if i >= circuits.len() {
                     break;
                 }
-                *slots[i].lock().expect("plan slot poisoned") = Some(build(&circuits[i]));
+                *lock_or_recover(&slots[i]) = Some(build(&circuits[i]));
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("plan slot poisoned")
-                .expect("every circuit gets planned")
-        })
+        .map(|m| into_inner_or_recover(m).expect("every circuit gets planned"))
         .collect()
 }
 
@@ -444,6 +665,8 @@ fn build_plans(
 /// [`SuperSim::run_batch`](crate::SuperSim::run_batch)): each circuit is
 /// cut and planned up front (a cut-budget failure stays per-circuit),
 /// then every successfully planned circuit executes on the shared pool.
+/// Every per-circuit error — planning or execution — is wrapped in
+/// [`SuperSimError::Job`] with the circuit's batch index and fingerprint.
 pub(crate) fn plan_and_run_batch(
     config: &SuperSimConfig,
     circuits: &[qcir::Circuit],
@@ -458,10 +681,19 @@ pub(crate) fn plan_and_run_batch(
     let mut executed = execute_jobs(config, &jobs).into_iter();
     plans
         .iter()
-        .map(|p| match p {
-            Ok(_) => executed.next().expect("one result per planned job"),
-            Err(SuperSimError::Cut(e)) => Err(SuperSimError::Cut(e.clone())),
-            Err(_) => unreachable!("planning only produces cut errors"),
+        .zip(circuits)
+        .enumerate()
+        .map(|(i, (p, circuit))| {
+            let result = match p {
+                Ok(_) => executed.next().expect("one result per planned job"),
+                Err(SuperSimError::Cut(e)) => Err(SuperSimError::Cut(e.clone())),
+                Err(_) => unreachable!("planning only produces cut errors"),
+            };
+            result.map_err(|e| SuperSimError::Job {
+                job: i,
+                fingerprint: circuit.fingerprint(),
+                source: Box::new(e),
+            })
         })
         .collect()
 }

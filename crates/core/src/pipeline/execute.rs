@@ -11,11 +11,9 @@
 
 use super::batch::{execute_jobs, BatchJob};
 use super::plan::CutPlan;
-use super::{SuperSimConfig, SuperSimError};
-use cutkit::{
-    correct_tensors, EvalMode, EvalOptions, FragmentTensor, MlftOptions, Reconstructor,
-    TensorOptions,
-};
+use super::{fault_error, SuperSimConfig, SuperSimError};
+use cutkit::{EvalMode, EvalOptions, FragmentTensor, Reconstructor, TensorOptions};
+use faultkit::{Stage, Supervisor};
 use metrics::Distribution;
 use qcir::Bits;
 use rand::rngs::StdRng;
@@ -33,6 +31,11 @@ pub struct ExecParams {
     pub seed: u64,
     /// Shots per fragment variant in sampled mode (ignored in exact mode).
     pub shots: usize,
+    /// Per-job wall-clock deadline of this run, overriding
+    /// [`SuperSimConfig::job_deadline`] when set. A run that exceeds it
+    /// fails with [`SuperSimError::DeadlineExceeded`] at its next
+    /// supervision checkpoint.
+    pub deadline: Option<Duration>,
 }
 
 impl ExecParams {
@@ -42,6 +45,7 @@ impl ExecParams {
         ExecParams {
             seed: config.seed,
             shots: config.shots,
+            deadline: None,
         }
     }
 
@@ -54,6 +58,15 @@ impl ExecParams {
     /// This run's parameters with a different shot budget.
     pub fn with_shots(self, shots: usize) -> Self {
         ExecParams { shots, ..self }
+    }
+
+    /// This run's parameters with a wall-clock deadline (overrides
+    /// [`SuperSimConfig::job_deadline`] for this run only).
+    pub fn with_deadline(self, deadline: Duration) -> Self {
+        ExecParams {
+            deadline: Some(deadline),
+            ..self
+        }
     }
 }
 
@@ -220,39 +233,24 @@ impl<'c> Executor<'c> {
 
     /// [`Executor::run`] with explicit per-run parameters.
     ///
+    /// Runs as a single-job batch on the shared scheduler, so single runs
+    /// get the full supervision layer — panic isolation, deadlines,
+    /// cancellation, admission control, fault injection — with the same
+    /// task decomposition a batch uses (results are bit-identical either
+    /// way; see the [`batch`](super::batch) module docs). Single-run
+    /// errors are **not** wrapped in [`SuperSimError::Job`].
+    ///
     /// # Errors
     ///
-    /// Returns [`SuperSimError`] like [`Executor::run`].
+    /// Returns [`SuperSimError`] when a fragment cannot be evaluated, the
+    /// MLFT correction cannot normalize a fragment, a task panics, the
+    /// run is cancelled or exceeds its deadline, or admission control
+    /// rejects the plan.
     pub fn run_with(&self, plan: &CutPlan, params: ExecParams) -> Result<RunResult, SuperSimError> {
-        let cfg = self.config;
-        let threads = worker_threads(cfg);
-        let t1 = Instant::now();
-        let seeds = base_seeds(params.seed, plan.num_fragments());
-        let mut tensors = cutkit::evaluate_fragment_tensors_planned(
-            &plan.cut.fragments,
-            &plan.eval_plans,
-            &eval_options(cfg, params),
-            &tensor_options(cfg),
-            &seeds,
-            threads,
-        )?;
-        let mut mlft_moved = 0.0;
-        if mlft_enabled(cfg) {
-            // Fragments are corrected independently on the same worker
-            // pool sizing as evaluation; `mlft_moved` folds in fragment
-            // order, so the diagnostic is bit-identical for any thread
-            // count.
-            mlft_moved = correct_tensors(&mut tensors, &MlftOptions::default(), threads)?;
-        }
-        let eval_time = t1.elapsed();
-        Ok(finish_run(
-            cfg,
-            plan,
-            tensors,
-            mlft_moved,
-            eval_time,
-            contraction_pool(cfg),
-        ))
+        let jobs = [BatchJob { plan, params }];
+        execute_jobs(self.config, &jobs)
+            .pop()
+            .expect("one result for one job")
     }
 
     /// Executes one plan across many parameter points — the sweep shape of
@@ -266,6 +264,16 @@ impl<'c> Executor<'c> {
     /// point's seed and shot budget, for every thread count: per-point RNG
     /// streams are derived exactly as single runs derive them, and every
     /// merge folds in (point, fragment, variant) order.
+    ///
+    /// # Failure semantics
+    ///
+    /// Identical to [`SuperSim::run_batch`](crate::SuperSim::run_batch):
+    /// failures stay per-point and are wrapped in [`SuperSimError::Job`]
+    /// (point index + circuit fingerprint); panics are isolated at task
+    /// boundaries ([`SuperSimError::Panicked`]); per-point and
+    /// batch-wide deadlines, the cancel token, and admission control
+    /// apply per point; surviving points stay bit-identical to
+    /// independent runs on every schedule.
     pub fn run_sweep(
         &self,
         plan: &CutPlan,
@@ -276,6 +284,16 @@ impl<'c> Executor<'c> {
             .map(|&p| BatchJob { plan, params: p })
             .collect();
         execute_jobs(self.config, &jobs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.map_err(|e| SuperSimError::Job {
+                    job: i,
+                    fingerprint: plan.fingerprint(),
+                    source: Box::new(e),
+                })
+            })
+            .collect()
     }
 }
 
@@ -310,8 +328,13 @@ pub(crate) fn mlft_enabled(config: &SuperSimConfig) -> bool {
     config.mlft && !config.exact
 }
 
-/// The evaluation options of one run.
-pub(crate) fn eval_options(config: &SuperSimConfig, params: ExecParams) -> EvalOptions {
+/// The evaluation options of one run. The supervisor is the job's own
+/// supervision context, consulted at every evaluation-chunk boundary.
+pub(crate) fn eval_options(
+    config: &SuperSimConfig,
+    params: ExecParams,
+    supervisor: Supervisor,
+) -> EvalOptions {
     EvalOptions {
         mode: if config.exact {
             EvalMode::Exact
@@ -323,6 +346,7 @@ pub(crate) fn eval_options(config: &SuperSimConfig, params: ExecParams) -> EvalO
         exact_clifford: config.exact_clifford,
         exact_support_limit: config.exact_support_limit,
         tableau_engine: config.tableau_engine,
+        supervisor,
     }
 }
 
@@ -351,7 +375,9 @@ pub(crate) fn base_seeds(seed: u64, fragments: usize) -> Vec<u64> {
 /// scheduling choice only — recombination is bit-identical for any thread
 /// count — so the batch scheduler contracts with one thread per finish
 /// task (its parallelism comes from running many circuits at once) while
-/// single runs use the configured pool.
+/// single runs use the configured pool. The job's supervisor is checked
+/// once per contraction chunk; an interrupt or injected error surfaces as
+/// the typed pipeline error with the job's elapsed time.
 pub(crate) fn finish_run(
     config: &SuperSimConfig,
     plan: &CutPlan,
@@ -359,26 +385,32 @@ pub(crate) fn finish_run(
     mlft_moved: f64,
     eval_time: Duration,
     recombine_threads: usize,
-) -> RunResult {
+    supervisor: &Supervisor,
+) -> Result<RunResult, SuperSimError> {
     let t2 = Instant::now();
     let rec = Reconstructor::new(&tensors, plan.cut.num_cuts, plan.cut.original_qubits)
         .with_sparse(config.sparse_contraction)
         .with_threads(recombine_threads)
-        .with_output_plans(&plan.output_plans);
-    let marginals = rec.marginals();
+        .with_output_plans(&plan.output_plans)
+        .with_supervisor(supervisor.clone());
+    let marginals = rec
+        .try_marginals()
+        .map_err(|fault| fault_error(Stage::Recombine, fault, supervisor))?;
     let support: usize = tensors
         .iter()
         .map(|t| t.support_len().max(1))
         .fold(1usize, |a, b| a.saturating_mul(b));
     let distribution = if support <= config.joint_support_limit {
-        let mut d = rec.joint(config.joint_support_limit);
+        let mut d = rec
+            .try_joint(config.joint_support_limit)
+            .map_err(|fault| fault_error(Stage::Recombine, fault, supervisor))?;
         d.clip_and_normalize();
         Some(d)
     } else {
         None
     };
     let recombine_time = t2.elapsed();
-    RunResult {
+    Ok(RunResult {
         marginals,
         distribution,
         report: RunReport {
@@ -396,5 +428,5 @@ pub(crate) fn finish_run(
         n_qubits: plan.cut.original_qubits,
         sparse: config.sparse_contraction,
         threads: contraction_pool(config),
-    }
+    })
 }

@@ -49,13 +49,18 @@
 pub(crate) mod batch;
 pub(crate) mod execute;
 pub(crate) mod plan;
+pub(crate) mod supervise;
 
 pub use execute::{ExecParams, Executor, RunReport, RunResult};
-pub use plan::CutPlan;
+pub use plan::{CutPlan, PlanCost};
+pub use supervise::{Admission, AdmissionError, AdmissionPolicy};
 
 use cutkit::{CutBudgetError, CutStrategy, EvalError, MlftError, TableauEngine};
+use faultkit::{CancelToken, Fault, FaultPlan, Interrupt, Stage, Supervisor};
 use qcir::Circuit;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration of a [`SuperSim`] instance.
 ///
@@ -105,6 +110,32 @@ pub struct SuperSimConfig {
     /// bit-identical in outcomes and RNG consumption — an A/B knob for
     /// parity checks and speedup measurement).
     pub tableau_engine: TableauEngine,
+    /// Per-job wall-clock deadline: a job (one circuit of a batch, one
+    /// sweep point, or one [`SuperSim::run`]) that exceeds it fails with
+    /// [`SuperSimError::DeadlineExceeded`] at its next supervision
+    /// checkpoint (evaluation chunk, MLFT fragment, or recombination
+    /// chunk boundary). [`ExecParams::deadline`] overrides this per job.
+    pub job_deadline: Option<Duration>,
+    /// Shareable cooperative cancellation token: once
+    /// [`CancelToken::cancel`] is called (from any thread), every job in
+    /// flight fails with [`SuperSimError::Cancelled`] at its next
+    /// supervision checkpoint. Already-completed jobs keep their results.
+    pub cancel: Option<CancelToken>,
+    /// Batch-wide wall-clock deadline, measured from the start of
+    /// [`SuperSim::run_batch`] / [`Executor::run_sweep`]: every job still
+    /// in flight when it passes fails with
+    /// [`SuperSimError::DeadlineExceeded`]. Composes with per-job
+    /// deadlines by taking the earlier instant.
+    pub batch_deadline: Option<Duration>,
+    /// Admission-control budgets applied to every job before it is
+    /// enqueued (default: unlimited). Rejected jobs report
+    /// [`SuperSimError::Rejected`]; sequentialized jobs run alone after
+    /// the pooled phase.
+    pub admission: AdmissionPolicy,
+    /// Deterministic fault-injection plan for chaos testing: makes chosen
+    /// (job, stage, task) sites panic, error, or stall on schedule. `None`
+    /// (the default) injects nothing and adds no per-task overhead.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SuperSimConfig {
@@ -123,11 +154,20 @@ impl Default for SuperSimConfig {
             joint_support_limit: 2_000_000,
             exact_support_limit: 16,
             tableau_engine: TableauEngine::default(),
+            job_deadline: None,
+            cancel: None,
+            batch_deadline: None,
+            admission: AdmissionPolicy::default(),
+            faults: None,
         }
     }
 }
 
 /// Errors from the SuperSim pipeline.
+///
+/// Batch and sweep entry points wrap every per-job error in
+/// [`SuperSimError::Job`], attaching the job's batch index and circuit
+/// fingerprint; [`SuperSimError::root`] unwraps that context.
 #[derive(Debug)]
 pub enum SuperSimError {
     /// The cutter could not respect the cut budget.
@@ -137,6 +177,67 @@ pub enum SuperSimError {
     /// The MLFT correction could not normalize a fragment (its tensor
     /// would have poisoned recombination had the run continued).
     Mlft(MlftError),
+    /// A worker panicked while executing one of this job's tasks. The
+    /// panic was isolated: the pool and every other job survive, and
+    /// surviving jobs stay bit-identical to sequential runs.
+    Panicked {
+        /// Pipeline stage of the panicking task.
+        stage: Stage,
+        /// Task index within the stage (evaluation chunk, MLFT fragment,
+        /// recombination chunk); `None` when the panic escaped a
+        /// stage-fold step rather than a per-task kernel.
+        task: Option<usize>,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// The job's deadline (per-job or batch-wide) passed before it
+    /// finished; work stopped at the next supervision checkpoint.
+    DeadlineExceeded {
+        /// Stage that observed the deadline.
+        stage: Stage,
+        /// Wall time the job had been running when it stopped.
+        elapsed: Duration,
+    },
+    /// The batch's [`CancelToken`] fired before the job finished.
+    Cancelled {
+        /// Stage that observed the cancellation.
+        stage: Stage,
+        /// Wall time the job had been running when it stopped.
+        elapsed: Duration,
+    },
+    /// A configured [`FaultPlan`] injected an error at one of this job's
+    /// supervision checkpoints (chaos testing).
+    Injected {
+        /// Stage of the injection site.
+        stage: Stage,
+        /// The injector's site description (`job J stage S task T`).
+        message: String,
+    },
+    /// Admission control rejected the job before it was enqueued.
+    Rejected(AdmissionError),
+    /// Per-job context wrapper attached by batch/sweep entry points.
+    Job {
+        /// Index of the job in the batch (circuit index for
+        /// [`SuperSim::run_batch`], parameter index for
+        /// [`Executor::run_sweep`]).
+        job: usize,
+        /// Structural fingerprint of the job's circuit
+        /// ([`qcir::Circuit::fingerprint`]).
+        fingerprint: u64,
+        /// The underlying failure.
+        source: Box<SuperSimError>,
+    },
+}
+
+impl SuperSimError {
+    /// Strips any [`SuperSimError::Job`] context layers and returns the
+    /// underlying failure.
+    pub fn root(&self) -> &SuperSimError {
+        match self {
+            SuperSimError::Job { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for SuperSimError {
@@ -145,6 +246,31 @@ impl fmt::Display for SuperSimError {
             SuperSimError::Cut(e) => write!(f, "cutting failed: {e}"),
             SuperSimError::Eval(e) => write!(f, "fragment evaluation failed: {e}"),
             SuperSimError::Mlft(e) => write!(f, "MLFT correction failed: {e}"),
+            SuperSimError::Panicked {
+                stage,
+                task: Some(task),
+                payload,
+            } => write!(f, "{stage} task {task} panicked: {payload}"),
+            SuperSimError::Panicked {
+                stage,
+                task: None,
+                payload,
+            } => write!(f, "{stage} stage panicked: {payload}"),
+            SuperSimError::DeadlineExceeded { stage, elapsed } => {
+                write!(f, "deadline exceeded during {stage} after {elapsed:?}")
+            }
+            SuperSimError::Cancelled { stage, elapsed } => {
+                write!(f, "cancelled during {stage} after {elapsed:?}")
+            }
+            SuperSimError::Injected { stage, message } => {
+                write!(f, "injected fault during {stage}: {message}")
+            }
+            SuperSimError::Rejected(e) => write!(f, "{e}"),
+            SuperSimError::Job {
+                job,
+                fingerprint,
+                source,
+            } => write!(f, "job {job} (circuit {fingerprint:#018x}): {source}"),
         }
     }
 }
@@ -155,7 +281,30 @@ impl std::error::Error for SuperSimError {
             SuperSimError::Cut(e) => Some(e),
             SuperSimError::Eval(e) => Some(e),
             SuperSimError::Mlft(e) => Some(e),
+            SuperSimError::Rejected(e) => Some(e),
+            SuperSimError::Job { source, .. } => Some(source.as_ref()),
+            SuperSimError::Panicked { .. }
+            | SuperSimError::DeadlineExceeded { .. }
+            | SuperSimError::Cancelled { .. }
+            | SuperSimError::Injected { .. } => None,
         }
+    }
+}
+
+/// Converts a supervision [`Fault`] observed at `stage` into the typed
+/// pipeline error, stamping the job's elapsed wall time on interrupts
+/// (the "partial timing" a cancelled or timed-out job still reports).
+pub(crate) fn fault_error(stage: Stage, fault: Fault, supervisor: &Supervisor) -> SuperSimError {
+    match fault {
+        Fault::Interrupted(Interrupt::Cancelled) => SuperSimError::Cancelled {
+            stage,
+            elapsed: supervisor.elapsed(),
+        },
+        Fault::Interrupted(Interrupt::DeadlineExceeded) => SuperSimError::DeadlineExceeded {
+            stage,
+            elapsed: supervisor.elapsed(),
+        },
+        Fault::Injected(message) => SuperSimError::Injected { stage, message },
     }
 }
 
@@ -226,9 +375,36 @@ impl SuperSim {
     /// Runs the full pipeline on a batch of circuits, flattening all
     /// (circuit × fragment × variant) work items into **one** worker pool
     /// spanning every circuit and every pipeline stage (see the module
-    /// docs). Failures stay per-circuit; each result — including the
-    /// error, when any — is **bit-identical** to an independent
-    /// [`SuperSim::run`] on that circuit, for every thread count.
+    /// docs).
+    ///
+    /// # Failure semantics
+    ///
+    /// Failures stay per-circuit, and every per-circuit error is wrapped
+    /// in [`SuperSimError::Job`] (batch index + circuit fingerprint;
+    /// unwrap with [`SuperSimError::root`]):
+    ///
+    /// * **Panic isolation** — a panic inside any of a job's tasks
+    ///   (evaluation chunk, MLFT fragment, recombination) is caught at
+    ///   the task boundary and becomes that job's
+    ///   [`SuperSimError::Panicked`]; the pool, the other jobs, and their
+    ///   bit-identity to sequential runs all survive.
+    /// * **Deadlines and cancellation** — per-job
+    ///   ([`SuperSimConfig::job_deadline`], [`ExecParams::deadline`]) and
+    ///   batch-wide ([`SuperSimConfig::batch_deadline`]) deadlines plus
+    ///   the shared [`SuperSimConfig::cancel`] token are checked
+    ///   cooperatively at chunk/fragment boundaries, yielding
+    ///   [`SuperSimError::DeadlineExceeded`] /
+    ///   [`SuperSimError::Cancelled`] with the job's elapsed wall time.
+    /// * **Admission control** — each job's [`PlanCost`] is judged
+    ///   against [`SuperSimConfig::admission`] before enqueuing:
+    ///   rejected jobs report [`SuperSimError::Rejected`] without
+    ///   running; sequentialized jobs run alone (full pool) after the
+    ///   pooled phase.
+    /// * **Determinism** — surviving jobs are **bit-identical** to
+    ///   independent [`SuperSim::run`] calls for every thread count, and
+    ///   a failing job's root error is the earliest faulting task in
+    ///   task order (chunk order, then fragment order) on every
+    ///   schedule.
     pub fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<RunResult, SuperSimError>> {
         batch::plan_and_run_batch(&self.config, circuits)
     }
@@ -524,9 +700,16 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results[0].is_ok(), "feasible circuit must run");
         let standalone = sim.run(&infeasible).unwrap_err();
-        match (&results[1], &standalone) {
+        // Batch errors carry a Job context layer; the root failure is the
+        // same error the standalone run reports.
+        let batch_err = results[1].as_ref().unwrap_err();
+        match batch_err {
+            SuperSimError::Job { job, .. } => assert_eq!(*job, 1),
+            other => panic!("batch error missing job context: {other:?}"),
+        }
+        match (batch_err.root(), standalone.root()) {
             (
-                Err(SuperSimError::Eval(cutkit::EvalError::FragmentTooWide(a))),
+                SuperSimError::Eval(cutkit::EvalError::FragmentTooWide(a)),
                 SuperSimError::Eval(cutkit::EvalError::FragmentTooWide(b)),
             ) => assert_eq!(a, b),
             other => panic!("unexpected error pair {other:?}"),

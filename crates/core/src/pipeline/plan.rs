@@ -38,6 +38,27 @@ pub struct CutPlan {
     /// via [`RunReport::cut_time`](crate::RunReport::cut_time); sweeps
     /// amortize it over every point).
     pub(crate) cut_time: Duration,
+    /// Structural fingerprint of the source circuit
+    /// ([`Circuit::fingerprint`]) — carried into batch diagnostics so a
+    /// failing job identifies its circuit without holding it.
+    pub(crate) fingerprint: u64,
+}
+
+/// The resource footprint of executing a [`CutPlan`] once, derived purely
+/// from the plan structure — the quantities admission control budgets
+/// against before a job is enqueued.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PlanCost {
+    /// Number of cuts `k`.
+    pub num_cuts: usize,
+    /// Total tomography variants evaluated across all fragments.
+    pub num_variants: usize,
+    /// Size of the `4^k` recombination assignment sweep (upper bound; the
+    /// sparse contraction may visit fewer).
+    pub sweep_assignments: u64,
+    /// Bytes of dense per-fragment accumulators held live during
+    /// evaluation: `Σ_f variants_f × 4^{cuts_f} × 8`.
+    pub accumulator_bytes: u64,
 }
 
 impl CutPlan {
@@ -70,7 +91,36 @@ impl CutPlan {
             num_variants,
             clifford_fragments,
             cut_time: t0.elapsed(),
+            fingerprint: circuit.fingerprint(),
         })
+    }
+
+    /// Structural fingerprint of the source circuit
+    /// ([`Circuit::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The resource footprint of one execution of this plan — what
+    /// admission control budgets against (see
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy)).
+    pub fn cost(&self) -> PlanCost {
+        let k = self.cut.num_cuts as u32;
+        // 4^k, saturating: k is already capped far below 32 by the cut
+        // budget, but admission must not overflow on adversarial plans.
+        let sweep_assignments = 1u64.checked_shl(2 * k).unwrap_or(u64::MAX);
+        let accumulator_bytes = self
+            .eval_plans
+            .iter()
+            .map(|p| (p.num_variants() as u64).saturating_mul(p.dim() as u64))
+            .fold(0u64, u64::saturating_add)
+            .saturating_mul(8);
+        PlanCost {
+            num_cuts: self.cut.num_cuts,
+            num_variants: self.num_variants,
+            sweep_assignments,
+            accumulator_bytes,
+        }
     }
 
     /// The fragments of the cut circuit, in deterministic discovery order.

@@ -7,6 +7,7 @@
 
 use crate::cut::Fragment;
 use crate::variants::{variant_circuit, Variant};
+use faultkit::{Interrupt, Supervisor};
 use qcir::Bits;
 use rand::Rng;
 use std::fmt;
@@ -42,7 +43,7 @@ pub enum TableauEngine {
 }
 
 /// Options controlling fragment evaluation.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Evaluation mode.
     pub mode: EvalMode,
@@ -56,6 +57,13 @@ pub struct EvalOptions {
     pub exact_support_limit: usize,
     /// Tableau engine for noiseless Clifford fragments.
     pub tableau_engine: TableauEngine,
+    /// Supervision context, consulted once per evaluation chunk
+    /// ([`crate::evaluate_planned_chunk`]): cooperative cancellation and
+    /// deadlines surface as [`EvalError::Interrupted`], scheduled fault
+    /// injections as [`EvalError::Injected`] (or a deliberate panic). The
+    /// default (unsupervised) context passes every checkpoint and adds no
+    /// measurable overhead.
+    pub supervisor: Supervisor,
 }
 
 impl Default for EvalOptions {
@@ -65,6 +73,7 @@ impl Default for EvalOptions {
             exact_clifford: false,
             exact_support_limit: 16,
             tableau_engine: TableauEngine::default(),
+            supervisor: Supervisor::new(),
         }
     }
 }
@@ -84,6 +93,12 @@ pub enum EvalError {
     },
     /// Exact mode cannot evaluate noisy fragments.
     NoiseInExactMode,
+    /// A supervision checkpoint stopped the evaluation (cooperative
+    /// cancellation or a deadline — see [`EvalOptions::supervisor`]).
+    Interrupted(Interrupt),
+    /// A scheduled fault-injection error fired at this evaluation site
+    /// (chaos testing — see [`faultkit::FaultPlan`]).
+    Injected(String),
 }
 
 impl fmt::Display for EvalError {
@@ -102,6 +117,8 @@ impl fmt::Display for EvalError {
             EvalError::NoiseInExactMode => {
                 write!(f, "noise channels cannot be evaluated in exact mode")
             }
+            EvalError::Interrupted(i) => write!(f, "evaluation interrupted: {i}"),
+            EvalError::Injected(site) => write!(f, "injected evaluation fault at {site}"),
         }
     }
 }

@@ -254,7 +254,7 @@ pub fn correct_tensors(
                         if i >= n {
                             break;
                         }
-                        let mut t = slots[i].lock().expect("MLFT slot poisoned");
+                        let mut t = faultkit::lock_or_recover(&slots[i]);
                         let r = correct_tensor(&mut t, opts);
                         if r.is_err() {
                             failed.store(true, Ordering::Relaxed);
@@ -267,7 +267,10 @@ pub fn correct_tensors(
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("MLFT worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     results.sort_by_key(|&(i, _)| i);

@@ -48,9 +48,11 @@
 //! accumulation because every read path emits in sorted key order.
 
 use crate::tensor::FragmentTensor;
+use faultkit::{into_inner_or_recover, lock_or_recover, Fault, Stage, Supervisor};
 use metrics::Distribution;
 use qcir::{Bits, IndexPlan};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Hard cap on cuts for dense `4^k` contraction.
 pub const MAX_CONTRACTION_CUTS: usize = 13;
@@ -124,6 +126,10 @@ pub struct Reconstructor<'a> {
     /// session-level plan so repeated joint reconstructions skip rebuilding
     /// them.
     output_plans: Option<&'a [IndexPlan]>,
+    /// Supervision context, consulted once per contraction chunk on both
+    /// the sequential and the parallel path (see
+    /// [`Reconstructor::with_supervisor`]).
+    supervisor: Supervisor,
 }
 
 /// Per-worker scratch for the assignment sweep.
@@ -189,6 +195,7 @@ impl<'a> Reconstructor<'a> {
             const_prefix,
             const_suffix,
             output_plans: None,
+            supervisor: Supervisor::new(),
         }
     }
 
@@ -202,6 +209,18 @@ impl<'a> Reconstructor<'a> {
     /// available core). Results are bit-identical for every thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a supervision context, checked once per contraction chunk
+    /// in the `4^k` assignment sweep (the recombination analogue of the
+    /// evaluation-stage checkpoints). Supervised callers use the fallible
+    /// queries ([`Reconstructor::try_marginals`],
+    /// [`Reconstructor::try_joint`]); the infallible queries panic if an
+    /// attached supervisor interrupts them. Checkpoint results never
+    /// change any numeric output — surviving runs stay bit-identical.
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
         self
     }
 
@@ -335,7 +354,7 @@ impl<'a> Reconstructor<'a> {
         init: impl Fn() -> A + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         merge: impl FnMut(&mut A, A),
-    ) -> (A, usize) {
+    ) -> Result<(A, usize), Fault> {
         self.run_contraction_full(usize::MAX, init, |_, _| {}, body, |_| {}, merge)
     }
 
@@ -352,7 +371,7 @@ impl<'a> Reconstructor<'a> {
         chunk_start: impl Fn(&mut A, &[usize]) + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         merge: impl FnMut(&mut A, A),
-    ) -> (A, usize) {
+    ) -> Result<(A, usize), Fault> {
         self.run_contraction_full(usize::MAX, init, chunk_start, body, |_| {}, merge)
     }
 
@@ -373,12 +392,20 @@ impl<'a> Reconstructor<'a> {
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
         merge: impl FnMut(&mut A, A),
-    ) -> (A, usize) {
+    ) -> Result<(A, usize), Fault> {
         self.run_contraction_full(max_threads, init, |_, _| {}, body, finish, merge)
     }
 
     /// The fully-general chunked contraction driver: worker cap,
     /// chunk-start hook, per-chunk finish hook, ordered merge.
+    ///
+    /// The attached [`Supervisor`] is consulted once per chunk, before the
+    /// chunk's sweep. On an interrupt the driver reports the fault of the
+    /// *lowest-indexed* faulting chunk: the parallel path records faults
+    /// under a monotone failure floor (`fetch_min` over chunk indices), so
+    /// a chunk below the true minimum faulting index can never be skipped
+    /// and the reported fault is schedule-independent for deterministic
+    /// fault sources (injection, pre-set cancellation).
     fn run_contraction_full<A: Send>(
         &self,
         max_threads: usize,
@@ -387,7 +414,7 @@ impl<'a> Reconstructor<'a> {
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
         mut merge: impl FnMut(&mut A, A),
-    ) -> (A, usize) {
+    ) -> Result<(A, usize), Fault> {
         let num_chunks = self.num_chunks();
         let threads = self.effective_threads(num_chunks).min(max_threads.max(1));
         let new_scratch = || SweepScratch {
@@ -399,6 +426,7 @@ impl<'a> Reconstructor<'a> {
         if threads <= 1 {
             let mut scratch = new_scratch();
             for chunk in 0..num_chunks {
+                self.supervisor.check(Stage::Recombine, chunk as usize)?;
                 let mut chunk_acc = init();
                 visited += self.run_chunk(chunk, &mut chunk_acc, &chunk_start, &body, &mut scratch);
                 finish(&mut chunk_acc);
@@ -406,6 +434,11 @@ impl<'a> Reconstructor<'a> {
             }
         } else {
             let next = AtomicU64::new(0);
+            // Lowest chunk index that hit a supervision fault; chunks above
+            // the floor are skipped, chunks at or below it still run, so
+            // the floor only ever tightens toward the true minimum.
+            let fail_floor = AtomicU64::new(u64::MAX);
+            let first_fault: Mutex<Option<(u64, Fault)>> = Mutex::new(None);
             let mut results: Vec<(u64, A, usize)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
@@ -414,7 +447,21 @@ impl<'a> Reconstructor<'a> {
                             let mut scratch = new_scratch();
                             loop {
                                 let chunk = next.fetch_add(1, Ordering::Relaxed);
-                                if chunk >= num_chunks {
+                                if chunk >= num_chunks || chunk > fail_floor.load(Ordering::Relaxed)
+                                {
+                                    break;
+                                }
+                                if let Err(fault) =
+                                    self.supervisor.check(Stage::Recombine, chunk as usize)
+                                {
+                                    fail_floor.fetch_min(chunk, Ordering::Relaxed);
+                                    let mut slot = lock_or_recover(&first_fault);
+                                    if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                                        *slot = Some((chunk, fault));
+                                    }
+                                    // Claims from `next` are monotone, so
+                                    // every later claim sits above the
+                                    // floor; stop this worker here.
                                     break;
                                 }
                                 let mut chunk_acc = init();
@@ -434,23 +481,29 @@ impl<'a> Reconstructor<'a> {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("contraction worker panicked"))
+                    .flat_map(|h| match h.join() {
+                        Ok(out) => out,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
+            if let Some((_, fault)) = into_inner_or_recover(first_fault) {
+                return Err(fault);
+            }
             results.sort_by_key(|&(chunk, _, _)| chunk);
             for (_, chunk_acc, v) in results {
                 merge(&mut acc, chunk_acc);
                 visited += v;
             }
         }
-        (acc, visited)
+        Ok((acc, visited))
     }
 
     /// Total reconstructed probability mass `Σ_b p(b)`; 1 up to sampling
     /// error.
     pub fn total_mass(&self) -> f64 {
         let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
-        let (mass, _) = self.run_contraction(
+        let (mass, _) = expect_unsupervised(self.run_contraction(
             || 0.0f64,
             |mass, indices| {
                 let mut prod = 1.0;
@@ -460,7 +513,7 @@ impl<'a> Reconstructor<'a> {
                 *mass += prod;
             },
             |mass, chunk| *mass += chunk,
-        );
+        ));
         mass
     }
 
@@ -486,7 +539,22 @@ impl<'a> Reconstructor<'a> {
     ///
     /// Panics if the product of fragment supports exceeds
     /// `max_support` — use [`Reconstructor::marginals`] for wide circuits.
+    /// Also panics if an attached supervisor interrupts the sweep — use
+    /// [`Reconstructor::try_joint`] from supervised callers.
     pub fn joint(&self, max_support: usize) -> Distribution {
+        expect_unsupervised(self.try_joint(max_support))
+    }
+
+    /// Fallible variant of [`Reconstructor::joint`]: returns the fault
+    /// instead of panicking when an attached supervisor cancels the sweep,
+    /// its deadline passes, or a fault plan targets a recombine chunk.
+    /// Numeric results are bit-identical to [`Reconstructor::joint`].
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the product of fragment supports exceeds
+    /// `max_support` (a sizing bug, not a runtime fault).
+    pub fn try_joint(&self, max_support: usize) -> Result<Distribution, Fault> {
         let support: usize = self
             .tensors
             .iter()
@@ -600,7 +668,7 @@ impl<'a> Reconstructor<'a> {
                     *a |= c;
                 }
             },
-        );
+        )?;
         // Decode touched ids back into global bitstrings, once.
         let mut dist = Distribution::with_support_capacity(
             self.n_qubits,
@@ -619,13 +687,26 @@ impl<'a> Reconstructor<'a> {
             }
             dist.add(global, w);
         }
-        dist
+        Ok(dist)
     }
 
     /// All single-qubit marginals of the reconstructed distribution,
     /// normalized to unit mass. Scales to hundreds of qubits: cost is
     /// `O(4^k · n)` independent of fragment support sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attached supervisor interrupts the sweep — use
+    /// [`Reconstructor::try_marginals`] from supervised callers.
     pub fn marginals(&self) -> Vec<[f64; 2]> {
+        expect_unsupervised(self.try_marginals())
+    }
+
+    /// Fallible variant of [`Reconstructor::marginals`]: returns the fault
+    /// instead of panicking when an attached supervisor cancels the sweep,
+    /// its deadline passes, or a fault plan targets a recombine chunk.
+    /// Numeric results are bit-identical to [`Reconstructor::marginals`].
+    pub fn try_marginals(&self) -> Result<Vec<[f64; 2]>, Fault> {
         // Two equivalent evaluation strategies (identical up to float
         // reordering); the choice is a deterministic function of the
         // tensor shapes, never of the thread count, so results stay
@@ -641,9 +722,9 @@ impl<'a> Reconstructor<'a> {
         let weight_len: usize = self.tensors.iter().map(|t| t.pauli_dim()).sum();
         let grouped_bytes = (weight_len as u64) * self.num_chunks() * 8;
         let (mut marg, mass) = if grouped_bytes <= 64 << 20 {
-            self.marginals_grouped()
+            self.marginals_grouped()?
         } else {
-            self.marginals_direct()
+            self.marginals_direct()?
         };
         if mass.abs() > 1e-12 {
             for m in &mut marg {
@@ -661,12 +742,12 @@ impl<'a> Reconstructor<'a> {
                 m[1] /= s;
             }
         }
-        marg
+        Ok(marg)
     }
 
     /// Grouped marginal contraction: exclusion weights per (fragment,
     /// Pauli index), expanded against the marginal tables after the sweep.
-    fn marginals_grouped(&self) -> (Vec<[f64; 2]>, f64) {
+    fn marginals_grouped(&self) -> Result<(Vec<[f64; 2]>, f64), Fault> {
         let nf = self.tensors.len();
         struct GroupedAcc {
             /// `weights[f][idx]` = Σ over visited assignments with
@@ -723,7 +804,7 @@ impl<'a> Reconstructor<'a> {
                 }
                 acc.mass += chunk.mass;
             },
-        );
+        )?;
         // Contract the accumulated weights against the marginal tables.
         let mut marg = vec![[0.0f64; 2]; self.n_qubits];
         for (f, t) in self.tensors.iter().enumerate() {
@@ -737,12 +818,12 @@ impl<'a> Reconstructor<'a> {
                 }
             }
         }
-        (marg, acc.mass)
+        Ok((marg, acc.mass))
     }
 
     /// Direct marginal contraction: per-qubit updates inside the
     /// assignment sweep (bounded accumulator size).
-    fn marginals_direct(&self) -> (Vec<[f64; 2]>, f64) {
+    fn marginals_direct(&self) -> Result<(Vec<[f64; 2]>, f64), Fault> {
         let nf = self.tensors.len();
         struct DirectAcc {
             marg: Vec<[f64; 2]>,
@@ -816,8 +897,8 @@ impl<'a> Reconstructor<'a> {
                 }
                 acc.mass += chunk.mass;
             },
-        );
-        (acc.marg, acc.mass)
+        )?;
+        Ok((acc.marg, acc.mass))
     }
 
     /// "Strong simulation": the probability of one specific global
@@ -841,7 +922,7 @@ impl<'a> Reconstructor<'a> {
                 None => return 0.0,
             }
         }
-        let (p, _) = self.run_contraction(
+        let (p, _) = expect_unsupervised(self.run_contraction(
             || 0.0f64,
             |p, indices| {
                 let mut prod = 1.0;
@@ -854,14 +935,14 @@ impl<'a> Reconstructor<'a> {
                 *p += prod;
             },
             |p, chunk| *p += chunk,
-        );
+        ));
         p
     }
 
     /// Number of `4^k` terms the sparse contraction actually visits —
     /// exposed for the §IX ablation benchmark.
     pub fn visited_assignments(&self) -> usize {
-        let ((), visited) = self.run_contraction(|| (), |_, _| {}, |_, _| {});
+        let ((), visited) = expect_unsupervised(self.run_contraction(|| (), |_, _| {}, |_, _| {}));
         visited
     }
 
@@ -912,7 +993,7 @@ impl<'a> Reconstructor<'a> {
             })
             .collect();
         let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
-        let ((num, mass), _) = self.run_contraction(
+        let ((num, mass), _) = expect_unsupervised(self.run_contraction(
             || (0.0f64, 0.0f64),
             |acc, indices| {
                 let mut sprod = 1.0;
@@ -928,13 +1009,20 @@ impl<'a> Reconstructor<'a> {
                 acc.0 += chunk.0;
                 acc.1 += chunk.1;
             },
-        );
+        ));
         if mass.abs() > 1e-12 {
             (num / mass).clamp(-1.0, 1.0)
         } else {
             0.0
         }
     }
+}
+
+/// Unwraps a contraction result on the infallible query surface. Callers
+/// that attach a supervisor must use the fallible `try_*` queries; an
+/// interrupt surfacing here is a caller bug, not a runtime condition.
+fn expect_unsupervised<T>(result: Result<T, Fault>) -> T {
+    result.unwrap_or_else(|fault| panic!("unsupervised contraction interrupted: {fault}"))
 }
 
 /// The pre-intern joint implementation, frozen as a parity baseline:

@@ -60,7 +60,7 @@ use metrics::InternPool;
 use qcir::{Bits, IndexPlan};
 use rand::Rng;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Single-qubit conversion from preparation-state probabilities (columns:
@@ -452,6 +452,13 @@ impl FragmentEvalPlan {
     pub fn num_variants(&self) -> usize {
         self.variants.len()
     }
+
+    /// Dense accumulator width of this fragment's tensor: `4^(qi+qo)`
+    /// coefficient slots per outcome. Admission-control cost estimators
+    /// use `num_variants × dim` as the tensor-footprint proxy.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
 }
 
 /// Interned per-fragment accumulator for the evaluation stage: outcome
@@ -734,7 +741,14 @@ pub fn evaluate_fragment_tensors_planned(
         // merged in chunk order after the join.
         type ChunkResult = Result<EvalChunk, EvalError>;
         let next = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
+        // Early-exit failure floor: the smallest failing chunk index seen
+        // so far. Only chunks *above* the floor are skipped, so every
+        // chunk below the earliest failure is always evaluated and the
+        // reported error is the earliest failing chunk in chunk order —
+        // schedule-independent, identical to the sequential path. (A bare
+        // "failed" flag would let a worker holding an earlier chunk skip
+        // it after observing a later chunk's failure.)
+        let fail_floor = AtomicUsize::new(usize::MAX);
         let mut results: Vec<(usize, ChunkResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -743,7 +757,7 @@ pub fn evaluate_fragment_tensors_planned(
                         let mut scratch = ExtractScratch::new();
                         loop {
                             let ci = next.fetch_add(1, Ordering::Relaxed);
-                            if ci >= num_chunks || failed.load(Ordering::Relaxed) {
+                            if ci >= num_chunks || ci > fail_floor.load(Ordering::Relaxed) {
                                 break;
                             }
                             let r = evaluate_chunk_with_scratch(
@@ -755,7 +769,7 @@ pub fn evaluate_fragment_tensors_planned(
                                 &mut scratch,
                             );
                             if r.is_err() {
-                                failed.store(true, Ordering::Relaxed);
+                                fail_floor.fetch_min(ci, Ordering::Relaxed);
                             }
                             out.push((ci, r));
                         }
@@ -765,7 +779,12 @@ pub fn evaluate_fragment_tensors_planned(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("variant worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(out) => out,
+                    // Re-raise with the original payload so supervised
+                    // callers see the true panic message, not a join shim.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         results.sort_by_key(|&(ci, _)| ci);
@@ -844,6 +863,15 @@ fn evaluate_chunk_with_scratch(
 ) -> Result<EvalChunk, EvalError> {
     assert_eq!(fragments.len(), plans.len(), "plan count mismatch");
     assert_eq!(fragments.len(), base_seeds.len(), "seed count mismatch");
+    // Supervision checkpoint, once per chunk: cancellation and deadlines
+    // surface here as `Interrupted`, scheduled fault injections as
+    // `Injected` (or a deliberate panic the caller's isolation catches).
+    eval.supervisor
+        .check(faultkit::Stage::Eval, chunk)
+        .map_err(|fault| match fault {
+            faultkit::Fault::Interrupted(i) => EvalError::Interrupted(i),
+            faultkit::Fault::Injected(site) => EvalError::Injected(site),
+        })?;
     let total: usize = plans.iter().map(FragmentEvalPlan::num_variants).sum();
     let start = chunk * VARIANTS_PER_CHUNK;
     assert!(start < total.max(1), "chunk {chunk} out of range");

@@ -337,6 +337,34 @@ impl Circuit {
         }
     }
 
+    /// A 64-bit structural fingerprint of the circuit: an FNV-1a hash over
+    /// the qubit count and every operation (kind, exact parameter bits,
+    /// operand order). Used to tag diagnostics — batch errors carry the
+    /// fingerprint of the failing circuit so a job can be identified
+    /// without holding the circuit itself. Stable within a process run and
+    /// across thread counts; not a cryptographic digest.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.num_qubits as u64).to_le_bytes());
+        for op in &self.ops {
+            // The Debug form spells out the kind discriminant and the full
+            // float parameters; operand order follows separately.
+            eat(format!("{:?}", op.kind).as_bytes());
+            for &q in &op.qubits {
+                eat(&(q.0 as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// The adjoint (inverse) circuit; only defined for noise-free circuits.
     ///
     /// # Panics

@@ -145,6 +145,7 @@ fn sweep_bit_identical_at_1_2_8_threads() {
         .map(|i| ExecParams {
             seed: 900 + i as u64,
             shots: 150 + 50 * (i % 3),
+            deadline: None,
         })
         .collect();
     let solo: Vec<RunResult> = points

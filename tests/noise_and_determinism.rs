@@ -242,14 +242,17 @@ fn sweep_bit_identical_to_independent_runs_at_matrix_thread_count() {
         ExecParams {
             seed: 11,
             shots: 250,
+            deadline: None,
         },
         ExecParams {
             seed: 12,
             shots: 250,
+            deadline: None,
         },
         ExecParams {
             seed: 11,
             shots: 400,
+            deadline: None,
         },
     ];
     let solo: Vec<RunResult> = points
