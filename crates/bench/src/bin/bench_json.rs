@@ -34,6 +34,12 @@
 //! (`EvalOptions::tableau_engine`), asserting identical outcome streams
 //! / bit-identical tensors before timing is reported.
 //!
+//! A `runtime_reuse` series runs first (while the process-global runtime
+//! pool is still cold): one batch that pays the worker spawns, then warm
+//! batches on the persistent pool, asserting zero new spawns and
+//! bit-identical output. A `plan_cache` series times a cut-bound plan
+//! rebuild against a fingerprint-keyed cache hit (same `Arc` returned).
+//!
 //! Plus the §IX sparse-contraction ablation. Every engine result is
 //! checked bit-identical between thread counts before timing is reported.
 //!
@@ -366,9 +372,119 @@ fn main() {
     } else {
         None
     };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = runtime::default_workers();
     let reps = env_usize("REPS", 3);
     let max_k = env_usize("MAX_K", 12);
+
+    // --- Runtime pool reuse: cold spawn vs warm persistent pool --------
+    // This series must run FIRST: the cold measurement relies on the
+    // process-global runtime pool never having been touched, so it pays
+    // the worker spawns that every warm batch — and every later section
+    // of this benchmark — gets for free.
+    let pool_circuits: Vec<Circuit> = vec![
+        workloads::hwea(5, 2, 1, 41).circuit,
+        workloads::qaoa_sk(4, 1, 1, 43).circuit,
+        workloads::ghz(6),
+        workloads::hwea(4, 1, 2, 44).circuit,
+    ];
+    let pool_cfg = SuperSimConfig {
+        shots: 300,
+        seed: 23,
+        mlft: true,
+        parallel: true,
+        threads: 8,
+        // Plan caching off: this series isolates worker reuse.
+        plan_cache_capacity: 0,
+        ..SuperSimConfig::default()
+    };
+    let pool_sim = SuperSim::new(pool_cfg.clone());
+    assert_eq!(
+        pool_sim.stats().pool.spawned_total,
+        0,
+        "runtime_reuse must be the first pool user"
+    );
+    let t_cold = Instant::now();
+    let cold_runs = pool_sim.run_batch(&pool_circuits);
+    let cold_mt_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+    let spawned_cold = pool_sim.stats().pool.spawned_total;
+    let (warm_mt_ms, warm_runs) = time_best(reps, || pool_sim.run_batch(&pool_circuits));
+    let spawned_warm = pool_sim.stats().pool.spawned_total;
+    assert_eq!(
+        spawned_cold, spawned_warm,
+        "runtime_reuse: warm batches must reuse the live workers"
+    );
+    let (pool_1t_ms, pool_seq_runs) = time_best(reps, || {
+        SuperSim::new(SuperSimConfig {
+            parallel: false,
+            ..pool_cfg.clone()
+        })
+        .run_batch(&pool_circuits)
+    });
+    let pool_identical = cold_runs
+        .iter()
+        .zip(&warm_runs)
+        .chain(pool_seq_runs.iter().zip(&warm_runs))
+        .all(|(a, b)| a.as_ref().unwrap().bit_identical_to(b.as_ref().unwrap()));
+    assert!(
+        pool_identical,
+        "runtime_reuse: cold/warm/sequential batches diverged"
+    );
+    println!(
+        "runtime_reuse ({} jobs, 8 workers): cold {cold_mt_ms:.2} ms \
+         ({spawned_cold} spawns), warm {warm_mt_ms:.2} ms (0 new spawns), \
+         sequential {pool_1t_ms:.2} ms",
+        pool_circuits.len(),
+    );
+    let runtime_reuse_row = format!(
+        "{{\"jobs\": {}, \"cold_mt_ms\": {cold_mt_ms:.3}, \
+         \"warm_mt_ms\": {warm_mt_ms:.3}, \"batch_1t_ms\": {pool_1t_ms:.3}, \
+         \"workers_spawned_cold\": {spawned_cold}, \
+         \"workers_spawned_warm_delta\": 0, \"bit_identical\": {pool_identical}}}",
+        pool_circuits.len(),
+    );
+
+    // --- Plan cache: fingerprint-keyed hit vs rebuild ------------------
+    // The cut-bound t_ladder under a tight budget: the greedy merge pass
+    // dominates planning, which is exactly the cost a cache hit elides.
+    let cache_ladder = workloads::t_ladder(2, 150);
+    let cache_cfg = SuperSimConfig {
+        cut_strategy: CutStrategy::IsolateNonClifford { max_cuts: 4 },
+        ..SuperSimConfig::default()
+    };
+    let miss_sim = SuperSim::new(SuperSimConfig {
+        plan_cache_capacity: 0,
+        ..cache_cfg.clone()
+    });
+    let (plan_miss_1t_ms, _) = time_best(reps, || miss_sim.plan(&cache_ladder.circuit).unwrap());
+    let hit_sim = SuperSim::new(cache_cfg.clone());
+    let seeded_plan = hit_sim.plan(&cache_ladder.circuit).unwrap();
+    let (plan_hit_1t_ms, hit_plan) =
+        time_best(reps, || hit_sim.plan(&cache_ladder.circuit).unwrap());
+    assert!(
+        std::sync::Arc::ptr_eq(&seeded_plan, &hit_plan),
+        "plan_cache: hit must return the cached plan"
+    );
+    let cache_stats = hit_sim.stats().plan_cache;
+    assert_eq!(
+        cache_stats.misses, 1,
+        "plan_cache: only the seed plan misses"
+    );
+    let plan_cache_speedup = plan_miss_1t_ms / plan_hit_1t_ms.max(1e-6);
+    println!(
+        "plan_cache (t_ladder {} ops, k={}): rebuild {plan_miss_1t_ms:.2} ms, \
+         hit {plan_hit_1t_ms:.4} ms ({plan_cache_speedup:.0}x), {} hits",
+        cache_ladder.circuit.len(),
+        seeded_plan.num_cuts(),
+        cache_stats.hits,
+    );
+    let plan_cache_row = format!(
+        "{{\"ops\": {}, \"cuts\": {}, \"miss_1t_ms\": {plan_miss_1t_ms:.3}, \
+         \"hit_1t_ms\": {plan_hit_1t_ms:.4}, \"speedup\": {plan_cache_speedup:.1}, \
+         \"hits\": {}, \"arc_identity\": true}}",
+        cache_ladder.circuit.len(),
+        seeded_plan.num_cuts(),
+        cache_stats.hits,
+    );
 
     // --- Recombination: marginals at k = 4 / 8 / 12 ------------------
     let mut recombine_rows = Vec::new();
@@ -855,8 +971,10 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 5,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 6,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
+         \"runtime_reuse\": {runtime_reuse_row},\n  \
+         \"plan_cache\": {plan_cache_row},\n  \
          \"recombine_marginals\": [\n{}\n  ],\n  \
          \"joint_reconstruction\": [\n{}\n  ],\n  \
          \"fragment_eval\": {{\n    \"sampled_6q\": {sampled_row},\n    \

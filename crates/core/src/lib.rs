@@ -74,9 +74,14 @@ pub use backends::{
     BackendError, ExtStabBackend, MpsBackend, Simulator, StabilizerBackend, StatevectorBackend,
 };
 pub use pipeline::{
-    Admission, AdmissionError, AdmissionPolicy, CutPlan, ExecParams, Executor, PlanCost, RunReport,
-    RunResult, SuperSim, SuperSimConfig, SuperSimError,
+    Admission, AdmissionError, AdmissionPolicy, CutPlan, ExecParams, Executor, PlanCacheStats,
+    PlanCost, PlanLoadError, RunReport, RunResult, RunStats, SuperSim, SuperSimConfig,
+    SuperSimError,
 };
+
+// Re-export the persistent worker-pool stats surfaced by
+// [`SuperSim::stats`] (the pool itself is process-wide, in `runtime`).
+pub use runtime::PoolStats;
 
 // Re-export the pieces users need to configure the pipeline.
 pub use cutkit::{CutPoint, CutStrategy, EvalMode, TableauEngine};

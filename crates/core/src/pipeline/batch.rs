@@ -58,6 +58,7 @@
 //! faulting task in task order on every schedule**, for every
 //! deterministic fault source (evaluation errors, injected faults).
 
+use super::cache::PlanCache;
 use super::execute::{
     base_seeds, contraction_pool, eval_options, finish_run, mlft_enabled, tensor_options,
     worker_threads, ExecParams, RunResult,
@@ -69,7 +70,7 @@ use cutkit::{
     correct_tensor, evaluate_planned_chunk, merge_planned_chunks, planned_num_chunks, EvalChunk,
     EvalError, EvalOptions, FragmentTensor, MlftError, MlftOptions, TensorOptions,
 };
-use faultkit::{into_inner_or_recover, lock_or_recover, Fault, Stage, Supervisor};
+use faultkit::{into_inner_or_recover, lock_or_recover, wait_or_recover, Fault, Stage, Supervisor};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -212,7 +213,7 @@ struct Queue {
     /// scheduler bug, not a task fault): termination is completion-based
     /// (`jobs_done == total_jobs`), and such a worker's job would never
     /// complete — without this flag its siblings would wait on the
-    /// condvar forever and the scope join would deadlock instead of
+    /// condvar forever and the pool run would deadlock instead of
     /// propagating the panic.
     aborted: AtomicBool,
 }
@@ -241,10 +242,7 @@ impl Queue {
             if self.jobs_done.load(Ordering::Acquire) >= self.total_jobs {
                 return None;
             }
-            q = self
-                .ready
-                .wait(q)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            q = wait_or_recover(&self.ready, q);
         }
     }
 
@@ -363,14 +361,17 @@ fn run_scheduled(
             run_task(config, &states, &queue, task);
         }
     } else {
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let _abort_guard = AbortOnPanic(&queue);
-                    while let Some(task) = queue.pop() {
-                        run_task(config, &states, &queue, task);
-                    }
-                });
+        // The persistent runtime pool replaces the per-call thread scope:
+        // workers (including the calling thread) drain the same queue, and
+        // consecutive batches reuse the live threads. A panic escaping the
+        // drain loop trips `AbortOnPanic` (the pool unwinds the worker's
+        // ticket, so `std::thread::panicking()` is observed) and is
+        // re-raised by `run` after every ticket finishes — the same
+        // propagation the scope join used to provide.
+        runtime::Pool::global().run(workers, |_| {
+            let _abort_guard = AbortOnPanic(&queue);
+            while let Some(task) = queue.pop() {
+                run_task(config, &states, &queue, task);
             }
         });
     }
@@ -624,40 +625,57 @@ fn finish_mlft(s: &JobState<'_>, queue: &Queue, job: usize) {
     queue.push([Task::Recombine { job }]);
 }
 
-/// Builds every circuit's plan, on the configured pool size when it pays:
-/// plans are independent and placed by index, so the output is identical
-/// to the sequential loop for any worker count. Parallelizing this
-/// matters because cutting *is* the dominant stage for cut-bound batches
-/// (the `batch_sweep` workload) — a serial planning pass would serialize
-/// exactly the cost the batch front-end exists to amortize.
+/// Builds every circuit's plan — cache-first, then on the configured pool
+/// size when rebuilding pays: plans are independent and placed by index,
+/// so the output is identical to the sequential loop for any worker
+/// count. Parallelizing this matters because cutting *is* the dominant
+/// stage for cut-bound batches (the `batch_sweep` workload) — a serial
+/// planning pass would serialize exactly the cost the batch front-end
+/// exists to amortize. The `bool` in each result reports whether the
+/// plan came from the cache (planning is deterministic, so hits are
+/// bit-identical in effect to rebuilds).
 fn build_plans(
     config: &SuperSimConfig,
+    cache: &PlanCache,
     circuits: &[qcir::Circuit],
-) -> Vec<Result<CutPlan, SuperSimError>> {
+) -> Vec<(Result<Arc<CutPlan>, SuperSimError>, bool)> {
+    let strategy = &config.cut_strategy;
     let build = |c: &qcir::Circuit| {
-        CutPlan::build(c, config.cut_strategy.clone()).map_err(SuperSimError::Cut)
+        CutPlan::build(c, strategy.clone())
+            .map(Arc::new)
+            .map_err(SuperSimError::Cut)
     };
-    let workers = worker_threads(config).min(circuits.len()).max(1);
+    let mut out: Vec<Option<(Result<Arc<CutPlan>, SuperSimError>, bool)>> = circuits
+        .iter()
+        .map(|c| cache.get(c, strategy).map(|p| (Ok(p), true)))
+        .collect();
+    let missing: Vec<usize> = (0..circuits.len()).filter(|&i| out[i].is_none()).collect();
+    let workers = worker_threads(config).min(missing.len()).max(1);
     if workers <= 1 {
-        return circuits.iter().map(build).collect();
-    }
-    let slots: Vec<Mutex<Option<Result<CutPlan, SuperSimError>>>> =
-        circuits.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= circuits.len() {
-                    break;
-                }
-                *lock_or_recover(&slots[i]) = Some(build(&circuits[i]));
-            });
+        for &i in &missing {
+            out[i] = Some((build(&circuits[i]), false));
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| into_inner_or_recover(m).expect("every circuit gets planned"))
+    } else {
+        let slots: Vec<Mutex<Option<Result<Arc<CutPlan>, SuperSimError>>>> =
+            missing.iter().map(|_| Mutex::new(None)).collect();
+        let queue = runtime::CounterQueue::new(missing.len());
+        runtime::Pool::global().run_queue(workers, &queue, |_, j| {
+            *lock_or_recover(&slots[j]) = Some(build(&circuits[missing[j]]));
+        });
+        for (&i, slot) in missing.iter().zip(slots) {
+            let built = into_inner_or_recover(slot).expect("every circuit gets planned");
+            out[i] = Some((built, false));
+        }
+    }
+    // Publish the fresh builds in circuit order (duplicate circuits in
+    // one batch each build once here and converge on a single entry).
+    for &i in &missing {
+        if let Some((Ok(plan), _)) = &out[i] {
+            cache.insert(&circuits[i], strategy, plan);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every circuit gets a plan outcome"))
         .collect()
 }
 
@@ -669,23 +687,33 @@ fn build_plans(
 /// [`SuperSimError::Job`] with the circuit's batch index and fingerprint.
 pub(crate) fn plan_and_run_batch(
     config: &SuperSimConfig,
+    cache: &PlanCache,
     circuits: &[qcir::Circuit],
 ) -> Vec<Result<RunResult, SuperSimError>> {
-    let plans = build_plans(config, circuits);
+    let plans = build_plans(config, cache, circuits);
     let params = ExecParams::from_config(config);
     let jobs: Vec<BatchJob<'_>> = plans
         .iter()
-        .filter_map(|p| p.as_ref().ok())
-        .map(|plan| BatchJob { plan, params })
+        .filter_map(|(p, _)| p.as_ref().ok())
+        .map(|plan| BatchJob {
+            plan: plan.as_ref(),
+            params,
+        })
         .collect();
     let mut executed = execute_jobs(config, &jobs).into_iter();
     plans
         .iter()
         .zip(circuits)
         .enumerate()
-        .map(|(i, (p, circuit))| {
+        .map(|(i, ((p, cache_hit), circuit))| {
             let result = match p {
-                Ok(_) => executed.next().expect("one result per planned job"),
+                Ok(_) => executed
+                    .next()
+                    .expect("one result per planned job")
+                    .map(|mut r| {
+                        r.report.plan_cache_hit = *cache_hit;
+                        r
+                    }),
                 Err(SuperSimError::Cut(e)) => Err(SuperSimError::Cut(e.clone())),
                 Err(_) => unreachable!("planning only produces cut errors"),
             };

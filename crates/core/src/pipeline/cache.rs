@@ -1,0 +1,265 @@
+//! The plan cache: fingerprint-keyed reuse of [`CutPlan`]s.
+//!
+//! Cutting and planning is the dominant cost of cut-bound workloads, and
+//! callers routinely resubmit structurally identical circuits — repeated
+//! [`SuperSim::run`](crate::SuperSim::run) calls in an optimization loop,
+//! batches whose circuits share a template. A [`PlanCache`] keyed by
+//! [`qcir::Circuit::fingerprint`] (mixed with the cut strategy) lets
+//! [`SuperSim`](crate::SuperSim) hand back the already-built plan instead
+//! of re-running the cutter.
+//!
+//! # Identity and correctness
+//!
+//! Two circuits share a cache entry only when their structural
+//! fingerprints agree *and* the configured [`CutStrategy`] compares equal
+//! (the strategy is stored in the entry and compared on every lookup, so
+//! strategy changes can never serve a stale plan). The fingerprint is the
+//! same structural identity the rest of the pipeline uses for
+//! diagnostics; plans are immutable once built, so a cache hit replays
+//! the exact plan object — results are bit-identical to a rebuilt plan by
+//! construction ([`CutPlan::build`] is deterministic).
+//!
+//! Cached plans receive **no** trust shortcut downstream: every run
+//! re-judges the plan's [`PlanCost`](super::plan::PlanCost) against the
+//! admission policy, exactly as a freshly built plan is judged.
+//!
+//! # Eviction
+//!
+//! The cache is bounded: when full, the least-recently-used entry is
+//! evicted (entries carry a monotone use stamp; eviction removes the
+//! minimum). Capacity 0 disables caching entirely — every lookup misses
+//! without touching the counters, and inserts are dropped.
+
+use super::plan::CutPlan;
+use cutkit::CutStrategy;
+use faultkit::lock_or_recover;
+use qcir::Circuit;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counter snapshot of a [`SuperSim`](crate::SuperSim) instance's plan
+/// cache, reported via [`SuperSim::stats`](crate::SuperSim::stats).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Entries evicted to keep the cache within capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+struct Entry {
+    /// Full fingerprint + strategy, compared on lookup so a key collision
+    /// between different strategies can never serve the wrong plan.
+    fingerprint: u64,
+    strategy: CutStrategy,
+    plan: Arc<CutPlan>,
+    /// Monotone last-use stamp; the eviction victim is the minimum.
+    stamp: u64,
+}
+
+struct Entries {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// Bounded, LRU-evicting cache of built [`CutPlan`]s, keyed by
+/// (circuit fingerprint, cut strategy). Shared by every clone of a
+/// [`SuperSim`](crate::SuperSim) instance; all operations are
+/// thread-safe and poison-recovering.
+pub(crate) struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Entries>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(Entries {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache key: the circuit's structural fingerprint mixed with an
+    /// FNV-1a hash of the strategy (rotated so a strategy change perturbs
+    /// high and low bits). Lookups still compare the stored fingerprint
+    /// and strategy, so the key only has to distribute, not identify.
+    fn key(circuit: &Circuit, strategy: &CutStrategy) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{strategy:?}").bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        circuit.fingerprint() ^ h.rotate_left(17)
+    }
+
+    /// Looks up the plan of `circuit` under `strategy`, refreshing its
+    /// LRU stamp on a hit. Counts a miss only when the cache is enabled.
+    pub(crate) fn get(&self, circuit: &Circuit, strategy: &CutStrategy) -> Option<Arc<CutPlan>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let fingerprint = circuit.fingerprint();
+        let mut inner = lock_or_recover(&self.inner);
+        let Entries { map, clock } = &mut *inner;
+        match map.get_mut(&Self::key(circuit, strategy)) {
+            Some(e) if e.fingerprint == fingerprint && e.strategy == *strategy => {
+                *clock += 1;
+                e.stamp = *clock;
+                let plan = Arc::clone(&e.plan);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            _ => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built plan, evicting the least-recently-used
+    /// entry when at capacity. Re-inserting an existing key refreshes it.
+    pub(crate) fn insert(&self, circuit: &Circuit, strategy: &CutStrategy, plan: &Arc<CutPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Self::key(circuit, strategy);
+        let mut inner = lock_or_recover(&self.inner);
+        let Entries { map, clock } = &mut *inner;
+        *clock += 1;
+        let stamp = *clock;
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            if let Some(&victim) = map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                fingerprint: circuit.fingerprint(),
+                strategy: strategy.clone(),
+                plan: Arc::clone(plan),
+                stamp,
+            },
+        );
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: lock_or_recover(&self.inner).map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit(tag: u64) -> Circuit {
+        // Vary the rotation angle so each tag has a distinct fingerprint.
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0, 0.1 + tag as f64).cx(0, 1).t(1);
+        c
+    }
+
+    fn build(c: &Circuit, strategy: &CutStrategy) -> Arc<CutPlan> {
+        Arc::new(CutPlan::build(c, strategy.clone()).unwrap())
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc_and_counts() {
+        let cache = PlanCache::new(4);
+        let strategy = CutStrategy::default();
+        let c = circuit(0);
+        assert!(cache.get(&c, &strategy).is_none());
+        let plan = build(&c, &strategy);
+        cache.insert(&c, &strategy, &plan);
+        let hit = cache.get(&c, &strategy).expect("cached");
+        assert!(Arc::ptr_eq(&hit, &plan), "hit must return the cached Arc");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn structural_edit_and_strategy_change_miss() {
+        let cache = PlanCache::new(4);
+        let strategy = CutStrategy::default();
+        let c = circuit(0);
+        cache.insert(&c, &strategy, &build(&c, &strategy));
+        // A structurally different circuit misses...
+        assert!(cache.get(&circuit(1), &strategy).is_none());
+        // ...and so does the same circuit under a different strategy.
+        let other = CutStrategy::IsolateNonClifford { max_cuts: 3 };
+        assert!(cache.get(&c, &other).is_none());
+        assert!(cache.get(&c, &strategy).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_bounds_occupancy() {
+        let cache = PlanCache::new(2);
+        let strategy = CutStrategy::default();
+        let circuits: Vec<Circuit> = (0..3).map(circuit).collect();
+        for c in &circuits[..2] {
+            cache.insert(c, &strategy, &build(c, &strategy));
+        }
+        // Touch circuit 0 so circuit 1 is the least recently used.
+        assert!(cache.get(&circuits[0], &strategy).is_some());
+        cache.insert(&circuits[2], &strategy, &build(&circuits[2], &strategy));
+        let s = cache.stats();
+        assert_eq!(s.len, 2, "capacity bound violated");
+        assert_eq!(s.evictions, 1);
+        assert!(
+            cache.get(&circuits[0], &strategy).is_some(),
+            "recently used survives"
+        );
+        assert!(
+            cache.get(&circuits[2], &strategy).is_some(),
+            "new entry cached"
+        );
+        assert!(
+            cache.get(&circuits[1], &strategy).is_none(),
+            "LRU entry evicted"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        let strategy = CutStrategy::default();
+        let c = circuit(0);
+        cache.insert(&c, &strategy, &build(&c, &strategy));
+        assert!(cache.get(&c, &strategy).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.capacity), (0, 0, 0, 0));
+    }
+}

@@ -93,6 +93,12 @@ pub struct RunReport {
     pub recombine_time: Duration,
     /// Total Frobenius movement of the MLFT correction (0 without MLFT).
     pub mlft_moved: f64,
+    /// Whether this run's [`CutPlan`] was served from the instance's plan
+    /// cache instead of being rebuilt. Always `false` on the raw
+    /// [`Executor`] entry points, which take a prebuilt plan; set by
+    /// [`SuperSim::run`](crate::SuperSim::run) and
+    /// [`SuperSim::run_batch`](crate::SuperSim::run_batch).
+    pub plan_cache_hit: bool,
 }
 
 impl fmt::Display for RunReport {
@@ -299,15 +305,12 @@ impl<'c> Executor<'c> {
 
 /// Worker-pool size shared by fragment evaluation, MLFT correction, and
 /// the batch scheduler: 1 when [`SuperSimConfig::parallel`] is off,
-/// otherwise the configured thread count (`0` = one worker per available
-/// core).
+/// otherwise the configured thread count resolved by
+/// [`runtime::worker_count`] (`0` = the auto count: `SUPERSIM_TEST_THREADS`
+/// when set, hardware parallelism otherwise).
 pub(crate) fn worker_threads(config: &SuperSimConfig) -> usize {
     if config.parallel {
-        if config.threads > 0 {
-            config.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        }
+        runtime::worker_count(config.threads, usize::MAX)
     } else {
         1
     }
@@ -422,6 +425,7 @@ pub(crate) fn finish_run(
             eval_time,
             recombine_time,
             mlft_moved,
+            plan_cache_hit: false,
         },
         tensors,
         num_cuts: plan.cut.num_cuts,

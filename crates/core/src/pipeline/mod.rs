@@ -47,13 +47,17 @@
 //! therefore purely a scheduling choice, never a numerical one.
 
 pub(crate) mod batch;
+pub(crate) mod cache;
 pub(crate) mod execute;
 pub(crate) mod plan;
 pub(crate) mod supervise;
 
+pub use cache::PlanCacheStats;
 pub use execute::{ExecParams, Executor, RunReport, RunResult};
-pub use plan::{CutPlan, PlanCost};
+pub use plan::{CutPlan, PlanCost, PlanLoadError};
 pub use supervise::{Admission, AdmissionError, AdmissionPolicy};
+
+use cache::PlanCache;
 
 use cutkit::{CutBudgetError, CutStrategy, EvalError, MlftError, TableauEngine};
 use faultkit::{CancelToken, Fault, FaultPlan, Interrupt, Stage, Supervisor};
@@ -136,6 +140,13 @@ pub struct SuperSimConfig {
     /// (job, stage, task) sites panic, error, or stall on schedule. `None`
     /// (the default) injects nothing and adds no per-task overhead.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Capacity of the per-instance [`CutPlan`] cache consulted by
+    /// [`SuperSim::plan`], [`SuperSim::run`], and [`SuperSim::run_batch`]
+    /// (keyed by circuit fingerprint + cut strategy, LRU-evicted beyond
+    /// this many entries; `0` disables caching). Cache hits return the
+    /// already-built plan — bit-identical to a rebuild, since planning is
+    /// deterministic — and still pass admission control on every run.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for SuperSimConfig {
@@ -159,6 +170,7 @@ impl Default for SuperSimConfig {
             batch_deadline: None,
             admission: AdmissionPolicy::default(),
             faults: None,
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -326,16 +338,41 @@ impl From<MlftError> for SuperSimError {
     }
 }
 
+/// Runtime counters of a [`SuperSim`] instance: plan-cache traffic and
+/// the state of the process-wide persistent worker pool. Snapshot via
+/// [`SuperSim::stats`].
+#[derive(Copy, Clone, Debug)]
+pub struct RunStats {
+    /// This instance's plan-cache counters (hits, misses, evictions,
+    /// occupancy).
+    pub plan_cache: PlanCacheStats,
+    /// The process-wide [`runtime`] pool (shared by every instance):
+    /// live workers, total spawns, idle count. `spawned_total` staying
+    /// flat across consecutive batches is the pool-reuse signal.
+    pub pool: runtime::PoolStats,
+}
+
 /// The SuperSim framework: Clifford-based circuit cutting simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// Instances are cheap to clone; clones share one plan cache, so a
+/// circuit planned through any clone is a cache hit for all of them.
+#[derive(Clone, Debug)]
 pub struct SuperSim {
     config: SuperSimConfig,
+    plan_cache: Arc<PlanCache>,
+}
+
+impl Default for SuperSim {
+    fn default() -> Self {
+        SuperSim::new(SuperSimConfig::default())
+    }
 }
 
 impl SuperSim {
     /// Creates a framework instance with the given configuration.
     pub fn new(config: SuperSimConfig) -> Self {
-        SuperSim { config }
+        let plan_cache = Arc::new(PlanCache::new(config.plan_cache_capacity));
+        SuperSim { config, plan_cache }
     }
 
     /// The active configuration.
@@ -343,15 +380,43 @@ impl SuperSim {
         &self.config
     }
 
+    /// Runtime counters: this instance's plan-cache traffic and the
+    /// process-wide worker-pool state.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            plan_cache: self.plan_cache.stats(),
+            pool: runtime::Pool::global().stats(),
+        }
+    }
+
     /// Builds the reusable [`CutPlan`] of a circuit: cut placement,
     /// fragment structure, variant enumeration, and recombination scatter
     /// plans. Sweeps and repeated runs pay this once.
     ///
+    /// Consults the instance's plan cache first (keyed by the circuit's
+    /// structural fingerprint and the configured cut strategy): a hit
+    /// returns the already-built plan — the *same* `Arc` — which is
+    /// bit-identical in effect to a rebuild because planning is
+    /// deterministic. Set [`SuperSimConfig::plan_cache_capacity`] to 0 to
+    /// always rebuild.
+    ///
     /// # Errors
     ///
     /// Returns [`SuperSimError::Cut`] when cutting exceeds the cut budget.
-    pub fn plan(&self, circuit: &Circuit) -> Result<CutPlan, SuperSimError> {
-        Ok(CutPlan::build(circuit, self.config.cut_strategy.clone())?)
+    pub fn plan(&self, circuit: &Circuit) -> Result<Arc<CutPlan>, SuperSimError> {
+        Ok(self.plan_cached(circuit)?.0)
+    }
+
+    /// Cache-first planning; the flag reports whether the plan was served
+    /// from the cache (surfaced as [`RunReport::plan_cache_hit`]).
+    fn plan_cached(&self, circuit: &Circuit) -> Result<(Arc<CutPlan>, bool), SuperSimError> {
+        let strategy = &self.config.cut_strategy;
+        if let Some(plan) = self.plan_cache.get(circuit, strategy) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(CutPlan::build(circuit, strategy.clone())?);
+        self.plan_cache.insert(circuit, strategy, &plan);
+        Ok((plan, false))
     }
 
     /// An [`Executor`] over this instance's configuration.
@@ -368,8 +433,10 @@ impl SuperSim {
     /// fragment cannot be evaluated (too wide for the statevector backend,
     /// support too large for exact enumeration, noise in exact mode).
     pub fn run(&self, circuit: &Circuit) -> Result<RunResult, SuperSimError> {
-        let plan = self.plan(circuit)?;
-        self.executor().run(&plan)
+        let (plan, cache_hit) = self.plan_cached(circuit)?;
+        let mut result = self.executor().run(&plan)?;
+        result.report.plan_cache_hit = cache_hit;
+        Ok(result)
     }
 
     /// Runs the full pipeline on a batch of circuits, flattening all
@@ -406,7 +473,7 @@ impl SuperSim {
     ///   task order (chunk order, then fragment order) on every
     ///   schedule.
     pub fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<RunResult, SuperSimError>> {
-        batch::plan_and_run_batch(&self.config, circuits)
+        batch::plan_and_run_batch(&self.config, &self.plan_cache, circuits)
     }
 }
 
@@ -676,6 +743,86 @@ mod tests {
         for (a, b) in swept.marginals.iter().zip(&reconfigured.marginals) {
             assert!(a[0].to_bits() == b[0].to_bits() && a[1].to_bits() == b[1].to_bits());
         }
+    }
+
+    /// Repeated planning of a structurally identical circuit is a cache
+    /// hit: the same `Arc` comes back, the hit is surfaced on the run
+    /// report, and a gate edit misses.
+    #[test]
+    fn plan_cache_hits_on_identical_structure() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1);
+        let sim = SuperSim::new(SuperSimConfig {
+            shots: 100,
+            ..SuperSimConfig::default()
+        });
+        let first = sim.plan(&c).unwrap();
+        let second = sim.plan(&c).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "identical circuit must be served from the cache"
+        );
+        // The cached plan flows through `run`, flagged on the report, and
+        // stays bit-identical to the first (cache-miss) run.
+        let cold = SuperSim::new(sim.config().clone()).run(&c).unwrap();
+        assert!(!cold.report.plan_cache_hit);
+        let warm = sim.run(&c).unwrap();
+        assert!(warm.report.plan_cache_hit);
+        assert!(warm.bit_identical_to(&cold));
+        // A structural edit misses.
+        let mut edited = Circuit::new(2);
+        edited.h(0).t(0).cx(0, 1).h(1);
+        let third = sim.plan(&edited).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        let stats = sim.stats().plan_cache;
+        assert!(stats.hits >= 2, "stats: {stats:?}");
+        assert!(stats.misses >= 2, "stats: {stats:?}");
+        // run_batch shares the same cache: every circuit here is cached.
+        let batch = sim.run_batch(&[c.clone(), edited.clone()]);
+        for r in &batch {
+            assert!(r.as_ref().unwrap().report.plan_cache_hit);
+        }
+    }
+
+    /// A plan snapshot round-trips: save → load rebuilds a plan with the
+    /// same structure, and executing it is bit-identical to the original.
+    #[test]
+    fn plan_snapshot_round_trips_bit_identically() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).t(2).h(2);
+        let cfg = SuperSimConfig {
+            shots: 250,
+            seed: 17,
+            ..SuperSimConfig::default()
+        };
+        let sim = SuperSim::new(cfg);
+        let plan = sim.plan(&c).unwrap();
+        let loaded = CutPlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(loaded.fingerprint(), plan.fingerprint());
+        assert_eq!(loaded.num_cuts(), plan.num_cuts());
+        assert_eq!(loaded.num_variants(), plan.num_variants());
+        assert_eq!(loaded.strategy(), plan.strategy());
+        let executor = sim.executor();
+        let original = executor.run(&plan).unwrap();
+        let replayed = executor.run(&loaded).unwrap();
+        assert!(
+            replayed.bit_identical_to(&original),
+            "loaded plan must execute bit-identically"
+        );
+        // The snapshot also round-trips textually (stable format).
+        assert_eq!(loaded.to_text(), plan.to_text());
+        // Manual strategies render and parse too.
+        let manual = CutPlan::build(
+            &c,
+            cutkit::CutStrategy::Manual(vec![cutkit::CutPoint {
+                qubit: 1,
+                after_op: 2,
+            }]),
+        )
+        .unwrap();
+        let manual_loaded = CutPlan::from_text(&manual.to_text()).unwrap();
+        assert_eq!(manual_loaded.strategy(), manual.strategy());
+        assert_eq!(manual_loaded.fingerprint(), manual.fingerprint());
     }
 
     /// Evaluation failures in a batch stay per-circuit: the failing

@@ -16,8 +16,12 @@
 //! [`SuperSim::plan`]: crate::SuperSim::plan
 //! [`Executor`]: crate::Executor
 
-use cutkit::{cut_circuit, CutBudgetError, CutCircuit, CutStrategy, Fragment, FragmentEvalPlan};
+use cutkit::{
+    cut_circuit, CutBudgetError, CutCircuit, CutPoint, CutStrategy, Fragment, FragmentEvalPlan,
+};
+use qcir::text::ParseCircuitError;
 use qcir::{Circuit, IndexPlan};
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// A reusable execution plan: cut placement + fragment structure +
@@ -42,6 +46,11 @@ pub struct CutPlan {
     /// ([`Circuit::fingerprint`]) — carried into batch diagnostics so a
     /// failing job identifies its circuit without holding it.
     pub(crate) fingerprint: u64,
+    /// The source circuit and strategy the plan was built from — what
+    /// [`CutPlan::to_text`] snapshots so a loaded plan can be rebuilt
+    /// deterministically.
+    pub(crate) source: Circuit,
+    pub(crate) strategy: CutStrategy,
 }
 
 /// The resource footprint of executing a [`CutPlan`] once, derived purely
@@ -71,7 +80,7 @@ impl CutPlan {
     /// budget.
     pub fn build(circuit: &Circuit, strategy: CutStrategy) -> Result<CutPlan, CutBudgetError> {
         let t0 = Instant::now();
-        let cut = cut_circuit(circuit, strategy)?;
+        let cut = cut_circuit(circuit, strategy.clone())?;
         let eval_plans: Vec<FragmentEvalPlan> =
             cut.fragments.iter().map(FragmentEvalPlan::new).collect();
         let output_plans: Vec<IndexPlan> = cut
@@ -92,6 +101,8 @@ impl CutPlan {
             clifford_fragments,
             cut_time: t0.elapsed(),
             fingerprint: circuit.fingerprint(),
+            source: circuit.clone(),
+            strategy,
         })
     }
 
@@ -156,5 +167,147 @@ impl CutPlan {
     /// Wall time the cutter + planner took to build this plan.
     pub fn cut_time(&self) -> Duration {
         self.cut_time
+    }
+
+    /// The source circuit this plan was built from.
+    pub fn source(&self) -> &Circuit {
+        &self.source
+    }
+
+    /// The cut strategy this plan was built with.
+    pub fn strategy(&self) -> &CutStrategy {
+        &self.strategy
+    }
+
+    /// Serializes the plan to a text snapshot: a version header, the cut
+    /// strategy, and the source circuit in the [`qcir::text`] format.
+    ///
+    /// The snapshot stores the plan's *inputs*, not its derived tables:
+    /// planning is deterministic, so [`CutPlan::from_text`] rebuilds the
+    /// identical plan (same fragments, variants, and scatter plans), and
+    /// executing a loaded plan is **bit-identical** to executing the
+    /// original. This keeps snapshots small, diffable, and immune to
+    /// internal-representation drift across versions of the planner.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("supersim-plan v1\n");
+        out.push_str(&strategy_line(&self.strategy));
+        out.push('\n');
+        out.push_str(&qcir::text::to_text(&self.source));
+        out
+    }
+
+    /// Loads a plan from a [`CutPlan::to_text`] snapshot by parsing the
+    /// strategy and circuit and rebuilding deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanLoadError`] when the header or strategy line is
+    /// malformed, the circuit text fails to parse, or rebuilding exceeds
+    /// the cut budget (possible only if the snapshot was edited).
+    pub fn from_text(src: &str) -> Result<CutPlan, PlanLoadError> {
+        let mut lines = src.lines();
+        let header = lines.next().unwrap_or("");
+        if header.trim() != "supersim-plan v1" {
+            return Err(PlanLoadError::Format {
+                line: 1,
+                message: format!("expected header `supersim-plan v1`, got `{header}`"),
+            });
+        }
+        let strategy = parse_strategy_line(lines.next().unwrap_or(""))?;
+        let rest: String = lines.collect::<Vec<_>>().join("\n");
+        let circuit = qcir::text::from_text(&rest).map_err(PlanLoadError::Circuit)?;
+        CutPlan::build(&circuit, strategy).map_err(PlanLoadError::Cut)
+    }
+}
+
+/// Renders a [`CutStrategy`] for the plan snapshot (`strategy none`,
+/// `strategy isolate <max_cuts>`, or `strategy manual <q>:<after_op>...`).
+fn strategy_line(strategy: &CutStrategy) -> String {
+    match strategy {
+        CutStrategy::None => "strategy none".to_string(),
+        CutStrategy::IsolateNonClifford { max_cuts } => format!("strategy isolate {max_cuts}"),
+        CutStrategy::Manual(points) => {
+            let mut out = String::from("strategy manual");
+            for p in points {
+                out.push_str(&format!(" {}:{}", p.qubit, p.after_op));
+            }
+            out
+        }
+    }
+}
+
+fn parse_strategy_line(line: &str) -> Result<CutStrategy, PlanLoadError> {
+    let err = |message: String| PlanLoadError::Format { line: 2, message };
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("strategy") {
+        return Err(err(format!("expected `strategy ...`, got `{line}`")));
+    }
+    match tokens.next() {
+        Some("none") => Ok(CutStrategy::None),
+        Some("isolate") => {
+            let max_cuts = tokens
+                .next()
+                .ok_or_else(|| err("`strategy isolate` needs a max-cuts bound".into()))?
+                .parse::<usize>()
+                .map_err(|e| err(format!("bad max-cuts bound: {e}")))?;
+            Ok(CutStrategy::IsolateNonClifford { max_cuts })
+        }
+        Some("manual") => {
+            let mut points = Vec::new();
+            for tok in tokens {
+                let (q, op) = tok
+                    .split_once(':')
+                    .ok_or_else(|| err(format!("bad cut point `{tok}` (want `qubit:after_op`)")))?;
+                points.push(CutPoint {
+                    qubit: q
+                        .parse()
+                        .map_err(|e| err(format!("bad cut-point qubit `{q}`: {e}")))?,
+                    after_op: op
+                        .parse()
+                        .map_err(|e| err(format!("bad cut-point op index `{op}`: {e}")))?,
+                });
+            }
+            Ok(CutStrategy::Manual(points))
+        }
+        other => Err(err(format!("unknown strategy `{other:?}`"))),
+    }
+}
+
+/// Error from [`CutPlan::from_text`].
+#[derive(Debug)]
+pub enum PlanLoadError {
+    /// The snapshot's header or strategy line is malformed.
+    Format {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The embedded circuit text failed to parse.
+    Circuit(ParseCircuitError),
+    /// Rebuilding the plan exceeded the cut budget (possible only when a
+    /// snapshot is edited to a different circuit or strategy).
+    Cut(CutBudgetError),
+}
+
+impl fmt::Display for PlanLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanLoadError::Format { line, message } => {
+                write!(f, "plan snapshot line {line}: {message}")
+            }
+            PlanLoadError::Circuit(e) => write!(f, "plan snapshot circuit: {e}"),
+            PlanLoadError::Cut(e) => write!(f, "plan snapshot rebuild: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanLoadError::Format { .. } => None,
+            PlanLoadError::Circuit(e) => Some(e),
+            PlanLoadError::Cut(e) => Some(e),
+        }
     }
 }

@@ -8,7 +8,10 @@
 //! [`AdmissionError`] carrying the offending quantity and its budget;
 //! borderline jobs can instead be *sequentialized* — admitted, but run
 //! alone with the full worker pool after the pooled phase, so one giant
-//! sweep cannot starve every other job of workers.
+//! sweep cannot starve every other job of workers. Plans served from the
+//! plan cache get no shortcut here: a cached plan's cost is re-judged on
+//! every run, so tightening the policy takes effect immediately even for
+//! circuits whose plans are already cached.
 //!
 //! The other half of supervision — panic isolation, deadlines,
 //! cancellation, and fault injection — lives in the `faultkit` crate

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 /// A manually specified cut position: the wire of `qubit` is cut between
 /// the operation at index `after_op` (which must act on that qubit) and
 /// the next operation on the same wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct CutPoint {
     /// The wire to cut.
     pub qubit: usize,
@@ -28,7 +28,7 @@ pub struct CutPoint {
 }
 
 /// How the cutter chooses cut locations.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CutStrategy {
     /// No cutting: the whole circuit is one fragment.
     None,

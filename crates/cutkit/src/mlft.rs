@@ -19,7 +19,7 @@ use crate::tensor::FragmentTensor;
 use qcir::{Bits, Pauli};
 use qmath::{psd_project_with_trace, CMat, C64};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Identity-Pauli mass below which a fragment cannot be normalized.
@@ -221,7 +221,7 @@ pub fn correct_tensors(
     threads: usize,
 ) -> Result<f64, MlftError> {
     let n = tensors.len();
-    let threads = threads.clamp(1, n.max(1));
+    let threads = runtime::worker_count(threads.max(1), n);
     if threads <= 1 {
         let mut moved = 0.0;
         for t in tensors.iter_mut() {
@@ -229,56 +229,54 @@ pub fn correct_tensors(
         }
         return Ok(moved);
     }
-    // Worker pool over per-fragment slots; each slot is claimed by exactly
-    // one worker (the atomic counter hands out distinct indices), so the
-    // mutexes are uncontended handles for &mut access, never waited on.
+    // Pooled workers over per-fragment slots; each slot is claimed by
+    // exactly one worker (the injectable claim queue hands out distinct
+    // indices), so the mutexes are uncontended handles for &mut access,
+    // never waited on.
     let slots: Vec<Mutex<&mut FragmentTensor>> = tensors.iter_mut().map(Mutex::new).collect();
-    let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let mut results: Vec<(usize, Result<f64, MlftError>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        // The failure flag gates new claims only; a
-                        // claimed fragment is always processed. Claims
-                        // are handed out in index order, so every index
-                        // below a processed failure has a recorded
-                        // result, and the first error in index order is
-                        // identical to the sequential path's.
-                        if failed.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let mut t = faultkit::lock_or_recover(&slots[i]);
-                        let r = correct_tensor(&mut t, opts);
-                        if r.is_err() {
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                        out.push((i, r));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(out) => out,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
+    let queue = FailFastQueue {
+        inner: runtime::CounterQueue::new(n),
+        failed: &failed,
+    };
+    let results: Mutex<Vec<(usize, Result<f64, MlftError>)>> = Mutex::new(Vec::new());
+    runtime::Pool::global().run_queue(threads, &queue, |_w, i| {
+        let mut t = faultkit::lock_or_recover(&slots[i]);
+        let r = correct_tensor(&mut t, opts);
+        if r.is_err() {
+            failed.store(true, Ordering::Relaxed);
+        }
+        faultkit::lock_or_recover(&results).push((i, r));
     });
+    let mut results = faultkit::into_inner_or_recover(results);
     results.sort_by_key(|&(i, _)| i);
     let mut moved = 0.0;
     for (_, r) in results {
         moved += r?;
     }
     Ok(moved)
+}
+
+/// A [`runtime::TaskQueue`] that stops handing out new fragments once a
+/// failure is recorded. The failure flag gates **new claims only**; a
+/// claimed fragment is always processed. Claims are handed out in index
+/// order, so every index below a processed failure has a recorded result,
+/// and the first error in index order is identical to the sequential
+/// path's.
+struct FailFastQueue<'a> {
+    inner: runtime::CounterQueue,
+    failed: &'a AtomicBool,
+}
+
+impl runtime::TaskQueue for FailFastQueue<'_> {
+    type Task = usize;
+
+    fn next(&self) -> Option<usize> {
+        if self.failed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner.next()
+    }
 }
 
 /// The pre-intern MLFT correction, frozen as a parity baseline: snapshots

@@ -51,7 +51,7 @@ use crate::tensor::FragmentTensor;
 use faultkit::{into_inner_or_recover, lock_or_recover, Fault, Stage, Supervisor};
 use metrics::Distribution;
 use qcir::{Bits, IndexPlan};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Hard cap on cuts for dense `4^k` contraction.
@@ -246,14 +246,10 @@ impl<'a> Reconstructor<'a> {
         (1u64 << (2 * self.num_cuts)).div_ceil(ASSIGNMENTS_PER_CHUNK)
     }
 
-    /// Resolved worker count for a contraction over `num_chunks` chunks.
+    /// Resolved worker count for a contraction over `num_chunks` chunks
+    /// (the shared heuristic: 0 = auto, clamped to the chunk count).
     fn effective_threads(&self, num_chunks: u64) -> usize {
-        let requested = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.threads
-        };
-        requested.clamp(1, num_chunks.max(1) as usize)
+        runtime::worker_count(self.threads, num_chunks.min(usize::MAX as u64) as usize)
     }
 
     /// Contracts one chunk of the assignment range into `acc`, returning
@@ -353,9 +349,9 @@ impl<'a> Reconstructor<'a> {
         &self,
         init: impl Fn() -> A + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
-        merge: impl FnMut(&mut A, A),
+        merge: impl FnMut(&mut A, A) + Send,
     ) -> Result<(A, usize), Fault> {
-        self.run_contraction_full(usize::MAX, init, |_, _| {}, body, |_| {}, merge)
+        self.run_contraction_full(init, |_, _| {}, body, |_| {}, merge)
     }
 
     /// [`Reconstructor::run_contraction`] with a chunk-start hook: called
@@ -370,34 +366,39 @@ impl<'a> Reconstructor<'a> {
         init: impl Fn() -> A + Sync,
         chunk_start: impl Fn(&mut A, &[usize]) + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
-        merge: impl FnMut(&mut A, A),
+        merge: impl FnMut(&mut A, A) + Send,
     ) -> Result<(A, usize), Fault> {
-        self.run_contraction_full(usize::MAX, init, chunk_start, body, |_| {}, merge)
+        self.run_contraction_full(init, chunk_start, body, |_| {}, merge)
     }
 
-    /// [`Reconstructor::run_contraction`] with a hard cap on workers —
-    /// used by queries whose per-chunk accumulators are large (the
-    /// parallel path retains every chunk accumulator until the join, so
-    /// memory scales with `num_chunks × accumulator size`). The cap must
-    /// be a deterministic function of the tensors, never of the requested
-    /// thread count, to preserve bit-identity across thread counts.
-    ///
-    /// `finish` runs on each chunk accumulator right after its chunk
-    /// completes (on both paths) — the hook that lets accumulators drop
-    /// per-chunk scratch before being retained for the ordered merge.
-    fn run_contraction_capped<A: Send>(
+    /// [`Reconstructor::run_contraction`] with a per-chunk `finish` hook:
+    /// runs on each chunk accumulator right after its chunk completes (on
+    /// both paths) — the hook that lets accumulators drop per-chunk
+    /// scratch before entering the ordered merge. Used by queries whose
+    /// per-chunk accumulators are large; the streaming merge bounds how
+    /// many of them are ever retained (see
+    /// [`run_contraction_full`](Reconstructor::run_contraction_full)), so
+    /// no worker cap is needed any more.
+    fn run_contraction_finished<A: Send>(
         &self,
-        max_threads: usize,
         init: impl Fn() -> A + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
-        merge: impl FnMut(&mut A, A),
+        merge: impl FnMut(&mut A, A) + Send,
     ) -> Result<(A, usize), Fault> {
-        self.run_contraction_full(max_threads, init, |_, _| {}, body, finish, merge)
+        self.run_contraction_full(init, |_, _| {}, body, finish, merge)
     }
 
-    /// The fully-general chunked contraction driver: worker cap,
-    /// chunk-start hook, per-chunk finish hook, ordered merge.
+    /// The fully-general chunked contraction driver: chunk-start hook,
+    /// per-chunk finish hook, streaming ordered merge on the persistent
+    /// worker pool.
+    ///
+    /// The parallel path streams finished chunk accumulators into one
+    /// central [`runtime::OrderedMerger`] that folds them **in chunk
+    /// order** — the identical float association to the sequential loop —
+    /// while retaining at most a merge-window's worth of accumulators at
+    /// a time, so memory no longer scales with `num_chunks ×
+    /// accumulator size` and no query needs a worker cap.
     ///
     /// The attached [`Supervisor`] is consulted once per chunk, before the
     /// chunk's sweep. On an interrupt the driver reports the fault of the
@@ -408,22 +409,22 @@ impl<'a> Reconstructor<'a> {
     /// fault sources (injection, pre-set cancellation).
     fn run_contraction_full<A: Send>(
         &self,
-        max_threads: usize,
         init: impl Fn() -> A + Sync,
         chunk_start: impl Fn(&mut A, &[usize]) + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
-        mut merge: impl FnMut(&mut A, A),
+        mut merge: impl FnMut(&mut A, A) + Send,
     ) -> Result<(A, usize), Fault> {
         let num_chunks = self.num_chunks();
-        let threads = self.effective_threads(num_chunks).min(max_threads.max(1));
+        let threads = self.effective_threads(num_chunks);
         let new_scratch = || SweepScratch {
             indices: vec![0usize; self.tensors.len()],
             digits: vec![0u8; self.num_cuts],
         };
-        let mut acc = init();
-        let mut visited = 0;
+        let acc = init();
         if threads <= 1 {
+            let mut acc = acc;
+            let mut visited = 0;
             let mut scratch = new_scratch();
             for chunk in 0..num_chunks {
                 self.supervisor.check(Stage::Recombine, chunk as usize)?;
@@ -432,6 +433,7 @@ impl<'a> Reconstructor<'a> {
                 finish(&mut chunk_acc);
                 merge(&mut acc, chunk_acc);
             }
+            Ok((acc, visited))
         } else {
             let next = AtomicU64::new(0);
             // Lowest chunk index that hit a supervision fault; chunks above
@@ -439,64 +441,77 @@ impl<'a> Reconstructor<'a> {
             // the floor only ever tightens toward the true minimum.
             let fail_floor = AtomicU64::new(u64::MAX);
             let first_fault: Mutex<Option<(u64, Fault)>> = Mutex::new(None);
-            let mut results: Vec<(u64, A, usize)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut out = Vec::new();
-                            let mut scratch = new_scratch();
-                            loop {
-                                let chunk = next.fetch_add(1, Ordering::Relaxed);
-                                if chunk >= num_chunks || chunk > fail_floor.load(Ordering::Relaxed)
-                                {
-                                    break;
-                                }
-                                if let Err(fault) =
-                                    self.supervisor.check(Stage::Recombine, chunk as usize)
-                                {
-                                    fail_floor.fetch_min(chunk, Ordering::Relaxed);
-                                    let mut slot = lock_or_recover(&first_fault);
-                                    if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
-                                        *slot = Some((chunk, fault));
-                                    }
-                                    // Claims from `next` are monotone, so
-                                    // every later claim sits above the
-                                    // floor; stop this worker here.
-                                    break;
-                                }
-                                let mut chunk_acc = init();
-                                let v = self.run_chunk(
-                                    chunk,
-                                    &mut chunk_acc,
-                                    &chunk_start,
-                                    &body,
-                                    &mut scratch,
-                                );
-                                finish(&mut chunk_acc);
-                                out.push((chunk, chunk_acc, v));
+            let visited_total = AtomicUsize::new(0);
+            let merger = runtime::OrderedMerger::new(threads, acc, &mut merge);
+            enum ChunkOutcome<A> {
+                Done(A, usize),
+                Fault(Fault),
+            }
+            runtime::Pool::global().run(threads, |_| {
+                let mut scratch = new_scratch();
+                loop {
+                    let chunk = next.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= num_chunks {
+                        break;
+                    }
+                    if chunk > fail_floor.load(Ordering::Relaxed) {
+                        // Skipped by the early exit: the claimed index
+                        // still must be resolved so the ordered merge can
+                        // drain past it. Claims from `next` are monotone,
+                        // so every later claim sits above the floor too —
+                        // stop this worker here.
+                        merger.skip(chunk);
+                        break;
+                    }
+                    // Everything that can fault *or panic* (injected
+                    // faults fire inside the supervisor check) runs under
+                    // `catch_unwind` so the claimed index is resolved
+                    // before any unwind — sibling workers blocked on the
+                    // merge window must never be stranded.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if let Err(fault) = self.supervisor.check(Stage::Recombine, chunk as usize)
+                        {
+                            return ChunkOutcome::Fault(fault);
+                        }
+                        let mut chunk_acc = init();
+                        let v = self.run_chunk(
+                            chunk,
+                            &mut chunk_acc,
+                            &chunk_start,
+                            &body,
+                            &mut scratch,
+                        );
+                        finish(&mut chunk_acc);
+                        ChunkOutcome::Done(chunk_acc, v)
+                    }));
+                    match outcome {
+                        Ok(ChunkOutcome::Done(chunk_acc, v)) => {
+                            visited_total.fetch_add(v, Ordering::Relaxed);
+                            merger.submit(chunk, chunk_acc);
+                        }
+                        Ok(ChunkOutcome::Fault(fault)) => {
+                            fail_floor.fetch_min(chunk, Ordering::Relaxed);
+                            let mut slot = lock_or_recover(&first_fault);
+                            if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                                *slot = Some((chunk, fault));
                             }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| match h.join() {
-                        Ok(out) => out,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    })
-                    .collect()
+                            merger.skip(chunk);
+                            break;
+                        }
+                        Err(payload) => {
+                            merger.skip(chunk);
+                            // The pool re-raises the payload on the
+                            // calling thread once the job completes.
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
             });
             if let Some((_, fault)) = into_inner_or_recover(first_fault) {
                 return Err(fault);
             }
-            results.sort_by_key(|&(chunk, _, _)| chunk);
-            for (_, chunk_acc, v) in results {
-                merge(&mut acc, chunk_acc);
-                visited += v;
-            }
+            Ok((merger.finish(), visited_total.load(Ordering::Relaxed)))
         }
-        Ok((acc, visited))
     }
 
     /// Total reconstructed probability mass `Σ_b p(b)`; 1 up to sampling
@@ -606,20 +621,13 @@ impl<'a> Reconstructor<'a> {
             partial: Vec<(usize, f64)>,
             next: Vec<(usize, f64)>,
         }
-        // The parallel path retains every chunk accumulator until the
-        // ordered join. At ~8.125 bytes per id (weight + touched bit) —
-        // versus 64 conservatively estimated per ordered-map node before
-        // interning — the same 64 MiB retention budget now admits 8× the
-        // support. The choice depends only on the tensors, keeping
-        // results bit-identical for any thread count.
-        let retained_bytes = (support as u64) * self.num_chunks() * 9;
-        let max_threads = if retained_bytes <= 64 << 20 {
-            usize::MAX
-        } else {
-            1
-        };
-        let (acc, _) = self.run_contraction_capped(
-            max_threads,
+        // The streaming ordered merge retains at most a merge-window's
+        // worth of chunk accumulators (window = worker count), not all
+        // `num_chunks` of them — so the old 64 MiB retention budget, and
+        // the sequential fallback it forced on large supports, are gone:
+        // every support size runs parallel. Merge order is still strict
+        // chunk order, so results stay bit-identical for any thread count.
+        let (acc, _) = self.run_contraction_finished(
             || JointAcc {
                 weights: vec![0.0; support],
                 touched: vec![0u64; support.div_ceil(64)],

@@ -61,7 +61,7 @@ use qcir::{Bits, IndexPlan};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Single-qubit conversion from preparation-state probabilities (columns:
 /// `|0⟩, |1⟩, |+⟩, |+i⟩`) to Pauli coefficients (rows: `I, X, Y, Z`).
@@ -720,26 +720,29 @@ pub fn evaluate_fragment_tensors_planned(
         "one evaluation plan per fragment required"
     );
     let num_chunks = planned_num_chunks(plans);
-    let threads = threads.clamp(1, num_chunks.max(1));
+    let threads = runtime::worker_count(threads.max(1), num_chunks);
 
-    let mut maps: Vec<TensorAccum> = plans.iter().map(|p| TensorAccum::new(p.dim)).collect();
+    let maps: Vec<TensorAccum> = plans.iter().map(|p| TensorAccum::new(p.dim)).collect();
 
-    if threads <= 1 {
+    let maps = if threads <= 1 {
         // Sequential path: evaluate and fold one chunk at a time (peak
         // retention: one chunk accumulator). Chunk decomposition and merge
         // order match the parallel path exactly, so results are
         // bit-identical for any thread count.
+        let mut maps = maps;
         let mut scratch = ExtractScratch::new();
         for ci in 0..num_chunks {
             let chunk =
                 evaluate_chunk_with_scratch(fragments, plans, eval, base_seeds, ci, &mut scratch)?;
             merge_planned_chunk(&mut maps, chunk);
         }
+        maps
     } else {
-        // Parallel path: workers claim chunks dynamically; completed chunk
-        // accumulators (already folded per fragment within the chunk) are
-        // merged in chunk order after the join.
-        type ChunkResult = Result<EvalChunk, EvalError>;
+        // Parallel path: pooled workers claim chunks dynamically and
+        // stream finished chunk accumulators into one central merger that
+        // folds them **in chunk order** — the same merge association as
+        // the sequential loop, with peak retention bounded by the merge
+        // window instead of the full chunk set.
         let next = AtomicUsize::new(0);
         // Early-exit failure floor: the smallest failing chunk index seen
         // so far. Only chunks *above* the floor are skipped, so every
@@ -749,52 +752,65 @@ pub fn evaluate_fragment_tensors_planned(
         // "failed" flag would let a worker holding an earlier chunk skip
         // it after observing a later chunk's failure.)
         let fail_floor = AtomicUsize::new(usize::MAX);
-        let mut results: Vec<(usize, ChunkResult)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut out = Vec::new();
-                        let mut scratch = ExtractScratch::new();
-                        loop {
-                            let ci = next.fetch_add(1, Ordering::Relaxed);
-                            if ci >= num_chunks || ci > fail_floor.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let r = evaluate_chunk_with_scratch(
-                                fragments,
-                                plans,
-                                eval,
-                                base_seeds,
-                                ci,
-                                &mut scratch,
-                            );
-                            if r.is_err() {
-                                fail_floor.fetch_min(ci, Ordering::Relaxed);
-                            }
-                            out.push((ci, r));
+        let first_error: Mutex<Option<(usize, EvalError)>> = Mutex::new(None);
+        let merger = runtime::OrderedMerger::new(
+            threads,
+            maps,
+            |maps: &mut Vec<TensorAccum>, chunk: EvalChunk| merge_planned_chunk(maps, chunk),
+        );
+        runtime::Pool::global().run(threads, |_| {
+            let mut scratch = ExtractScratch::new();
+            loop {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= num_chunks {
+                    break;
+                }
+                if ci > fail_floor.load(Ordering::Relaxed) {
+                    // Skipped by the early exit: the claimed index still
+                    // has to be resolved or the ordered merge would stall.
+                    merger.skip(ci as u64);
+                    continue;
+                }
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    evaluate_chunk_with_scratch(
+                        fragments,
+                        plans,
+                        eval,
+                        base_seeds,
+                        ci,
+                        &mut scratch,
+                    )
+                }));
+                match r {
+                    Ok(Ok(chunk)) => merger.submit(ci as u64, chunk),
+                    Ok(Err(e)) => {
+                        fail_floor.fetch_min(ci, Ordering::Relaxed);
+                        let mut slot = faultkit::lock_or_recover(&first_error);
+                        match &*slot {
+                            Some((i, _)) if *i <= ci => {}
+                            _ => *slot = Some((ci, e)),
                         }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(out) => out,
-                    // Re-raise with the original payload so supervised
-                    // callers see the true panic message, not a join shim.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+                        merger.skip(ci as u64);
+                    }
+                    Err(payload) => {
+                        // Resolve the claimed index before re-raising so
+                        // sibling workers blocked on the merge window are
+                        // not stranded; the pool re-raises the payload on
+                        // the calling thread once the job completes.
+                        merger.skip(ci as u64);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
         });
-        results.sort_by_key(|&(ci, _)| ci);
-        // Merge in chunk order; the first error in chunk order wins
-        // (chunks skipped by the early exit contribute nothing — the maps
-        // are discarded once the error is returned).
-        for (_, r) in results {
-            merge_planned_chunk(&mut maps, r?);
+        let maps = merger.finish();
+        if let Some((_, e)) = faultkit::into_inner_or_recover(first_error) {
+            // First error in chunk order wins; the partially merged maps
+            // are discarded.
+            return Err(e);
         }
-    }
+        maps
+    };
 
     Ok(maps
         .into_iter()

@@ -414,6 +414,19 @@ pub fn into_inner_or_recover<T>(mutex: Mutex<T>) -> T {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Blocks on a condition variable, recovering from poisoning — the
+/// [`Condvar::wait`] counterpart of [`lock_or_recover`], for worker pools
+/// that must keep parking/waking after a sibling panicked while holding
+/// the paired mutex.
+pub fn wait_or_recover<'a, T>(
+    condvar: &std::sync::Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,5 +563,33 @@ mod tests {
         *lock_or_recover(&m) += 1;
         assert_eq!(*lock_or_recover(&m), 42);
         assert_eq!(into_inner_or_recover(m), 42);
+    }
+
+    #[test]
+    fn wait_or_recover_wakes_through_poisoned_mutex() {
+        use std::sync::{Arc, Condvar};
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Poison the mutex first so the waiter exercises the recovery arm.
+        {
+            let pair = Arc::clone(&pair);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _guard = pair.0.lock().unwrap();
+                panic!("poison it");
+            }));
+        }
+        assert!(pair.0.is_poisoned());
+        let signaller = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                *lock_or_recover(&pair.0) = true;
+                pair.1.notify_all();
+            })
+        };
+        let mut ready = lock_or_recover(&pair.0);
+        while !*ready {
+            ready = wait_or_recover(&pair.1, ready);
+        }
+        drop(ready);
+        signaller.join().unwrap();
     }
 }
