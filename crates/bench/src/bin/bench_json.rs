@@ -40,6 +40,13 @@
 //! bit-identical output. A `plan_cache` series times a cut-bound plan
 //! rebuild against a fingerprint-keyed cache hit (same `Arc` returned).
 //!
+//! A `truncated_sweep` series exercises the error-budgeted recombination
+//! dial (`ExecParams::with_error_budget`) on a T-ladder plan: the exact
+//! sweep against three budgets, asserting the largest budget buys at
+//! least 2x recombination latency and that every point's reported
+//! skipped-mass bound dominates its measured L1 distance from the exact
+//! distribution.
+//!
 //! Plus the §IX sparse-contraction ablation. Every engine result is
 //! checked bit-identical between thread counts before timing is reported.
 //!
@@ -387,16 +394,16 @@ fn main() {
         workloads::ghz(6),
         workloads::hwea(4, 1, 2, 44).circuit,
     ];
-    let pool_cfg = SuperSimConfig {
-        shots: 300,
-        seed: 23,
-        mlft: true,
-        parallel: true,
-        threads: 8,
-        // Plan caching off: this series isolates worker reuse.
-        plan_cache_capacity: 0,
-        ..SuperSimConfig::default()
-    };
+    // Plan caching off: this series isolates worker reuse.
+    let pool_cfg = SuperSimConfig::builder()
+        .shots(300)
+        .seed(23)
+        .mlft(true)
+        .parallel(true)
+        .threads(8)
+        .plan_cache_capacity(0)
+        .build()
+        .unwrap();
     let pool_sim = SuperSim::new(pool_cfg.clone());
     assert_eq!(
         pool_sim.stats().pool.spawned_total,
@@ -414,10 +421,15 @@ fn main() {
         "runtime_reuse: warm batches must reuse the live workers"
     );
     let (pool_1t_ms, pool_seq_runs) = time_best(reps, || {
-        SuperSim::new(SuperSimConfig {
-            parallel: false,
-            ..pool_cfg.clone()
-        })
+        SuperSim::new(
+            pool_cfg
+                .clone()
+                .into_builder()
+                .parallel(false)
+                .threads(0)
+                .build()
+                .unwrap(),
+        )
         .run_batch(&pool_circuits)
     });
     let pool_identical = cold_runs
@@ -447,14 +459,18 @@ fn main() {
     // The cut-bound t_ladder under a tight budget: the greedy merge pass
     // dominates planning, which is exactly the cost a cache hit elides.
     let cache_ladder = workloads::t_ladder(2, 150);
-    let cache_cfg = SuperSimConfig {
-        cut_strategy: CutStrategy::IsolateNonClifford { max_cuts: 4 },
-        ..SuperSimConfig::default()
-    };
-    let miss_sim = SuperSim::new(SuperSimConfig {
-        plan_cache_capacity: 0,
-        ..cache_cfg.clone()
-    });
+    let cache_cfg = SuperSimConfig::builder()
+        .cut_strategy(CutStrategy::IsolateNonClifford { max_cuts: 4 })
+        .build()
+        .unwrap();
+    let miss_sim = SuperSim::new(
+        cache_cfg
+            .clone()
+            .into_builder()
+            .plan_cache_capacity(0)
+            .build()
+            .unwrap(),
+    );
     let (plan_miss_1t_ms, _) = time_best(reps, || miss_sim.plan(&cache_ladder.circuit).unwrap());
     let hit_sim = SuperSim::new(cache_cfg.clone());
     let seeded_plan = hit_sim.plan(&cache_ladder.circuit).unwrap();
@@ -748,38 +764,42 @@ fn main() {
     // bit-identical to the sequential per-point runs at 1, 2, and 8
     // worker threads before timing is reported.
     let ladder = workloads::t_ladder(2, 150);
-    let sweep_cfg = SuperSimConfig {
-        shots: 400,
-        cut_strategy: CutStrategy::IsolateNonClifford { max_cuts: 4 },
-        ..SuperSimConfig::default()
-    };
+    let sweep_cfg = SuperSimConfig::builder()
+        .shots(400)
+        .cut_strategy(CutStrategy::IsolateNonClifford { max_cuts: 4 })
+        .build()
+        .unwrap();
     let points: Vec<ExecParams> = (0..8u64)
-        .map(|i| ExecParams {
-            seed: 1000 + i,
-            shots: 400,
-            deadline: None,
-        })
+        .map(|i| ExecParams::seeded(1000 + i).with_shots(400))
         .collect();
     let (recut_ms, baseline_runs) = time_best(reps, || {
         points
             .iter()
             .map(|p| {
-                SuperSim::new(SuperSimConfig {
-                    seed: p.seed,
-                    shots: p.shots,
-                    ..sweep_cfg.clone()
-                })
+                SuperSim::new(
+                    sweep_cfg
+                        .clone()
+                        .into_builder()
+                        .seed(p.seed)
+                        .shots(p.shots)
+                        .build()
+                        .unwrap(),
+                )
                 .run(&ladder.circuit)
                 .unwrap()
             })
             .collect::<Vec<_>>()
     });
     let run_sweep_at = |threads: usize| -> Vec<RunResult> {
-        let sim = SuperSim::new(SuperSimConfig {
-            parallel: threads != 1,
-            threads,
-            ..sweep_cfg.clone()
-        });
+        let sim = SuperSim::new(
+            sweep_cfg
+                .clone()
+                .into_builder()
+                .parallel(threads != 1)
+                .threads(if threads != 1 { threads } else { 0 })
+                .build()
+                .unwrap(),
+        );
         let plan = sim.plan(&ladder.circuit).unwrap();
         sim.executor()
             .run_sweep(&plan, &points)
@@ -835,6 +855,97 @@ fn main() {
         baseline_runs[0].report.num_cuts,
     );
 
+    // --- Error-budgeted recombination: the accuracy/latency dial -------
+    // One plan of a 3-qubit T ladder recombined exactly and under three
+    // error budgets (`ExecParams::with_error_budget`). The budget must
+    // buy recombination latency — at least 2x at the largest budget —
+    // and the reported skipped-mass bound must dominate the measured L1
+    // distance from the exact distribution, or the dial is lying about
+    // one of its two axes.
+    let trunc_ladder = workloads::t_ladder(3, 40);
+    let trunc_sim = SuperSim::new(
+        SuperSimConfig::builder()
+            .shots(400)
+            .cut_strategy(CutStrategy::IsolateNonClifford { max_cuts: 8 })
+            .build()
+            .unwrap(),
+    );
+    let trunc_plan = trunc_sim.plan(&trunc_ladder.circuit).unwrap();
+    // Best recombination time across reps (the series gates on the
+    // recombine stage, not eval, which the budget does not touch).
+    let best_recombine = |params: ExecParams| -> (f64, RunResult) {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..reps {
+            let r = trunc_sim.executor().run_with(&trunc_plan, params).unwrap();
+            best = best.min(r.report.recombine_time.as_secs_f64() * 1e3);
+            out = Some(r);
+        }
+        (best, out.unwrap())
+    };
+    let (trunc_exact_ms, trunc_exact) = best_recombine(ExecParams::seeded(7));
+    assert_eq!(
+        trunc_exact.report.assignments_skipped, 0,
+        "truncated_sweep: the zero-budget run must not skip anything"
+    );
+    let exact_dist: std::collections::HashMap<Bits, f64> = trunc_exact
+        .distribution
+        .as_ref()
+        .unwrap()
+        .iter()
+        .map(|(b, p)| (b.clone(), p))
+        .collect();
+    let mut trunc_rows = Vec::new();
+    let mut trunc_last_speedup = 0.0;
+    for budget in [0.05f64, 0.25, 1.0] {
+        let (ms, run) = best_recombine(ExecParams::seeded(7).with_error_budget(budget));
+        let bound = run.report.recombine_error_bound;
+        let mut rest = exact_dist.clone();
+        let mut l1 = 0.0;
+        for (b, p) in run.distribution.as_ref().unwrap().iter() {
+            l1 += (p - rest.remove(b).unwrap_or(0.0)).abs();
+        }
+        l1 += rest.values().map(|v| v.abs()).sum::<f64>();
+        assert!(
+            bound <= budget + 1e-12,
+            "truncated_sweep: realized bound {bound} exceeds the budget {budget}"
+        );
+        assert!(
+            l1 <= bound,
+            "truncated_sweep: measured L1 {l1} above the reported bound {bound}"
+        );
+        let speedup = trunc_exact_ms / ms;
+        trunc_last_speedup = speedup;
+        println!(
+            "truncated_sweep budget={budget}: visited {} of {} ({} skipped), \
+             bound {bound:.4}, l1 {l1:.5}, recombine {ms:.2} ms ({speedup:.2}x)",
+            run.report.visited_assignments,
+            trunc_exact.report.visited_assignments,
+            run.report.assignments_skipped,
+        );
+        trunc_rows.push(format!(
+            "    {{\"budget\": {budget}, \"recombine_1t_ms\": {ms:.3}, \
+             \"speedup\": {speedup:.3}, \"visited\": {}, \"skipped\": {}, \
+             \"error_bound\": {bound:.6}, \"l1_vs_exact\": {l1:.6}, \
+             \"bound_dominates_l1\": true}}",
+            run.report.visited_assignments, run.report.assignments_skipped,
+        ));
+    }
+    assert!(
+        trunc_last_speedup >= 2.0,
+        "truncated_sweep: largest budget bought only {trunc_last_speedup:.2}x"
+    );
+    let truncated_sweep_row = format!(
+        "{{\"ops\": {}, \"t_gates\": {}, \"cuts\": {}, \
+         \"exact_recombine_1t_ms\": {trunc_exact_ms:.3}, \
+         \"exact_visited\": {}, \"points\": [\n{}\n  ]}}",
+        trunc_ladder.circuit.len(),
+        trunc_ladder.circuit.t_count(),
+        trunc_exact.report.num_cuts,
+        trunc_exact.report.visited_assignments,
+        trunc_rows.join(",\n"),
+    );
+
     // --- Supervised batch: isolation overhead --------------------------
     // A mixed batch timed clean, then with one job killed by an injected
     // panic (`faultkit::FaultPlan`): the supervision layer must keep the
@@ -863,33 +974,39 @@ fn main() {
         workloads::ghz(6),
         workloads::hwea(4, 1, 2, 44).circuit,
     ];
-    let super_cfg = SuperSimConfig {
-        shots: 300,
-        seed: 17,
-        mlft: true,
-        parallel: true,
-        threads: 0,
-        ..SuperSimConfig::default()
-    };
+    let super_cfg = SuperSimConfig::builder()
+        .shots(300)
+        .seed(17)
+        .mlft(true)
+        .parallel(true)
+        .threads(0)
+        .build()
+        .unwrap();
     let (super_clean_1t_ms, clean_1t) = time_best(reps, || {
-        SuperSim::new(SuperSimConfig {
-            parallel: false,
-            ..super_cfg.clone()
-        })
+        SuperSim::new(
+            super_cfg
+                .clone()
+                .into_builder()
+                .parallel(false)
+                .build()
+                .unwrap(),
+        )
         .run_batch(&super_circuits)
     });
     let (super_clean_mt_ms, clean_mt) = time_best(reps, || {
         SuperSim::new(super_cfg.clone()).run_batch(&super_circuits)
     });
-    let faulted_cfg = SuperSimConfig {
-        faults: Some(std::sync::Arc::new(supersim::FaultPlan::new().inject(
+    let faulted_cfg = super_cfg
+        .clone()
+        .into_builder()
+        .faults(std::sync::Arc::new(supersim::FaultPlan::new().inject(
             0,
             supersim::Stage::Eval,
             0,
             supersim::FaultKind::Panic,
-        ))),
-        ..super_cfg.clone()
-    };
+        )))
+        .build()
+        .unwrap();
     let (super_faulted_ms, faulted) = time_best(reps, || {
         SuperSim::new(faulted_cfg.clone()).run_batch(&super_circuits)
     });
@@ -971,7 +1088,7 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 6,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 7,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
          \"runtime_reuse\": {runtime_reuse_row},\n  \
          \"plan_cache\": {plan_cache_row},\n  \
@@ -983,6 +1100,7 @@ fn main() {
          \"rowsum_48q\": {rowsum_row},\n    \
          \"sampled_6q\": {tableau_sampled_row}\n  }},\n  \
          \"batch_sweep\": {batch_sweep_row},\n  \
+         \"truncated_sweep\": {truncated_sweep_row},\n  \
          \"supervised_batch\": {supervised_row},\n  \
          \"mlft\": {{\"fragments\": {}, \
          \"reference_ms\": {mlft_ref_ms:.3}, \

@@ -41,16 +41,54 @@
 //! decompositions are fixed and float folds happen in (circuit, fragment,
 //! variant) order, never in completion order.
 //!
+//! # The accuracy/latency dial: error-budgeted recombination
+//!
+//! Recombination sweeps `4^k` cut assignments — the paper's hard
+//! reconstruction wall. [`SuperSimConfig::error_budget`] (per-run:
+//! [`ExecParams::with_error_budget`]) trades a *bounded* amount of
+//! accuracy for latency: each assignment carries a cheap weight bound
+//! (the product of its fragments' per-slice L1 masses, which is exactly
+//! the probability mass the assignment contributes to the unnormalized
+//! joint in absolute value), and the sweep skips assignments greedily
+//! while the accumulated bound of everything skipped stays within the
+//! budget.
+//!
+//! What the knob guarantees:
+//!
+//! * **The bound is hard.** [`RunReport::recombine_error_bound`] is the
+//!   accumulated bound actually skipped; by the triangle inequality it
+//!   caps the L1 distance between the truncated and the exact
+//!   unnormalized joint. [`RunReport::assignments_skipped`] and
+//!   [`RunReport::visited_assignments`] report the work traded.
+//! * **`0.0` is exact.** The default budget runs the untruncated sweep,
+//!   bit for bit — truncation is strictly opt-in.
+//! * **Determinism survives.** The budget is split evenly across the
+//!   fixed contraction chunks and skip decisions are per-chunk
+//!   sequential, so for a fixed budget results are **bit-identical for
+//!   every thread count** and on every path (single run, sweep, batch,
+//!   plan-cache hit).
+//! * **Queries stay consistent.** Skip decisions depend only on the
+//!   assignment indices, never on the query — marginals, the joint, and
+//!   follow-up [`RunResult::probability_of`] /
+//!   [`RunResult::expectation_z`] calls all truncate the identical
+//!   assignment set.
+//!
+//! When to use it: deep circuits (large `k`) served at interactive
+//! latency, sampled runs whose shot noise already dwarfs a small budget,
+//! and admission-constrained batches (admission control discounts
+//! [`PlanCost::sweep_assignments`] by the budget via
+//! [`PlanCost::with_error_budget`]). Keep it at `0.0` when reproducing
+//! the paper's exact protocol.
+//!
 //! ```
 //! use qcir::Circuit;
 //! use supersim::{ExecParams, SuperSim, SuperSimConfig};
 //!
 //! let mut c = Circuit::new(2);
 //! c.h(0).cx(0, 1).t(1).h(1);
-//! let sim = SuperSim::new(SuperSimConfig {
-//!     exact: true,
-//!     ..SuperSimConfig::default()
-//! });
+//! let sim = SuperSim::new(
+//!     SuperSimConfig::builder().exact(true).build().unwrap(),
+//! );
 //!
 //! // One-shot: plan + execute fused.
 //! let result = sim.run(&c).unwrap();
@@ -60,11 +98,16 @@
 //!
 //! // Sweep: cut once, execute for many seeds on one shared pool.
 //! let plan = sim.plan(&c).unwrap();
-//! let points: Vec<ExecParams> = (0..3)
-//!     .map(|s| ExecParams::from_config(sim.config()).with_seed(s))
-//!     .collect();
+//! let points: Vec<ExecParams> = (0..3).map(|s| ExecParams::seeded(s)).collect();
 //! let runs = sim.executor().run_sweep(&plan, &points);
 //! assert_eq!(runs.len(), 3);
+//!
+//! // The accuracy/latency dial: trade a bounded L1 error for latency.
+//! let budgeted = sim
+//!     .executor()
+//!     .run_with(&plan, ExecParams::seeded(0).with_error_budget(1e-3))
+//!     .unwrap();
+//! assert!(budgeted.report.recombine_error_bound <= 1e-3);
 //! ```
 
 mod backends;
@@ -74,9 +117,9 @@ pub use backends::{
     BackendError, ExtStabBackend, MpsBackend, Simulator, StabilizerBackend, StatevectorBackend,
 };
 pub use pipeline::{
-    Admission, AdmissionError, AdmissionPolicy, CutPlan, ExecParams, Executor, PlanCacheStats,
-    PlanCost, PlanLoadError, RunReport, RunResult, RunStats, SuperSim, SuperSimConfig,
-    SuperSimError,
+    Admission, AdmissionError, AdmissionPolicy, ConfigError, CutPlan, ExecParams, Executor,
+    PlanCacheStats, PlanCost, PlanLoadError, RunReport, RunResult, RunStats, SuperSim,
+    SuperSimConfig, SuperSimConfigBuilder, SuperSimError,
 };
 
 // Re-export the persistent worker-pool stats surfaced by
@@ -84,7 +127,7 @@ pub use pipeline::{
 pub use runtime::PoolStats;
 
 // Re-export the pieces users need to configure the pipeline.
-pub use cutkit::{CutPoint, CutStrategy, EvalMode, TableauEngine};
+pub use cutkit::{CutPoint, CutStrategy, EvalMode, SweepStats, TableauEngine};
 
 // Re-export the supervision primitives batch callers configure
 // ([`SuperSimConfig::cancel`], [`SuperSimConfig::faults`]).

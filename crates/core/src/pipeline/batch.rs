@@ -60,8 +60,8 @@
 
 use super::cache::PlanCache;
 use super::execute::{
-    base_seeds, contraction_pool, eval_options, finish_run, mlft_enabled, tensor_options,
-    worker_threads, ExecParams, RunResult,
+    base_seeds, contraction_pool, eval_options, finish_run, mlft_enabled, resolved_error_budget,
+    tensor_options, worker_threads, ExecParams, RunResult,
 };
 use super::plan::CutPlan;
 use super::supervise::Admission;
@@ -124,6 +124,9 @@ struct JobState<'p> {
     /// fault plan) — cloned into the evaluation options and the
     /// recombination step, checked directly by the MLFT arm.
     supervisor: Supervisor,
+    /// Resolved recombination error budget of this job (the params
+    /// override when set, the config's budget otherwise).
+    error_budget: f64,
     /// Completed evaluation chunks (`None` = not run / skipped after an
     /// earlier chunk of this job failed).
     chunks: Mutex<Vec<Option<Result<EvalChunk, TaskFailure>>>>,
@@ -185,6 +188,7 @@ impl<'p> JobState<'p> {
             seeds: base_seeds(job.params.seed, fragments),
             num_chunks,
             supervisor,
+            error_budget: resolved_error_budget(config, job.params),
             chunks: Mutex::new((0..num_chunks).map(|_| None).collect()),
             chunks_left: AtomicUsize::new(num_chunks),
             fail_floor: AtomicUsize::new(usize::MAX),
@@ -299,7 +303,14 @@ pub(crate) fn execute_jobs(
     let mut pooled: Vec<usize> = Vec::with_capacity(jobs.len());
     let mut solo: Vec<usize> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
-        match config.admission.admit(&job.plan.cost()) {
+        // Admission judges the budget-discounted cost: a job whose error
+        // budget will truncate most of its sweep should not be rejected
+        // (or sequentialized) on the exact sweep's assignment count.
+        let cost = job
+            .plan
+            .cost()
+            .with_error_budget(resolved_error_budget(config, job.params));
+        match config.admission.admit(&cost) {
             Admission::Admit => pooled.push(i),
             Admission::Solo => solo.push(i),
             Admission::Reject(e) => results[i] = Some(Err(SuperSimError::Rejected(e))),
@@ -545,6 +556,7 @@ fn run_task(config: &SuperSimConfig, states: &[JobState<'_>], queue: &Queue, tas
                     mlft_moved,
                     eval_time,
                     rec_threads,
+                    s.error_budget,
                     &s.supervisor,
                 )
             }));

@@ -23,7 +23,17 @@ use std::time::{Duration, Instant};
 
 /// Per-run execution parameters: the knobs a sweep varies while the cut
 /// structure (the [`CutPlan`]) stays fixed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Build fluently from a starting point — [`ExecParams::seeded`],
+/// [`ExecParams::from_config`], or [`ExecParams::default`] — then chain
+/// `with_*` overrides:
+///
+/// ```
+/// # use supersim::ExecParams;
+/// let p = ExecParams::seeded(7).with_shots(2000).with_error_budget(1e-3);
+/// assert_eq!(p.seed, 7);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExecParams {
     /// Base RNG seed of this run (each fragment derives its own stream,
     /// exactly as [`SuperSimConfig::seed`] does for
@@ -36,9 +46,36 @@ pub struct ExecParams {
     /// fails with [`SuperSimError::DeadlineExceeded`] at its next
     /// supervision checkpoint.
     pub deadline: Option<Duration>,
+    /// Recombination error budget of this run, overriding
+    /// [`SuperSimConfig::error_budget`] when set (see that field for the
+    /// accuracy/latency semantics; the realized bound is reported via
+    /// [`RunReport::recombine_error_bound`]).
+    pub error_budget: Option<f64>,
+}
+
+impl Default for ExecParams {
+    /// The paper-protocol defaults: seed 0, 5000 shots, no deadline, no
+    /// error budget (exact recombination).
+    fn default() -> Self {
+        ExecParams {
+            seed: 0,
+            shots: 5000,
+            deadline: None,
+            error_budget: None,
+        }
+    }
 }
 
 impl ExecParams {
+    /// Default parameters with the given seed — the usual sweep starting
+    /// point (independent tomography repetitions of one cut structure).
+    pub fn seeded(seed: u64) -> Self {
+        ExecParams {
+            seed,
+            ..ExecParams::default()
+        }
+    }
+
     /// The parameters [`SuperSim::run`](crate::SuperSim::run) itself uses:
     /// the config's seed and shot budget.
     pub fn from_config(config: &SuperSimConfig) -> Self {
@@ -46,11 +83,11 @@ impl ExecParams {
             seed: config.seed,
             shots: config.shots,
             deadline: None,
+            error_budget: None,
         }
     }
 
-    /// This run's parameters with a different seed — the common sweep
-    /// shape (independent tomography repetitions of one cut structure).
+    /// This run's parameters with a different seed.
     pub fn with_seed(self, seed: u64) -> Self {
         ExecParams { seed, ..self }
     }
@@ -65,6 +102,16 @@ impl ExecParams {
     pub fn with_deadline(self, deadline: Duration) -> Self {
         ExecParams {
             deadline: Some(deadline),
+            ..self
+        }
+    }
+
+    /// This run's parameters with a recombination error budget (overrides
+    /// [`SuperSimConfig::error_budget`] for this run only). `0.0` forces
+    /// the exact sweep regardless of the config's budget.
+    pub fn with_error_budget(self, budget: f64) -> Self {
+        ExecParams {
+            error_budget: Some(budget),
             ..self
         }
     }
@@ -93,6 +140,20 @@ pub struct RunReport {
     pub recombine_time: Duration,
     /// Total Frobenius movement of the MLFT correction (0 without MLFT).
     pub mlft_moved: f64,
+    /// Guaranteed cap on the L1 error the budget-truncated recombination
+    /// introduced: the accumulated weight bound of every skipped cut
+    /// assignment (0.0 with a zero budget — the exact sweep). The skip
+    /// set is identical for every query of the run (marginals, joint,
+    /// follow-up strong simulation), so one bound covers them all.
+    pub recombine_error_bound: f64,
+    /// Cut assignments the error budget skipped during recombination
+    /// (sparse-skipped exact zeros are not counted).
+    pub assignments_skipped: u64,
+    /// Cut assignments the recombination sweep actually contracted, after
+    /// both sparse skipping and budget truncation — the post-truncation
+    /// counterpart of [`PlanCost::sweep_assignments`](crate::PlanCost::sweep_assignments),
+    /// so cost estimates and realized work compare like with like.
+    pub visited_assignments: u64,
     /// Whether this run's [`CutPlan`] was served from the instance's plan
     /// cache instead of being rebuilt. Always `false` on the raw
     /// [`Executor`] entry points, which take a prebuilt plan; set by
@@ -114,7 +175,15 @@ impl fmt::Display for RunReport {
             self.cut_time,
             self.eval_time,
             self.recombine_time
-        )
+        )?;
+        if self.assignments_skipped > 0 {
+            write!(
+                f,
+                "; budget skipped {} assignments (error bound {:.3e})",
+                self.assignments_skipped, self.recombine_error_bound
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -137,6 +206,11 @@ pub struct RunResult {
     /// Contraction pool size for follow-up queries (1 = sequential,
     /// 0 = one worker per core), mirroring the config this run used.
     threads: usize,
+    /// Resolved recombination error budget of this run, reapplied to
+    /// follow-up queries ([`RunResult::probability_of`],
+    /// [`RunResult::expectation_z`]) so they truncate the exact same
+    /// assignment set the run itself did.
+    error_budget: f64,
 }
 
 impl RunResult {
@@ -150,6 +224,7 @@ impl RunResult {
         Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
             .with_sparse(self.sparse)
             .with_threads(self.threads)
+            .with_error_budget(self.error_budget)
             .probability_of(bits)
     }
 
@@ -179,6 +254,7 @@ impl RunResult {
         Reconstructor::new(&self.tensors, self.num_cuts, self.n_qubits)
             .with_sparse(self.sparse)
             .with_threads(self.threads)
+            .with_error_budget(self.error_budget)
             .expectation_z(subset)
     }
 
@@ -353,6 +429,13 @@ pub(crate) fn eval_options(
     }
 }
 
+/// The recombination error budget of one run: the per-run override when
+/// set, the config's budget otherwise (the same override shape as
+/// [`ExecParams::deadline`] vs [`SuperSimConfig::job_deadline`]).
+pub(crate) fn resolved_error_budget(config: &SuperSimConfig, params: ExecParams) -> f64 {
+    params.error_budget.unwrap_or(config.error_budget)
+}
+
 /// The tensor-construction options of one run.
 pub(crate) fn tensor_options(config: &SuperSimConfig) -> TensorOptions {
     TensorOptions {
@@ -381,6 +464,7 @@ pub(crate) fn base_seeds(seed: u64, fragments: usize) -> Vec<u64> {
 /// single runs use the configured pool. The job's supervisor is checked
 /// once per contraction chunk; an interrupt or injected error surfaces as
 /// the typed pipeline error with the job's elapsed time.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_run(
     config: &SuperSimConfig,
     plan: &CutPlan,
@@ -388,6 +472,7 @@ pub(crate) fn finish_run(
     mlft_moved: f64,
     eval_time: Duration,
     recombine_threads: usize,
+    error_budget: f64,
     supervisor: &Supervisor,
 ) -> Result<RunResult, SuperSimError> {
     let t2 = Instant::now();
@@ -395,17 +480,21 @@ pub(crate) fn finish_run(
         .with_sparse(config.sparse_contraction)
         .with_threads(recombine_threads)
         .with_output_plans(&plan.output_plans)
-        .with_supervisor(supervisor.clone());
-    let marginals = rec
-        .try_marginals()
+        .with_supervisor(supervisor.clone())
+        .with_error_budget(error_budget);
+    let (marginals, stats) = rec
+        .try_marginals_with_stats()
         .map_err(|fault| fault_error(Stage::Recombine, fault, supervisor))?;
     let support: usize = tensors
         .iter()
         .map(|t| t.support_len().max(1))
         .fold(1usize, |a, b| a.saturating_mul(b));
     let distribution = if support <= config.joint_support_limit {
-        let mut d = rec
-            .try_joint(config.joint_support_limit)
+        // The joint sweep skips the identical assignment set the marginal
+        // sweep did (skip decisions are query-independent), so its stats
+        // are the same and one report entry covers both.
+        let (mut d, _) = rec
+            .try_joint_with_stats(config.joint_support_limit)
             .map_err(|fault| fault_error(Stage::Recombine, fault, supervisor))?;
         d.clip_and_normalize();
         Some(d)
@@ -425,6 +514,9 @@ pub(crate) fn finish_run(
             eval_time,
             recombine_time,
             mlft_moved,
+            recombine_error_bound: stats.skipped_bound,
+            assignments_skipped: stats.skipped,
+            visited_assignments: stats.visited,
             plan_cache_hit: false,
         },
         tensors,
@@ -432,5 +524,6 @@ pub(crate) fn finish_run(
         n_qubits: plan.cut.original_qubits,
         sparse: config.sparse_contraction,
         threads: contraction_pool(config),
+        error_budget,
     })
 }

@@ -93,6 +93,16 @@ pub struct SuperSimConfig {
     /// Skip identically-zero Pauli assignments during recombination
     /// (paper §IX optimization 2).
     pub sparse_contraction: bool,
+    /// Recombination error budget — the accuracy/latency dial (see the
+    /// crate docs). The `4^k` sweep may skip cut assignments as long as
+    /// the accumulated weight bound of everything skipped stays within
+    /// this budget; the realized bound — a guaranteed cap on the L1 error
+    /// of the unnormalized joint — is reported via
+    /// [`RunReport::recombine_error_bound`]. `0.0` (the default) runs the
+    /// exact sweep, bit for bit; any fixed budget is bit-identical for
+    /// every thread count. Must be finite and non-negative.
+    /// [`ExecParams::error_budget`] overrides this per run.
+    pub error_budget: f64,
     /// Run fragment evaluation, recombination, and batch scheduling on
     /// worker pools (see the module docs for the threading model).
     pub parallel: bool,
@@ -159,6 +169,7 @@ impl Default for SuperSimConfig {
             clifford_snap: true,
             exact_clifford: false,
             sparse_contraction: true,
+            error_budget: 0.0,
             parallel: false,
             threads: 0,
             seed: 0,
@@ -172,6 +183,223 @@ impl Default for SuperSimConfig {
             faults: None,
             plan_cache_capacity: 128,
         }
+    }
+}
+
+impl SuperSimConfig {
+    /// A fluent, validating builder over the paper-protocol defaults —
+    /// the preferred way to construct a configuration (the public fields
+    /// stay available for struct-literal construction, but bypass
+    /// validation):
+    ///
+    /// ```
+    /// # use supersim::SuperSimConfig;
+    /// let config = SuperSimConfig::builder()
+    ///     .exact(true)
+    ///     .parallel(true)
+    ///     .error_budget(1e-3)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.error_budget, 1e-3);
+    /// ```
+    pub fn builder() -> SuperSimConfigBuilder {
+        SuperSimConfigBuilder::default()
+    }
+
+    /// Re-enter the builder from an existing configuration, to derive a
+    /// variant (revalidated at `build()`):
+    ///
+    /// ```
+    /// # use supersim::SuperSimConfig;
+    /// let base = SuperSimConfig::builder().shots(300).build().unwrap();
+    /// let seq = base.clone().into_builder().parallel(false).build().unwrap();
+    /// assert_eq!(seq.shots, 300);
+    /// assert!(!seq.parallel);
+    /// ```
+    pub fn into_builder(self) -> SuperSimConfigBuilder {
+        SuperSimConfigBuilder { config: self }
+    }
+}
+
+/// Validation errors from [`SuperSimConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The error budget was NaN, infinite, or negative — the truncated
+    /// sweep needs a finite non-negative L1 allowance.
+    InvalidErrorBudget(f64),
+    /// A worker-pool size was set without enabling `parallel`; `threads`
+    /// is meaningless on the sequential path, so an explicit size there
+    /// is almost certainly a dropped `.parallel(true)`.
+    ThreadsWithoutParallel(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidErrorBudget(b) => {
+                write!(f, "error budget must be finite and non-negative, got {b}")
+            }
+            ConfigError::ThreadsWithoutParallel(t) => {
+                write!(f, "threads = {t} has no effect without parallel; call .parallel(true) or drop .threads(..)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder for [`SuperSimConfig`], created by
+/// [`SuperSimConfig::builder`]. Starts from [`SuperSimConfig::default`]
+/// (the paper's protocol); every setter mirrors the config field of the
+/// same name, and [`SuperSimConfigBuilder::build`] validates the
+/// combination before handing out the config.
+#[derive(Clone, Debug, Default)]
+pub struct SuperSimConfigBuilder {
+    config: SuperSimConfig,
+}
+
+impl SuperSimConfigBuilder {
+    /// Shots per fragment variant in sampled mode.
+    pub fn shots(mut self, shots: usize) -> Self {
+        self.config.shots = shots;
+        self
+    }
+
+    /// Machine-precision evaluation instead of sampling.
+    pub fn exact(mut self, exact: bool) -> Self {
+        self.config.exact = exact;
+        self
+    }
+
+    /// Cut placement strategy.
+    pub fn cut_strategy(mut self, strategy: CutStrategy) -> Self {
+        self.config.cut_strategy = strategy;
+        self
+    }
+
+    /// Apply the MLFT correction to sampled fragment tensors.
+    pub fn mlft(mut self, mlft: bool) -> Self {
+        self.config.mlft = mlft;
+        self
+    }
+
+    /// Snap Clifford-fragment conditional Pauli expectations (§IX opt. 1).
+    pub fn clifford_snap(mut self, snap: bool) -> Self {
+        self.config.clifford_snap = snap;
+        self
+    }
+
+    /// Evaluate Clifford fragments exactly even in sampled mode.
+    pub fn exact_clifford(mut self, exact_clifford: bool) -> Self {
+        self.config.exact_clifford = exact_clifford;
+        self
+    }
+
+    /// Skip identically-zero Pauli assignments during recombination.
+    pub fn sparse_contraction(mut self, sparse: bool) -> Self {
+        self.config.sparse_contraction = sparse;
+        self
+    }
+
+    /// Recombination error budget — the accuracy/latency dial (see
+    /// [`SuperSimConfig::error_budget`]). Validated at build time: must
+    /// be finite and non-negative.
+    pub fn error_budget(mut self, budget: f64) -> Self {
+        self.config.error_budget = budget;
+        self
+    }
+
+    /// Run evaluation, recombination, and batch scheduling on worker
+    /// pools.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// Worker-pool size (`0` = one worker per available core). Only
+    /// meaningful together with [`SuperSimConfigBuilder::parallel`] —
+    /// build time rejects a nonzero size on the sequential path.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Joint-distribution support ceiling.
+    pub fn joint_support_limit(mut self, limit: usize) -> Self {
+        self.config.joint_support_limit = limit;
+        self
+    }
+
+    /// Largest affine-support dimension in exact Clifford evaluation.
+    pub fn exact_support_limit(mut self, limit: usize) -> Self {
+        self.config.exact_support_limit = limit;
+        self
+    }
+
+    /// Stabilizer engine for noiseless Clifford fragments.
+    pub fn tableau_engine(mut self, engine: TableauEngine) -> Self {
+        self.config.tableau_engine = engine;
+        self
+    }
+
+    /// Per-job wall-clock deadline.
+    pub fn job_deadline(mut self, deadline: Duration) -> Self {
+        self.config.job_deadline = Some(deadline);
+        self
+    }
+
+    /// Shareable cooperative cancellation token.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = Some(cancel);
+        self
+    }
+
+    /// Batch-wide wall-clock deadline.
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.config.batch_deadline = Some(deadline);
+        self
+    }
+
+    /// Admission-control budgets applied before jobs are enqueued.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.config.admission = policy;
+        self
+    }
+
+    /// Deterministic fault-injection plan (chaos testing).
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.config.faults = Some(plan);
+        self
+    }
+
+    /// Capacity of the per-instance [`CutPlan`] cache.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Validates the combination and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidErrorBudget`] when the error budget is NaN,
+    /// infinite, or negative; [`ConfigError::ThreadsWithoutParallel`]
+    /// when a nonzero worker count was set without `parallel`.
+    pub fn build(self) -> Result<SuperSimConfig, ConfigError> {
+        let config = self.config;
+        if !config.error_budget.is_finite() || config.error_budget < 0.0 {
+            return Err(ConfigError::InvalidErrorBudget(config.error_budget));
+        }
+        if config.threads > 0 && !config.parallel {
+            return Err(ConfigError::ThreadsWithoutParallel(config.threads));
+        }
+        Ok(config)
     }
 }
 

@@ -62,12 +62,39 @@ pub struct PlanCost {
     pub num_cuts: usize,
     /// Total tomography variants evaluated across all fragments.
     pub num_variants: usize,
-    /// Size of the `4^k` recombination assignment sweep (upper bound; the
-    /// sparse contraction may visit fewer).
+    /// Estimated size of the `4^k` recombination assignment sweep. This
+    /// is an **upper bound**, not a prediction: the sparse contraction
+    /// prunes identically-zero Pauli assignments entirely outside this
+    /// estimate (for stabilizer-heavy circuits the realized visit count
+    /// can be orders of magnitude lower), and an error budget discounts
+    /// it only by the uniform-weight model of
+    /// [`PlanCost::with_error_budget`]. Compare against the realized
+    /// [`RunReport::visited_assignments`](crate::RunReport::visited_assignments)
+    /// — the post-truncation count — when judging like with like.
     pub sweep_assignments: u64,
     /// Bytes of dense per-fragment accumulators held live during
     /// evaluation: `Σ_f variants_f × 4^{cuts_f} × 8`.
     pub accumulator_bytes: u64,
+}
+
+impl PlanCost {
+    /// Discounts [`PlanCost::sweep_assignments`] by a recombination error
+    /// budget, under a uniform-weight model: a budget of `b` on a
+    /// unit-mass sweep can truncate up to a `b` fraction of the
+    /// assignments, so the estimate scales by `1 − min(b, 1)` (never
+    /// below one assignment for a nonempty sweep). A zero budget returns
+    /// the cost unchanged. Admission control applies this before judging
+    /// a job, so budgeted jobs are not rejected on the exact sweep size.
+    pub fn with_error_budget(self, budget: f64) -> PlanCost {
+        if budget <= 0.0 || !budget.is_finite() {
+            return self;
+        }
+        let scaled = (self.sweep_assignments as f64 * (1.0 - budget.min(1.0))).ceil() as u64;
+        PlanCost {
+            sweep_assignments: scaled.max(1),
+            ..self
+        }
+    }
 }
 
 impl CutPlan {

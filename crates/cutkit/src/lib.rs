@@ -48,7 +48,7 @@ pub use mlft::reference_correct_btreemap;
 pub use mlft::{correct_tensor, correct_tensors, MlftError, MlftOptions};
 #[doc(hidden)]
 pub use recombine::reference_joint_btreemap;
-pub use recombine::{Reconstructor, ASSIGNMENTS_PER_CHUNK, MAX_CONTRACTION_CUTS};
+pub use recombine::{Reconstructor, SweepStats, ASSIGNMENTS_PER_CHUNK, MAX_CONTRACTION_CUTS};
 #[doc(hidden)]
 pub use tensor::reference_evaluate_btreemap;
 pub use tensor::{

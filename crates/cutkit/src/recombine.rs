@@ -36,6 +36,29 @@
 //! Sparse skipping precomputes one bitmask of non-vanishing Pauli slices
 //! per tensor, turning the per-assignment check into a single bit test.
 //!
+//! # Error-budgeted truncation
+//!
+//! [`Reconstructor::with_error_budget`] turns accuracy into a latency
+//! knob: each cut assignment carries a cheap weight bound — the product
+//! of its fragments' per-slice L1 masses
+//! ([`FragmentTensor::slice_abs_sum`]), which upper-bounds the total
+//! probability mass the assignment can contribute — and the sweep skips
+//! assignments greedily while the accumulated bound of everything skipped
+//! stays within the budget. The budget is split evenly across the fixed
+//! chunks and skip decisions are made sequentially within each chunk, so
+//! they are a pure function of the chunk (never of the thread count or
+//! schedule): truncated results stay **bit-identical for any
+//! parallelism**, and `budget = 0` (the default) runs the exact sweep
+//! unchanged, bit for bit. Every query reports what it skipped via
+//! [`SweepStats`] (see [`Reconstructor::try_joint_with_stats`] /
+//! [`Reconstructor::try_marginals_with_stats`]): the accumulated
+//! `skipped_bound` upper-bounds the L1 distance between the truncated and
+//! the exact unnormalized joint distribution, by the triangle inequality.
+//! Skip decisions depend only on the assignment's indices — never on the
+//! query — so marginals, joint, and strong-simulation queries of one
+//! reconstructor all truncate the identical assignment set and stay
+//! mutually consistent.
+//!
 //! # Interned-id joint accumulation
 //!
 //! [`Reconstructor::joint`]'s outer product addresses outcomes by dense
@@ -51,8 +74,8 @@ use crate::tensor::FragmentTensor;
 use faultkit::{into_inner_or_recover, lock_or_recover, Fault, Stage, Supervisor};
 use metrics::Distribution;
 use qcir::{Bits, IndexPlan};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Hard cap on cuts for dense `4^k` contraction.
 pub const MAX_CONTRACTION_CUTS: usize = 13;
@@ -130,7 +153,45 @@ pub struct Reconstructor<'a> {
     /// the sequential and the parallel path (see
     /// [`Reconstructor::with_supervisor`]).
     supervisor: Supervisor,
+    /// Accumulated-skip L1 budget for the truncated sweep (0 = exact; see
+    /// [`Reconstructor::with_error_budget`]).
+    error_budget: f64,
+    /// Lazily-built record of a budgeted sweep's visited set. Skip
+    /// decisions are a pure function of the tensors and the budget —
+    /// never of the query — so the first budgeted query's sweep is
+    /// recorded and every later query of this reconstructor replays it
+    /// body-only, skipping the `4^k` iteration entirely. `None` inside
+    /// the cell means the set was measured too large to retain. Purely a
+    /// performance cache: replayed queries reproduce the recorded sweep's
+    /// exact call sequence, so results are bit-identical with or without
+    /// it. Clones share the cache (it depends only on shared state);
+    /// setters that change the skip set ([`Reconstructor::with_sparse`],
+    /// [`Reconstructor::with_error_budget`]) swap in a fresh cell.
+    skip_cache: Arc<OnceLock<Option<Vec<ChunkRecord>>>>,
 }
+
+/// One chunk of a recorded budgeted sweep: which assignments the chunk
+/// contracted (as offsets into the chunk) and the stats it reported.
+/// Every chunk gets a record so replay reproduces the fresh sweep's merge
+/// sequence exactly — including chunks the constant-mask sparse test
+/// skipped outright, whose empty accumulator still merges but whose
+/// `chunk_start` hook never ran (`masked`).
+#[derive(Clone, Debug)]
+struct ChunkRecord {
+    chunk: u64,
+    /// Whether the constant-mask test skipped the whole chunk before
+    /// `chunk_start` (replay then merges an untouched accumulator).
+    masked: bool,
+    /// Offsets of body-visited assignments ([`ASSIGNMENTS_PER_CHUNK`] is
+    /// 4096, so `u16` always fits).
+    visited: Vec<u16>,
+    stats: SweepStats,
+}
+
+/// Cap on the total number of recorded visited offsets: a budgeted sweep
+/// that still visits more than this replays no faster than it re-iterates,
+/// so the cache is dropped rather than grown past ~8 MiB.
+const SKIP_CACHE_MAX_VISITED: usize = 1 << 22;
 
 /// Per-worker scratch for the assignment sweep.
 struct SweepScratch {
@@ -138,6 +199,41 @@ struct SweepScratch {
     indices: Vec<usize>,
     /// Current base-4 digit per cut.
     digits: Vec<u8>,
+}
+
+/// What one contraction sweep visited and skipped (see the module docs on
+/// error-budgeted truncation).
+///
+/// `skipped_bound` is the accumulated per-assignment weight bound of every
+/// budget-skipped assignment — each bound is the product of the
+/// assignment's per-fragment slice L1 masses, which equals the total
+/// probability mass that assignment contributes to the unnormalized joint
+/// in absolute value — so `skipped_bound` upper-bounds the L1 distance
+/// between the truncated and the exact unnormalized joint distribution.
+/// With an error budget of zero (the default) the sweep is exact:
+/// `skipped == 0` and `skipped_bound == 0.0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SweepStats {
+    /// Assignments whose contraction body actually ran — after both the
+    /// sparse zero-slice skip and the budget truncation.
+    pub visited: u64,
+    /// Assignments skipped by the error budget. Sparse-skipped assignments
+    /// are exact zeros and are counted by neither field.
+    pub skipped: u64,
+    /// Accumulated weight bound of the budget-skipped assignments — the
+    /// guaranteed cap on the L1 error introduced by truncation.
+    pub skipped_bound: f64,
+}
+
+impl SweepStats {
+    /// Folds another chunk's stats into `self`. Always applied in chunk
+    /// order (the float `skipped_bound` sum rides the same ordered merge
+    /// as the accumulators), so totals are thread-count independent.
+    fn absorb(&mut self, other: SweepStats) {
+        self.visited += other.visited;
+        self.skipped += other.skipped;
+        self.skipped_bound += other.skipped_bound;
+    }
 }
 
 impl<'a> Reconstructor<'a> {
@@ -196,12 +292,15 @@ impl<'a> Reconstructor<'a> {
             const_suffix,
             output_plans: None,
             supervisor: Supervisor::new(),
+            error_budget: 0.0,
+            skip_cache: Arc::new(OnceLock::new()),
         }
     }
 
     /// Enables or disables the sparse (zero-Pauli-skipping) contraction.
     pub fn with_sparse(mut self, sparse: bool) -> Self {
         self.sparse = sparse;
+        self.skip_cache = Arc::new(OnceLock::new());
         self
     }
 
@@ -209,6 +308,35 @@ impl<'a> Reconstructor<'a> {
     /// available core). Results are bit-identical for every thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the error budget of the truncated sweep: the contraction may
+    /// skip cut assignments as long as the accumulated weight bound of
+    /// everything skipped stays within `budget` (see the module docs). The
+    /// realized bound is reported per query via [`SweepStats`]; it caps
+    /// the L1 distance to the exact unnormalized joint. `0.0` (the
+    /// default) disables truncation entirely — the exact sweep runs
+    /// unchanged, bit for bit — and any fixed budget is bit-identical for
+    /// every thread count.
+    ///
+    /// Repeated queries of one budgeted reconstructor share the work of
+    /// deciding what to skip: the first query records which assignments
+    /// survived and every later query replays that set body-only, without
+    /// re-walking the `4^k` range (the skip set is query-independent, so
+    /// this is exact, and replay reproduces the recorded call sequence
+    /// bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not finite or is negative.
+    pub fn with_error_budget(mut self, budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "error budget must be finite and non-negative, got {budget}"
+        );
+        self.error_budget = budget;
+        self.skip_cache = Arc::new(OnceLock::new());
         self
     }
 
@@ -253,20 +381,33 @@ impl<'a> Reconstructor<'a> {
     }
 
     /// Contracts one chunk of the assignment range into `acc`, returning
-    /// the number of assignments visited.
+    /// the chunk's [`SweepStats`].
+    ///
+    /// `chunk_budget` is this chunk's even share of the error budget
+    /// (`error_budget / num_chunks`, or 0 when truncation is off): skip
+    /// decisions consult only the chunk's own assignments and its fixed
+    /// share, never global state, so they are a pure function of the
+    /// chunk — identical for any thread count or schedule.
     ///
     /// Tensor indices are maintained incrementally: advancing `κ` changes
     /// an amortized 4/3 base-4 digits, and each changed cut digit touches
     /// only the two tensor ends of that cut — instead of recomputing every
     /// tensor's composite index per assignment.
+    /// When `record` is provided (the sequential path's first budgeted
+    /// sweep), the chunk's visited offsets and stats are appended as a
+    /// [`ChunkRecord`] — unless the constant-mask test skipped the chunk
+    /// outright, which replay mirrors by having no record at all.
+    #[allow(clippy::too_many_arguments)]
     fn run_chunk<A>(
         &self,
         chunk: u64,
+        chunk_budget: f64,
         acc: &mut A,
         chunk_start: &(impl Fn(&mut A, &[usize]) + Sync),
         body: &(impl Fn(&mut A, &[usize]) + Sync),
         scratch: &mut SweepScratch,
-    ) -> usize {
+        record: Option<&mut Vec<ChunkRecord>>,
+    ) -> SweepStats {
         let k = self.num_cuts;
         let total = 1u64 << (2 * k);
         let start = chunk * ASSIGNMENTS_PER_CHUNK;
@@ -292,10 +433,20 @@ impl<'a> Reconstructor<'a> {
                 .zip(indices.iter())
                 .any(|((&constant, mask), &idx)| constant && !mask.test(idx))
         {
-            return 0;
+            if let Some(records) = record {
+                records.push(ChunkRecord {
+                    chunk,
+                    masked: true,
+                    visited: Vec::new(),
+                    stats: SweepStats::default(),
+                });
+            }
+            return SweepStats::default();
         }
         chunk_start(acc, indices);
-        let mut visited = 0;
+        let mut stats = SweepStats::default();
+        let budgeted = chunk_budget > 0.0;
+        let mut visited_offsets = record.as_ref().map(|_| Vec::new());
         let mut kappa = start;
         loop {
             // Exact skip: a zero slice maximum means every term of this
@@ -304,14 +455,38 @@ impl<'a> Reconstructor<'a> {
             // precomputed mask makes this a single bit test per tensor,
             // and only the tensors whose index moves within the chunk
             // (`varying`) need testing — the constant ones passed above.
+            // It runs before the budget check: exact zeros are free and
+            // must never consume budget.
             let surviving = !self.sparse
                 || self
                     .varying
                     .iter()
                     .all(|&f| self.nonzero[f].test(indices[f]));
             if surviving {
-                visited += 1;
-                body(acc, indices);
+                // Budget skip: greedily drop the assignment if its weight
+                // bound — the product of per-fragment slice L1 masses,
+                // exactly the mass it contributes to the unnormalized
+                // joint — still fits in this chunk's remaining share.
+                // Gated on `budgeted` so a zero budget runs the exact
+                // sweep untouched.
+                let truncated = budgeted && {
+                    let mut bound = 1.0;
+                    for (t, &idx) in self.tensors.iter().zip(indices.iter()) {
+                        bound *= t.slice_abs_sum(idx);
+                    }
+                    stats.skipped_bound + bound <= chunk_budget && {
+                        stats.skipped_bound += bound;
+                        stats.skipped += 1;
+                        true
+                    }
+                };
+                if !truncated {
+                    stats.visited += 1;
+                    if let Some(offsets) = visited_offsets.as_mut() {
+                        offsets.push((kappa - start) as u16);
+                    }
+                    body(acc, indices);
+                }
             }
             kappa += 1;
             if kappa >= end {
@@ -335,13 +510,21 @@ impl<'a> Reconstructor<'a> {
                 }
             }
         }
-        visited
+        if let (Some(records), Some(visited)) = (record, visited_offsets) {
+            records.push(ChunkRecord {
+                chunk,
+                masked: false,
+                visited,
+                stats,
+            });
+        }
+        stats
     }
 
     /// The chunked contraction driver: runs `body` over every surviving
     /// assignment, accumulating into per-chunk accumulators created by
     /// `init` and merged in chunk order by `merge`. Returns the final
-    /// accumulator and the visited-assignment count.
+    /// accumulator and the sweep's [`SweepStats`].
     ///
     /// The sequential path (one worker) uses the identical chunk/merge
     /// structure, so results are bit-identical regardless of thread count.
@@ -350,7 +533,7 @@ impl<'a> Reconstructor<'a> {
         init: impl Fn() -> A + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         merge: impl FnMut(&mut A, A) + Send,
-    ) -> Result<(A, usize), Fault> {
+    ) -> Result<(A, SweepStats), Fault> {
         self.run_contraction_full(init, |_, _| {}, body, |_| {}, merge)
     }
 
@@ -367,7 +550,7 @@ impl<'a> Reconstructor<'a> {
         chunk_start: impl Fn(&mut A, &[usize]) + Sync,
         body: impl Fn(&mut A, &[usize]) + Sync,
         merge: impl FnMut(&mut A, A) + Send,
-    ) -> Result<(A, usize), Fault> {
+    ) -> Result<(A, SweepStats), Fault> {
         self.run_contraction_full(init, chunk_start, body, |_| {}, merge)
     }
 
@@ -385,7 +568,7 @@ impl<'a> Reconstructor<'a> {
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
         merge: impl FnMut(&mut A, A) + Send,
-    ) -> Result<(A, usize), Fault> {
+    ) -> Result<(A, SweepStats), Fault> {
         self.run_contraction_full(init, |_, _| {}, body, finish, merge)
     }
 
@@ -414,9 +597,18 @@ impl<'a> Reconstructor<'a> {
         body: impl Fn(&mut A, &[usize]) + Sync,
         finish: impl Fn(&mut A) + Sync,
         mut merge: impl FnMut(&mut A, A) + Send,
-    ) -> Result<(A, usize), Fault> {
+    ) -> Result<(A, SweepStats), Fault> {
         let num_chunks = self.num_chunks();
         let threads = self.effective_threads(num_chunks);
+        // Each chunk gets an even, fixed share of the error budget; the
+        // share depends only on `k` and the budget, never on the worker
+        // count, which is what keeps truncated results bit-identical for
+        // any parallelism.
+        let chunk_budget = if self.error_budget > 0.0 {
+            self.error_budget / num_chunks as f64
+        } else {
+            0.0
+        };
         let new_scratch = || SweepScratch {
             indices: vec![0usize; self.tensors.len()],
             digits: vec![0u8; self.num_cuts],
@@ -424,16 +616,53 @@ impl<'a> Reconstructor<'a> {
         let acc = init();
         if threads <= 1 {
             let mut acc = acc;
-            let mut visited = 0;
+            let mut stats = SweepStats::default();
             let mut scratch = new_scratch();
+            if chunk_budget > 0.0 {
+                // Replay a previously recorded budgeted sweep: body-only,
+                // no `4^k` re-iteration. The recorded call sequence is
+                // exactly the fresh sweep's, so results are bit-identical.
+                if let Some(Some(records)) = self.skip_cache.get() {
+                    return self.replay_records(
+                        records,
+                        acc,
+                        init,
+                        chunk_start,
+                        body,
+                        finish,
+                        merge,
+                    );
+                }
+            }
+            // Record the visited set on the first budgeted sweep so later
+            // queries of this reconstructor can replay it.
+            let mut records = if chunk_budget > 0.0 && self.skip_cache.get().is_none() {
+                Some(Vec::new())
+            } else {
+                None
+            };
             for chunk in 0..num_chunks {
                 self.supervisor.check(Stage::Recombine, chunk as usize)?;
                 let mut chunk_acc = init();
-                visited += self.run_chunk(chunk, &mut chunk_acc, &chunk_start, &body, &mut scratch);
+                stats.absorb(self.run_chunk(
+                    chunk,
+                    chunk_budget,
+                    &mut chunk_acc,
+                    &chunk_start,
+                    &body,
+                    &mut scratch,
+                    records.as_mut(),
+                ));
                 finish(&mut chunk_acc);
                 merge(&mut acc, chunk_acc);
             }
-            Ok((acc, visited))
+            if let Some(records) = records {
+                let total: usize = records.iter().map(|r| r.visited.len()).sum();
+                let _ = self
+                    .skip_cache
+                    .set((total <= SKIP_CACHE_MAX_VISITED).then_some(records));
+            }
+            Ok((acc, stats))
         } else {
             let next = AtomicU64::new(0);
             // Lowest chunk index that hit a supervision fault; chunks above
@@ -441,10 +670,21 @@ impl<'a> Reconstructor<'a> {
             // the floor only ever tightens toward the true minimum.
             let fail_floor = AtomicU64::new(u64::MAX);
             let first_fault: Mutex<Option<(u64, Fault)>> = Mutex::new(None);
-            let visited_total = AtomicUsize::new(0);
-            let merger = runtime::OrderedMerger::new(threads, acc, &mut merge);
+            // The chunk stats ride the ordered merge alongside the chunk
+            // accumulators, so the float `skipped_bound` folds in strict
+            // chunk order — an atomic counter would make the truncation
+            // bound schedule-dependent.
+            let mut merge_with_stats = |central: &mut (A, SweepStats), chunk: (A, SweepStats)| {
+                merge(&mut central.0, chunk.0);
+                central.1.absorb(chunk.1);
+            };
+            let merger = runtime::OrderedMerger::new(
+                threads,
+                (acc, SweepStats::default()),
+                &mut merge_with_stats,
+            );
             enum ChunkOutcome<A> {
-                Done(A, usize),
+                Done(A, SweepStats),
                 Fault(Fault),
             }
             runtime::Pool::global().run(threads, |_| {
@@ -474,20 +714,21 @@ impl<'a> Reconstructor<'a> {
                             return ChunkOutcome::Fault(fault);
                         }
                         let mut chunk_acc = init();
-                        let v = self.run_chunk(
+                        let stats = self.run_chunk(
                             chunk,
+                            chunk_budget,
                             &mut chunk_acc,
                             &chunk_start,
                             &body,
                             &mut scratch,
+                            None,
                         );
                         finish(&mut chunk_acc);
-                        ChunkOutcome::Done(chunk_acc, v)
+                        ChunkOutcome::Done(chunk_acc, stats)
                     }));
                     match outcome {
-                        Ok(ChunkOutcome::Done(chunk_acc, v)) => {
-                            visited_total.fetch_add(v, Ordering::Relaxed);
-                            merger.submit(chunk, chunk_acc);
+                        Ok(ChunkOutcome::Done(chunk_acc, stats)) => {
+                            merger.submit(chunk, (chunk_acc, stats));
                         }
                         Ok(ChunkOutcome::Fault(fault)) => {
                             fail_floor.fetch_min(chunk, Ordering::Relaxed);
@@ -510,8 +751,53 @@ impl<'a> Reconstructor<'a> {
             if let Some((_, fault)) = into_inner_or_recover(first_fault) {
                 return Err(fault);
             }
-            Ok((merger.finish(), visited_total.load(Ordering::Relaxed)))
+            Ok(merger.finish())
         }
+    }
+
+    /// Replays a recorded budgeted sweep: the identical chunk-start /
+    /// body / finish / merge call sequence as the recording run — same
+    /// chunks (constant-mask-skipped ones carry no record and stay
+    /// skipped), same assignments, same order, so every float folds
+    /// identically — but touching only the recorded assignments instead
+    /// of walking the full `4^k` range. Supervision checkpoints still run
+    /// per replayed chunk, under the chunk's original index.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_records<A>(
+        &self,
+        records: &[ChunkRecord],
+        mut acc: A,
+        init: impl Fn() -> A,
+        chunk_start: impl Fn(&mut A, &[usize]),
+        body: impl Fn(&mut A, &[usize]),
+        finish: impl Fn(&mut A),
+        mut merge: impl FnMut(&mut A, A),
+    ) -> Result<(A, SweepStats), Fault> {
+        let mut stats = SweepStats::default();
+        let mut indices = vec![0usize; self.tensors.len()];
+        for rec in records {
+            self.supervisor
+                .check(Stage::Recombine, rec.chunk as usize)?;
+            let mut chunk_acc = init();
+            if !rec.masked {
+                let start = rec.chunk * ASSIGNMENTS_PER_CHUNK;
+                for (fi, t) in self.tensors.iter().enumerate() {
+                    indices[fi] = t.pauli_index(|c| ((start >> (2 * c)) & 0b11) as usize);
+                }
+                chunk_start(&mut chunk_acc, &indices);
+                for &offset in &rec.visited {
+                    let kappa = start + offset as u64;
+                    for (fi, t) in self.tensors.iter().enumerate() {
+                        indices[fi] = t.pauli_index(|c| ((kappa >> (2 * c)) & 0b11) as usize);
+                    }
+                    body(&mut chunk_acc, &indices);
+                }
+            }
+            finish(&mut chunk_acc);
+            merge(&mut acc, chunk_acc);
+            stats.absorb(rec.stats);
+        }
+        Ok((acc, stats))
     }
 
     /// Total reconstructed probability mass `Σ_b p(b)`; 1 up to sampling
@@ -570,6 +856,19 @@ impl<'a> Reconstructor<'a> {
     /// Still panics if the product of fragment supports exceeds
     /// `max_support` (a sizing bug, not a runtime fault).
     pub fn try_joint(&self, max_support: usize) -> Result<Distribution, Fault> {
+        self.try_joint_with_stats(max_support).map(|(dist, _)| dist)
+    }
+
+    /// [`Reconstructor::try_joint`] plus the sweep's [`SweepStats`]:
+    /// post-truncation visited/skipped assignment counts and the
+    /// accumulated skipped-weight bound, which caps the L1 distance
+    /// between the returned (unnormalized) distribution and the exact
+    /// one. With a zero error budget the stats report an exact sweep and
+    /// the distribution is bit-identical to [`Reconstructor::joint`].
+    pub fn try_joint_with_stats(
+        &self,
+        max_support: usize,
+    ) -> Result<(Distribution, SweepStats), Fault> {
         let support: usize = self
             .tensors
             .iter()
@@ -627,7 +926,7 @@ impl<'a> Reconstructor<'a> {
         // the sequential fallback it forced on large supports, are gone:
         // every support size runs parallel. Merge order is still strict
         // chunk order, so results stay bit-identical for any thread count.
-        let (acc, _) = self.run_contraction_finished(
+        let (acc, stats) = self.run_contraction_finished(
             || JointAcc {
                 weights: vec![0.0; support],
                 touched: vec![0u64; support.div_ceil(64)],
@@ -695,7 +994,7 @@ impl<'a> Reconstructor<'a> {
             }
             dist.add(global, w);
         }
-        Ok(dist)
+        Ok((dist, stats))
     }
 
     /// All single-qubit marginals of the reconstructed distribution,
@@ -715,6 +1014,17 @@ impl<'a> Reconstructor<'a> {
     /// its deadline passes, or a fault plan targets a recombine chunk.
     /// Numeric results are bit-identical to [`Reconstructor::marginals`].
     pub fn try_marginals(&self) -> Result<Vec<[f64; 2]>, Fault> {
+        self.try_marginals_with_stats().map(|(marg, _)| marg)
+    }
+
+    /// [`Reconstructor::try_marginals`] plus the sweep's [`SweepStats`].
+    /// The skip decisions of the truncated sweep depend only on the
+    /// assignment indices — never on the query — so the stats (and the
+    /// skipped assignment set) here are identical to what
+    /// [`Reconstructor::try_joint_with_stats`] reports for the same
+    /// reconstructor, keeping marginal and joint queries mutually
+    /// consistent.
+    pub fn try_marginals_with_stats(&self) -> Result<(Vec<[f64; 2]>, SweepStats), Fault> {
         // Two equivalent evaluation strategies (identical up to float
         // reordering); the choice is a deterministic function of the
         // tensor shapes, never of the thread count, so results stay
@@ -729,7 +1039,7 @@ impl<'a> Reconstructor<'a> {
         // the direct inner loop is short anyway).
         let weight_len: usize = self.tensors.iter().map(|t| t.pauli_dim()).sum();
         let grouped_bytes = (weight_len as u64) * self.num_chunks() * 8;
-        let (mut marg, mass) = if grouped_bytes <= 64 << 20 {
+        let (mut marg, mass, stats) = if grouped_bytes <= 64 << 20 {
             self.marginals_grouped()?
         } else {
             self.marginals_direct()?
@@ -750,12 +1060,12 @@ impl<'a> Reconstructor<'a> {
                 m[1] /= s;
             }
         }
-        Ok(marg)
+        Ok((marg, stats))
     }
 
     /// Grouped marginal contraction: exclusion weights per (fragment,
     /// Pauli index), expanded against the marginal tables after the sweep.
-    fn marginals_grouped(&self) -> Result<(Vec<[f64; 2]>, f64), Fault> {
+    fn marginals_grouped(&self) -> Result<(Vec<[f64; 2]>, f64, SweepStats), Fault> {
         let nf = self.tensors.len();
         struct GroupedAcc {
             /// `weights[f][idx]` = Σ over visited assignments with
@@ -768,7 +1078,7 @@ impl<'a> Reconstructor<'a> {
         }
         let totals: Vec<&[f64]> = self.tensors.iter().map(|t| t.totals()).collect();
         let (cp, cs) = (self.const_prefix, self.const_suffix);
-        let (acc, _) = self.run_contraction_hoisted(
+        let (acc, stats) = self.run_contraction_hoisted(
             || GroupedAcc {
                 weights: totals.iter().map(|t| vec![0.0f64; t.len()]).collect(),
                 mass: 0.0,
@@ -826,12 +1136,12 @@ impl<'a> Reconstructor<'a> {
                 }
             }
         }
-        Ok((marg, acc.mass))
+        Ok((marg, acc.mass, stats))
     }
 
     /// Direct marginal contraction: per-qubit updates inside the
     /// assignment sweep (bounded accumulator size).
-    fn marginals_direct(&self) -> Result<(Vec<[f64; 2]>, f64), Fault> {
+    fn marginals_direct(&self) -> Result<(Vec<[f64; 2]>, f64, SweepStats), Fault> {
         let nf = self.tensors.len();
         struct DirectAcc {
             marg: Vec<[f64; 2]>,
@@ -860,7 +1170,7 @@ impl<'a> Reconstructor<'a> {
             })
             .collect();
         let (cp, cs) = (self.const_prefix, self.const_suffix);
-        let (acc, _) = self.run_contraction_hoisted(
+        let (acc, stats) = self.run_contraction_hoisted(
             || DirectAcc {
                 marg: vec![[0.0f64; 2]; self.n_qubits],
                 mass: 0.0,
@@ -906,7 +1216,7 @@ impl<'a> Reconstructor<'a> {
                 acc.mass += chunk.mass;
             },
         )?;
-        Ok((acc.marg, acc.mass))
+        Ok((acc.marg, acc.mass, stats))
     }
 
     /// "Strong simulation": the probability of one specific global
@@ -947,11 +1257,21 @@ impl<'a> Reconstructor<'a> {
         p
     }
 
-    /// Number of `4^k` terms the sparse contraction actually visits —
-    /// exposed for the §IX ablation benchmark.
+    /// Number of `4^k` terms the contraction actually visits — after both
+    /// sparse skipping and budget truncation, so the §IX ablation
+    /// benchmark and the truncated-sweep bench compare like with like.
     pub fn visited_assignments(&self) -> usize {
-        let ((), visited) = expect_unsupervised(self.run_contraction(|| (), |_, _| {}, |_, _| {}));
-        visited
+        self.sweep_stats().visited as usize
+    }
+
+    /// Runs an empty sweep and reports its [`SweepStats`] — the visited
+    /// and budget-skipped assignment counts and the accumulated
+    /// skipped-weight bound any real query of this reconstructor would
+    /// incur (skip decisions are query-independent). Cheap relative to a
+    /// real query: no accumulator work, just the sweep itself.
+    pub fn sweep_stats(&self) -> SweepStats {
+        let ((), stats) = expect_unsupervised(self.run_contraction(|| (), |_, _| {}, |_, _| {}));
+        stats
     }
 
     /// Expectation value of a Z-string observable `⟨Π_{q∈subset} Z_q⟩` on
@@ -1507,5 +1827,98 @@ mod tests {
         let dist = r.joint(1000);
         assert!((dist.prob(&Bits::parse("00").unwrap()) - 0.5).abs() < 1e-12);
         assert!((dist.prob(&Bits::parse("11").unwrap()) - 0.5).abs() < 1e-12);
+    }
+
+    /// A nonzero budget skips real mass, the realized `skipped_bound`
+    /// stays within the budget and upper-bounds the true L1 distance to
+    /// the exact unnormalized joint, and the truncated result is
+    /// bit-identical at 1, 2, and 8 threads.
+    #[test]
+    fn budget_truncation_bounds_l1_and_is_thread_invariant() {
+        use std::collections::HashMap;
+        let k = 7;
+        let (tensors, n) = synthetic_dense_chain(k, 1);
+        let exact = Reconstructor::new(&tensors, k, n);
+        let (exact_joint, exact_stats) = exact.try_joint_with_stats(10_000_000).unwrap();
+        assert_eq!(exact_stats.skipped, 0);
+        assert_eq!(exact_stats.skipped_bound, 0.0);
+        // Scale the budget off the all-skip bound so truncation is
+        // partial regardless of the synthetic tensors' magnitudes.
+        let total_bound = Reconstructor::new(&tensors, k, n)
+            .with_error_budget(1e18)
+            .sweep_stats()
+            .skipped_bound;
+        let budget = total_bound * 0.25;
+        let seq = Reconstructor::new(&tensors, k, n).with_error_budget(budget);
+        let (joint, stats) = seq.try_joint_with_stats(10_000_000).unwrap();
+        assert!(stats.skipped > 0, "budget must skip something");
+        assert!(stats.visited > 0, "budget must not skip everything");
+        assert!(stats.skipped_bound <= budget + 1e-12);
+        let mut diff: HashMap<Bits, f64> =
+            exact_joint.iter().map(|(b, p)| (b.clone(), p)).collect();
+        for (b, p) in joint.iter() {
+            *diff.entry(b.clone()).or_insert(0.0) -= p;
+        }
+        let l1: f64 = diff.values().map(|d| d.abs()).sum();
+        // Relative tolerance: on the synthetic chain the bound is tight
+        // (no sign cancellation), so l1 ≈ bound up to float fold noise.
+        assert!(
+            l1 <= stats.skipped_bound * (1.0 + 1e-12) + 1e-12,
+            "l1 {l1} exceeds bound {}",
+            stats.skipped_bound
+        );
+        for threads in [2usize, 8] {
+            let par = Reconstructor::new(&tensors, k, n)
+                .with_error_budget(budget)
+                .with_threads(threads);
+            let (pj, ps) = par.try_joint_with_stats(10_000_000).unwrap();
+            assert_eq!(
+                joint_pairs(&joint),
+                joint_pairs(&pj),
+                "joint at {threads} threads"
+            );
+            assert_eq!(stats, ps, "stats at {threads} threads");
+        }
+    }
+
+    /// The first budgeted sequential sweep records its visited set; every
+    /// later query replays it bit for bit, answers other query shapes
+    /// identically to a fresh sweep, and the cache is dropped by the
+    /// setters that change the skip set.
+    #[test]
+    fn budgeted_replay_cache_is_bit_identical_across_queries() {
+        let k = 7;
+        let (tensors, n) = synthetic_dense_chain(k, 1);
+        let total_bound = Reconstructor::new(&tensors, k, n)
+            .with_error_budget(1e18)
+            .sweep_stats()
+            .skipped_bound;
+        let budget = total_bound * 0.25;
+        let r = Reconstructor::new(&tensors, k, n).with_error_budget(budget);
+        assert!(r.skip_cache.get().is_none(), "cache starts cold");
+        let (first, first_stats) = r.try_joint_with_stats(10_000_000).unwrap();
+        assert!(
+            matches!(r.skip_cache.get(), Some(Some(_))),
+            "first budgeted sweep must record the visited set"
+        );
+        let (second, second_stats) = r.try_joint_with_stats(10_000_000).unwrap();
+        assert_eq!(joint_pairs(&first), joint_pairs(&second));
+        assert_eq!(first_stats, second_stats);
+        // Replay answers a different query shape identically to a fresh
+        // reconstructor's first (recorded) sweep.
+        let fresh = Reconstructor::new(&tensors, k, n).with_error_budget(budget);
+        let (fresh_marg, fresh_stats) = fresh.try_marginals_with_stats().unwrap();
+        let (replay_marg, replay_stats) = r.try_marginals_with_stats().unwrap();
+        assert_eq!(fresh_marg, replay_marg);
+        assert_eq!(fresh_stats, replay_stats);
+        // Exact queries never populate the cache.
+        let exact = Reconstructor::new(&tensors, k, n);
+        let _ = exact.try_joint_with_stats(10_000_000).unwrap();
+        assert!(exact.skip_cache.get().is_none());
+        // Setters that change the skip set swap in a fresh cell.
+        let rebudgeted = r.clone().with_error_budget(budget * 2.0);
+        assert!(rebudgeted.skip_cache.get().is_none());
+        let resparsed = r.clone().with_sparse(false);
+        assert!(resparsed.skip_cache.get().is_none());
     }
 }

@@ -119,6 +119,11 @@ pub struct FragmentTensor {
     /// a zero here means the whole slice vanishes, exactly for stabilizer
     /// fragments).
     slice_max: Vec<f64>,
+    /// `Σ_b |entries[b]|`, per Pauli index — the per-slice L1 mass the
+    /// error-budgeted contraction uses to bound how much probability mass
+    /// a skipped cut assignment could carry (the per-assignment bound is
+    /// the product of these over the assignment's composite indices).
+    slice_abs: Vec<f64>,
     /// Per circuit-output bit and value: `Σ_{b: b[bit]=v} entries[b]`.
     marginals: Vec<[Vec<f64>; 2]>,
 }
@@ -222,6 +227,22 @@ impl FragmentTensor {
         self.slice_max[idx]
     }
 
+    /// `Σ_b |T[b, idx]|` — the L1 mass of one Pauli slice. A cut
+    /// assignment's total contribution to the unnormalized joint is
+    /// bounded by the product of these over its composite indices, which
+    /// is the weight bound the error-budgeted contraction ranks skip
+    /// candidates by.
+    pub fn slice_abs_sum(&self, idx: usize) -> f64 {
+        self.slice_abs[idx]
+    }
+
+    /// All per-slice L1 masses as one dense slice indexed by composite
+    /// Pauli index — the flat view the budgeted contraction's bound
+    /// computation reads.
+    pub fn abs_sums(&self) -> &[f64] {
+        &self.slice_abs
+    }
+
     /// The composite Pauli index for a cut assignment: `digit(cut)` is the
     /// Pauli on that cut (`I=0, X=1, Y=2, Z=3`).
     pub fn pauli_index(&self, digit_of_cut: impl Fn(usize) -> usize) -> usize {
@@ -264,6 +285,7 @@ impl FragmentTensor {
         let n_out = self.co_global.len();
         let mut totals = vec![0.0; dim];
         let mut slice_max = vec![0.0f64; dim];
+        let mut slice_abs = vec![0.0f64; dim];
         let mut marginals = vec![[vec![0.0; dim], vec![0.0; dim]]; n_out];
         let order = self.order.get_or_init(|| self.pool.sorted_ids());
         for &id in order.iter() {
@@ -275,6 +297,7 @@ impl FragmentTensor {
             for (i, &x) in v.iter().enumerate() {
                 totals[i] += x;
                 slice_max[i] = slice_max[i].max(x.abs());
+                slice_abs[i] += x.abs();
             }
             let b = self.pool.key(id);
             for bit in 0..n_out {
@@ -286,6 +309,7 @@ impl FragmentTensor {
         }
         self.totals = totals;
         self.slice_max = slice_max;
+        self.slice_abs = slice_abs;
         self.marginals = marginals;
     }
 
@@ -340,6 +364,7 @@ impl FragmentTensor {
             order: OnceLock::new(),
             totals: Vec::new(),
             slice_max: Vec::new(),
+            slice_abs: Vec::new(),
             marginals: Vec::new(),
         };
         tensor.rebuild_derived(1.0);
@@ -645,6 +670,7 @@ fn finalize_fragment_tensor(
         order: OnceLock::new(),
         totals: Vec::new(),
         slice_max: Vec::new(),
+        slice_abs: Vec::new(),
         marginals: Vec::new(),
     };
     tensor.rebuild_derived(1.0);

@@ -67,11 +67,13 @@ fn main() {
         // on the noise-free stabilizer simulator via cutting. (Here every
         // fragment is simulated, so only sampling error remains — the
         // limit case of the paper's mitigation argument.)
-        let sim = SuperSim::new(SuperSimConfig {
-            shots: 20_000,
-            seed: 3,
-            ..SuperSimConfig::default()
-        });
+        let sim = SuperSim::new(
+            SuperSimConfig::builder()
+                .shots(20_000)
+                .seed(3)
+                .build()
+                .expect("valid config"),
+        );
         let mitigated = sim.run(&w.circuit).expect("pipeline runs");
         let f_cut = ideal.hellinger_fidelity(mitigated.distribution.as_ref().unwrap());
 

@@ -112,10 +112,13 @@ fn optimize(sim: &SuperSim, t_qubit: Option<usize>, start: Option<&[u8]>) -> (Ve
 }
 
 fn main() {
-    let sim = SuperSim::new(SuperSimConfig {
-        exact: true, // CAFQA evaluation is exact Clifford simulation
-        ..SuperSimConfig::default()
-    });
+    // CAFQA evaluation is exact Clifford simulation.
+    let sim = SuperSim::new(
+        SuperSimConfig::builder()
+            .exact(true)
+            .build()
+            .expect("valid config"),
+    );
 
     println!("TFIM chain: n={N}, g={G}, HWEA rounds={ROUNDS}");
     println!("searching Clifford (CAFQA) parameter space...");

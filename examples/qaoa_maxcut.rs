@@ -60,10 +60,12 @@ fn main() {
     let cut_exact = expected_cut(&reference, &weights);
 
     // Plan once; sweep the tomography shot budget over the same plan.
-    let sim = SuperSim::new(SuperSimConfig {
-        seed: 1,
-        ..SuperSimConfig::default()
-    });
+    let sim = SuperSim::new(
+        SuperSimConfig::builder()
+            .seed(1)
+            .build()
+            .expect("valid config"),
+    );
     let t0 = std::time::Instant::now();
     let plan = sim.plan(&workload.circuit).expect("circuit cuts");
     let plan_time = t0.elapsed();

@@ -57,10 +57,12 @@ fn main() {
     });
     let n = w.circuit.num_qubits();
     println!("\nnear-Clifford cycle: {d2} data qubits + 1 injected T gate");
-    let sim = SuperSim::new(SuperSimConfig {
-        shots: 5000,
-        ..SuperSimConfig::default()
-    });
+    let sim = SuperSim::new(
+        SuperSimConfig::builder()
+            .shots(5000)
+            .build()
+            .expect("valid config"),
+    );
     let result = sim.run(&w.circuit).expect("pipeline runs");
     println!(
         "fragments: {} ({} Clifford), cuts: {}",

@@ -26,10 +26,13 @@ fn main() {
 
     // Stage 1 — plan: cut placement + fragment structure + variant
     // enumeration, built once and reusable across runs.
-    let sim = SuperSim::new(SuperSimConfig {
-        shots: 5000, // the paper's default sampling budget
-        ..SuperSimConfig::default()
-    });
+    // 5000 shots is the paper's default sampling budget.
+    let sim = SuperSim::new(
+        SuperSimConfig::builder()
+            .shots(5000)
+            .build()
+            .expect("valid config"),
+    );
     let plan = sim.plan(&circuit).expect("circuit cuts within budget");
     println!(
         "\nplanned: {} fragments ({} Clifford) joined by {} cuts; {} variants per execution",

@@ -10,10 +10,12 @@ use supersim::{SuperSim, SuperSimConfig};
 fn main() {
     for n in [100usize, 175, 250] {
         let w = workloads::hwea(n, 5, 1, n as u64);
-        let sim = SuperSim::new(SuperSimConfig {
-            shots: 5000,
-            ..SuperSimConfig::default()
-        });
+        let sim = SuperSim::new(
+            SuperSimConfig::builder()
+                .shots(5000)
+                .build()
+                .expect("valid config"),
+        );
         let t0 = std::time::Instant::now();
         let result = sim.run(&w.circuit).expect("pipeline runs");
         let elapsed = t0.elapsed();

@@ -142,11 +142,7 @@ fn sweep_bit_identical_at_1_2_8_threads() {
         ..SuperSimConfig::default()
     };
     let points: Vec<ExecParams> = (0..5)
-        .map(|i| ExecParams {
-            seed: 900 + i as u64,
-            shots: 150 + 50 * (i % 3),
-            deadline: None,
-        })
+        .map(|i| ExecParams::seeded(900 + i as u64).with_shots(150 + 50 * (i % 3)))
         .collect();
     let solo: Vec<RunResult> = points
         .iter()

@@ -239,21 +239,9 @@ fn sweep_bit_identical_to_independent_runs_at_matrix_thread_count() {
         ..SuperSimConfig::default()
     };
     let points: Vec<ExecParams> = vec![
-        ExecParams {
-            seed: 11,
-            shots: 250,
-            deadline: None,
-        },
-        ExecParams {
-            seed: 12,
-            shots: 250,
-            deadline: None,
-        },
-        ExecParams {
-            seed: 11,
-            shots: 400,
-            deadline: None,
-        },
+        ExecParams::seeded(11).with_shots(250),
+        ExecParams::seeded(12).with_shots(250),
+        ExecParams::seeded(11).with_shots(400),
     ];
     let solo: Vec<RunResult> = points
         .iter()
