@@ -1049,6 +1049,93 @@ fn main() {
         super_circuits.len(),
     );
 
+    // --- Resilient batch: retry + salvage overhead ---------------------
+    // The resilience driver on the same mixed batch: a clean pass (the
+    // wrapper's bookkeeping cost), a pass where one job needs a transient
+    // retry (`FailNTimes(1)`), and a full salvage cycle (fail under a
+    // 1-attempt budget, then `resume` re-runs only the failed job). All
+    // recovered results must stay bit-identical to the clean batch.
+    let resilient_policy = || {
+        supersim::ResiliencePolicy::new().with_retry(
+            supersim::RetryPolicy::default()
+                .with_max_attempts(3)
+                .without_backoff(),
+        )
+    };
+    let (resil_clean_ms, resil_clean) = time_best(reps, || {
+        SuperSim::new(super_cfg.clone())
+            .run_batch_resilient(&super_circuits, resilient_policy())
+            .into_results()
+    });
+    let transient_cfg = super_cfg
+        .clone()
+        .into_builder()
+        .faults(std::sync::Arc::new(supersim::FaultPlan::new().inject(
+            0,
+            supersim::Stage::Eval,
+            0,
+            supersim::FaultKind::FailNTimes(1),
+        )))
+        .build()
+        .unwrap();
+    let (resil_transient_ms, resil_transient) = time_best(reps, || {
+        let outcome = SuperSim::new(transient_cfg.clone())
+            .run_batch_resilient(&super_circuits, resilient_policy());
+        (outcome.statuses(), outcome.into_results())
+    });
+    let (resil_salvage_ms, resil_salvaged) = time_best(reps, || {
+        let mut outcome = SuperSim::new(transient_cfg.clone()).run_batch_resilient(
+            &super_circuits,
+            resilient_policy().with_retry(
+                supersim::RetryPolicy::default()
+                    .with_max_attempts(1)
+                    .without_backoff(),
+            ),
+        );
+        let salvaged = outcome.resume();
+        (salvaged, outcome.into_results())
+    });
+    let (resil_statuses, resil_transient) = resil_transient;
+    let (resil_salvage_count, resil_salvaged) = resil_salvaged;
+    assert_eq!(
+        resil_statuses[0],
+        supersim::JobStatus::Ok { attempts: 2 },
+        "resilient_batch: the flaky job must recover on attempt 2"
+    );
+    assert_eq!(
+        resil_salvage_count, 1,
+        "resilient_batch: resume must salvage exactly the failed job"
+    );
+    let resil_identical = clean_mt
+        .iter()
+        .zip(&resil_clean)
+        .zip(&resil_transient)
+        .zip(&resil_salvaged)
+        .all(|(((base, c), t), s)| {
+            let base = base.as_ref().unwrap();
+            base.bit_identical_to(c.as_ref().unwrap())
+                && base.bit_identical_to(t.as_ref().unwrap())
+                && base.bit_identical_to(s.as_ref().unwrap())
+        });
+    assert!(
+        resil_identical,
+        "resilient_batch: retried/salvaged results diverged from the clean batch"
+    );
+    println!(
+        "resilient_batch ({} jobs): clean {resil_clean_ms:.2} ms, \
+         one transient retry {resil_transient_ms:.2} ms, \
+         salvage cycle {resil_salvage_ms:.2} ms",
+        super_circuits.len(),
+    );
+    let resilient_row = format!(
+        "{{\"jobs\": {}, \"clean_mt_ms\": {resil_clean_ms:.3}, \
+         \"transient_mt_ms\": {resil_transient_ms:.3}, \
+         \"salvage_cycle_mt_ms\": {resil_salvage_ms:.3}, \
+         \"retried_job_attempts\": 2, \
+         \"recovered_bit_identical\": {resil_identical}}}",
+        super_circuits.len(),
+    );
+
     // --- §IX sparse-contraction ablation ------------------------------
     let mut ghz_t = Circuit::new(4);
     ghz_t.h(0);
@@ -1088,7 +1175,7 @@ fn main() {
 
     // --- JSON report ---------------------------------------------------
     let json = format!(
-        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 7,\n  \
+        "{{\n  \"bench\": \"recombine\",\n  \"schema_version\": 8,\n  \
          \"threads_available\": {cores},\n  \"reps\": {reps},\n  \
          \"runtime_reuse\": {runtime_reuse_row},\n  \
          \"plan_cache\": {plan_cache_row},\n  \
@@ -1102,6 +1189,7 @@ fn main() {
          \"batch_sweep\": {batch_sweep_row},\n  \
          \"truncated_sweep\": {truncated_sweep_row},\n  \
          \"supervised_batch\": {supervised_row},\n  \
+         \"resilient_batch\": {resilient_row},\n  \
          \"mlft\": {{\"fragments\": {}, \
          \"reference_ms\": {mlft_ref_ms:.3}, \
          \"engine_1t_ms\": {mlft_1t_ms:.3}, \"engine_mt_ms\": {mlft_mt_ms:.3}, \

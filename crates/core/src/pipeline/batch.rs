@@ -81,6 +81,16 @@ use std::time::Instant;
 pub(crate) struct BatchJob<'p> {
     pub plan: &'p CutPlan,
     pub params: ExecParams,
+    /// The job's supervision id — the index fault plans target and error
+    /// context reports. Entry points set it to the caller-visible batch
+    /// position (circuit index for `run_batch`, point index for
+    /// `run_sweep`), and the resilience layer keeps it stable across
+    /// retries so a fault plan follows its job through every attempt.
+    pub index: usize,
+    /// Zero-based execution attempt (0 = first try), forwarded to the
+    /// job's [`Supervisor`] so attempt-aware transient faults
+    /// ([`faultkit::FaultKind::FailNTimes`]) see retries.
+    pub attempt: usize,
 }
 
 /// A schedulable task. Tasks of one job are enqueued in dependency order
@@ -156,19 +166,18 @@ struct JobState<'p> {
 }
 
 impl<'p> JobState<'p> {
-    /// `index` is the job's position in the caller's batch — the index
-    /// fault plans target and error context reports — independent of
-    /// which scheduling phase (pooled or solo) runs the job.
+    /// The supervision context is keyed by [`BatchJob::index`] — the
+    /// job's position in the caller's batch, independent of which
+    /// scheduling phase (pooled or solo) or retry attempt runs it.
     fn new(
         config: &SuperSimConfig,
         job: &BatchJob<'p>,
-        index: usize,
         batch_deadline_at: Option<Instant>,
     ) -> Self {
         let plan = job.plan;
         let fragments = plan.num_fragments();
         let num_chunks = planned_num_chunks(&plan.eval_plans);
-        let mut supervisor = Supervisor::for_job(index);
+        let mut supervisor = Supervisor::for_job(job.index).with_attempt(job.attempt);
         if let Some(token) = &config.cancel {
             supervisor = supervisor.with_cancel(token.clone());
         }
@@ -267,8 +276,10 @@ impl Queue {
 
     fn wake_all(&self) {
         // Taking the lock orders the flag/counter store before any
-        // waiter's re-check; ignore poisoning — this runs on panic paths.
-        let _guard = self.tasks.lock();
+        // waiter's re-check; recover from poisoning — this runs on panic
+        // paths, where an unwrap would turn one contained task panic
+        // into a pool-wide abort.
+        let _guard = lock_or_recover(&self.tasks);
         self.ready.notify_all();
     }
 }
@@ -345,7 +356,7 @@ fn run_scheduled(
     }
     let states: Vec<JobState<'_>> = subset
         .iter()
-        .map(|&i| JobState::new(config, &jobs[i], i, batch_deadline_at))
+        .map(|&i| JobState::new(config, &jobs[i], batch_deadline_at))
         .collect();
     let workers = worker_threads(config)
         .min(total_tasks_bound(&states))
@@ -646,7 +657,7 @@ fn finish_mlft(s: &JobState<'_>, queue: &Queue, job: usize) {
 /// exists to amortize. The `bool` in each result reports whether the
 /// plan came from the cache (planning is deterministic, so hits are
 /// bit-identical in effect to rebuilds).
-fn build_plans(
+pub(crate) fn build_plans(
     config: &SuperSimConfig,
     cache: &PlanCache,
     circuits: &[qcir::Circuit],
@@ -706,10 +717,17 @@ pub(crate) fn plan_and_run_batch(
     let params = ExecParams::from_config(config);
     let jobs: Vec<BatchJob<'_>> = plans
         .iter()
-        .filter_map(|(p, _)| p.as_ref().ok())
-        .map(|plan| BatchJob {
-            plan: plan.as_ref(),
-            params,
+        .enumerate()
+        .filter_map(|(i, (p, _))| {
+            p.as_ref().ok().map(|plan| BatchJob {
+                plan: plan.as_ref(),
+                params,
+                // Supervision id = circuit index, so fault plans target
+                // batch positions even when an earlier circuit failed
+                // planning and was never enqueued.
+                index: i,
+                attempt: 0,
+            })
         })
         .collect();
     let mut executed = execute_jobs(config, &jobs).into_iter();

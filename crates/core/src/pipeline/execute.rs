@@ -11,6 +11,7 @@
 
 use super::batch::{execute_jobs, BatchJob};
 use super::plan::CutPlan;
+use super::resilience::{run_sweep_resilient, BatchOutcome, BreakerState, ResiliencePolicy};
 use super::{fault_error, SuperSimConfig, SuperSimError};
 use cutkit::{EvalMode, EvalOptions, FragmentTensor, Reconstructor, TensorOptions};
 use faultkit::{Stage, Supervisor};
@@ -19,6 +20,7 @@ use qcir::Bits;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-run execution parameters: the knobs a sweep varies while the cut
@@ -160,6 +162,17 @@ pub struct RunReport {
     /// [`SuperSim::run`](crate::SuperSim::run) and
     /// [`SuperSim::run_batch`](crate::SuperSim::run_batch).
     pub plan_cache_hit: bool,
+    /// Attempts the resilient driver consumed before this run succeeded
+    /// (1 = clean first pass; counts circuit-breaker denials too). Always
+    /// 1 on the non-resilient entry points.
+    pub attempts: usize,
+    /// Error budget the [`DegradationPolicy`](crate::DegradationPolicy)
+    /// escalated this run to, when load shedding rescued it. `None` when
+    /// the run completed at its requested accuracy.
+    pub degraded_budget: Option<f64>,
+    /// State of the job's circuit breaker when the resilient driver
+    /// finished with it. `None` outside the resilient entry points.
+    pub breaker_state: Option<BreakerState>,
 }
 
 impl fmt::Display for RunReport {
@@ -184,6 +197,32 @@ impl fmt::Display for RunReport {
             )?;
         }
         Ok(())
+    }
+}
+
+impl RunReport {
+    /// Multi-line operator summary of the run: the [`Display`](fmt::Display)
+    /// line plus one line per resilience event — attempts used, escalated
+    /// error budget, and circuit-breaker state — so one report per job
+    /// tells the whole retry/degrade story.
+    pub fn render_summary(&self) -> String {
+        let mut out = format!("{self}");
+        if self.attempts > 1 {
+            out.push_str(&format!(
+                "\nattempts: {} ({} retried)",
+                self.attempts,
+                self.attempts - 1
+            ));
+        }
+        if let Some(budget) = self.degraded_budget {
+            out.push_str(&format!(
+                "\ndegraded: error budget escalated to {budget:.3e} (accuracy shed under load)"
+            ));
+        }
+        if let Some(state) = self.breaker_state {
+            out.push_str(&format!("\nbreaker: {state}"));
+        }
+        out
     }
 }
 
@@ -329,7 +368,12 @@ impl<'c> Executor<'c> {
     /// run is cancelled or exceeds its deadline, or admission control
     /// rejects the plan.
     pub fn run_with(&self, plan: &CutPlan, params: ExecParams) -> Result<RunResult, SuperSimError> {
-        let jobs = [BatchJob { plan, params }];
+        let jobs = [BatchJob {
+            plan,
+            params,
+            index: 0,
+            attempt: 0,
+        }];
         execute_jobs(self.config, &jobs)
             .pop()
             .expect("one result for one job")
@@ -363,7 +407,13 @@ impl<'c> Executor<'c> {
     ) -> Vec<Result<RunResult, SuperSimError>> {
         let jobs: Vec<BatchJob<'_>> = params
             .iter()
-            .map(|&p| BatchJob { plan, params: p })
+            .enumerate()
+            .map(|(i, &p)| BatchJob {
+                plan,
+                params: p,
+                index: i,
+                attempt: 0,
+            })
             .collect();
         execute_jobs(self.config, &jobs)
             .into_iter()
@@ -376,6 +426,22 @@ impl<'c> Executor<'c> {
                 })
             })
             .collect()
+    }
+
+    /// [`Executor::run_sweep`] behind a [`ResiliencePolicy`](crate::ResiliencePolicy)
+    /// (see [`SuperSim::run_batch_resilient`](crate::SuperSim::run_batch_resilient)
+    /// for the retry/degrade/salvage semantics): one plan, many parameter
+    /// points, each retried, degraded, or salvaged independently. Takes
+    /// the plan by `Arc` so the returned
+    /// [`BatchOutcome`](crate::BatchOutcome) can keep it alive for
+    /// [`resume`](crate::BatchOutcome::resume).
+    pub fn run_sweep_resilient(
+        &self,
+        plan: &Arc<CutPlan>,
+        params: &[ExecParams],
+        policy: ResiliencePolicy,
+    ) -> BatchOutcome {
+        run_sweep_resilient(self.config, plan, params, policy)
     }
 }
 
@@ -518,6 +584,9 @@ pub(crate) fn finish_run(
             assignments_skipped: stats.skipped,
             visited_assignments: stats.visited,
             plan_cache_hit: false,
+            attempts: 1,
+            degraded_budget: None,
+            breaker_state: None,
         },
         tensors,
         num_cuts: plan.cut.num_cuts,

@@ -14,7 +14,14 @@
 //!   and [`Executor::run_sweep`]: all (circuit × fragment × variant) work
 //!   items and all pipeline stages drain through one dependency-driven
 //!   task queue, so there are no per-circuit stage barriers and one slow
-//!   circuit cannot serialize a batch.
+//!   circuit cannot serialize a batch;
+//! * [`resilience`] — the service-hardening layer over the batch
+//!   scheduler behind [`SuperSim::run_batch_resilient`] and
+//!   [`Executor::run_sweep_resilient`]: deterministic retries with seeded
+//!   backoff ([`RetryPolicy`]), partial-batch salvage and failed-only
+//!   resume ([`BatchOutcome`]), load-shedding degradation along an
+//!   error-budget ladder ([`DegradationPolicy`]), and a per-plan circuit
+//!   breaker ([`BreakerPolicy`]).
 //!
 //! [`SuperSim::run`] is exactly `plan` + `execute` — the monolithic entry
 //! point is a thin composition of the stages.
@@ -50,11 +57,16 @@ pub(crate) mod batch;
 pub(crate) mod cache;
 pub(crate) mod execute;
 pub(crate) mod plan;
+pub(crate) mod resilience;
 pub(crate) mod supervise;
 
 pub use cache::PlanCacheStats;
 pub use execute::{ExecParams, Executor, RunReport, RunResult};
 pub use plan::{CutPlan, PlanCost, PlanLoadError};
+pub use resilience::{
+    is_transient, BatchOutcome, BreakerPolicy, BreakerState, CircuitBreaker, DegradationPolicy,
+    JobStatus, ResiliencePolicy, RetryPolicy,
+};
 pub use supervise::{Admission, AdmissionError, AdmissionPolicy};
 
 use cache::PlanCache;
@@ -231,6 +243,10 @@ pub enum ConfigError {
     /// is meaningless on the sequential path, so an explicit size there
     /// is almost certainly a dropped `.parallel(true)`.
     ThreadsWithoutParallel(usize),
+    /// A [`DegradationPolicy`] ladder was empty, held a NaN / infinite /
+    /// non-positive rung, or did not strictly increase. The message names
+    /// the offending rung.
+    InvalidDegradationLadder(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -241,6 +257,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ThreadsWithoutParallel(t) => {
                 write!(f, "threads = {t} has no effect without parallel; call .parallel(true) or drop .threads(..)")
+            }
+            ConfigError::InvalidDegradationLadder(reason) => {
+                write!(f, "invalid degradation ladder: {reason}")
             }
         }
     }
@@ -455,6 +474,17 @@ pub enum SuperSimError {
     },
     /// Admission control rejected the job before it was enqueued.
     Rejected(AdmissionError),
+    /// The resilient driver's per-plan [`CircuitBreaker`] was open and
+    /// denied the attempt before it was enqueued (transient: the breaker
+    /// half-opens after its cool-down and the denial is retried within
+    /// the attempt budget).
+    BreakerOpen {
+        /// The breaker key: the plan's circuit fingerprint.
+        fingerprint: u64,
+        /// Consecutive failures that tripped (and are holding) the
+        /// breaker open.
+        failures: usize,
+    },
     /// Per-job context wrapper attached by batch/sweep entry points.
     Job {
         /// Index of the job in the batch (circuit index for
@@ -506,6 +536,14 @@ impl fmt::Display for SuperSimError {
                 write!(f, "injected fault during {stage}: {message}")
             }
             SuperSimError::Rejected(e) => write!(f, "{e}"),
+            SuperSimError::BreakerOpen {
+                fingerprint,
+                failures,
+            } => write!(
+                f,
+                "circuit breaker open for plan {fingerprint:#018x} \
+                 after {failures} consecutive failures; attempt denied"
+            ),
             SuperSimError::Job {
                 job,
                 fingerprint,
@@ -526,7 +564,8 @@ impl std::error::Error for SuperSimError {
             SuperSimError::Panicked { .. }
             | SuperSimError::DeadlineExceeded { .. }
             | SuperSimError::Cancelled { .. }
-            | SuperSimError::Injected { .. } => None,
+            | SuperSimError::Injected { .. }
+            | SuperSimError::BreakerOpen { .. } => None,
         }
     }
 }
@@ -702,6 +741,33 @@ impl SuperSim {
     ///   schedule.
     pub fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<RunResult, SuperSimError>> {
         batch::plan_and_run_batch(&self.config, &self.plan_cache, circuits)
+    }
+
+    /// [`SuperSim::run_batch`] behind a [`ResiliencePolicy`]: transient
+    /// failures (panics, deadline trips, injected transients, breaker
+    /// denials) are retried with deterministic seeded backoff; deadline
+    /// pressure and admission rejection optionally degrade along the
+    /// policy's error-budget ladder instead of failing; a per-plan
+    /// circuit breaker guards enqueue. The returned [`BatchOutcome`]
+    /// keeps the cached [`CutPlan`]s, so [`BatchOutcome::resume`] can
+    /// salvage the failed jobs later without re-executing (or even
+    /// re-planning) the survivors.
+    ///
+    /// # Determinism
+    ///
+    /// Retried and salvaged results are **bit-identical** to a clean
+    /// single-pass run at every thread count (the driver re-submits jobs
+    /// through the same scheduler, and outputs depend only on per-job
+    /// seeds); degraded results are bit-identical to a run executed
+    /// directly at the escalated budget. Breaker evolution, attempt
+    /// accounting, and backoff schedules are pure functions of
+    /// (policy, seeds, failure pattern) — never of the schedule.
+    pub fn run_batch_resilient(
+        &self,
+        circuits: &[Circuit],
+        policy: ResiliencePolicy,
+    ) -> BatchOutcome {
+        resilience::run_batch_resilient(&self.config, &self.plan_cache, circuits, policy)
     }
 }
 

@@ -1,0 +1,510 @@
+//! Chaos suite for the resilient batch driver: deterministic transient
+//! faults (`FailNTimes`), retry/backoff, partial-batch salvage via
+//! `resume`, load-shedding degradation, and the per-plan circuit breaker.
+//!
+//! The contract under test: a batch whose jobs suffer transient faults
+//! with `n < max_attempts` completes every job `Ok` **bit-identically**
+//! to the uninjected run at 1, 2, and 8 threads; `resume` re-runs *only*
+//! failed jobs (asserted via attempt counters); breaker evolution and
+//! attempt accounting are identical on every schedule.
+
+use qcir::Circuit;
+use std::sync::Arc;
+use supersim::{
+    AdmissionPolicy, BatchOutcome, BreakerPolicy, BreakerState, DegradationPolicy, ExecParams,
+    FaultKind, FaultPlan, JobStatus, ResiliencePolicy, RetryPolicy, RunResult, Stage, SuperSim,
+    SuperSimConfig, SuperSimError, TRANSIENT_MARKER,
+};
+
+fn assert_bit_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert!(a.bit_identical_to(b), "{label}: runs are not bit-identical");
+}
+
+fn mixed_circuits() -> Vec<Circuit> {
+    let mut deep = Circuit::new(2);
+    deep.h(0).t(0).cx(0, 1).h(1).t(1).h(0);
+    vec![
+        workloads::hwea(5, 2, 1, 41).circuit,
+        deep,
+        workloads::qaoa_sk(4, 1, 1, 43).circuit,
+        workloads::ghz(6), // pure Clifford: no cuts, single fragment
+        workloads::hwea(4, 1, 2, 44).circuit,
+    ]
+}
+
+fn base_config() -> SuperSimConfig {
+    SuperSimConfig {
+        shots: 180,
+        seed: 2026,
+        mlft: true,
+        ..SuperSimConfig::default()
+    }
+}
+
+fn solo_runs(circuits: &[Circuit]) -> Vec<RunResult> {
+    circuits
+        .iter()
+        .map(|c| SuperSim::new(base_config()).run(c).unwrap())
+        .collect()
+}
+
+/// A retry policy for tests: explicit attempt budget, no sleeping (the
+/// attempt schedule is unchanged; backoff determinism has its own tests).
+fn fast_policy(max_attempts: usize) -> ResiliencePolicy {
+    ResiliencePolicy::new().with_retry(
+        RetryPolicy::default()
+            .with_max_attempts(max_attempts)
+            .without_backoff(),
+    )
+}
+
+fn resilient_at(
+    threads: usize,
+    cfg: &SuperSimConfig,
+    circuits: &[Circuit],
+    policy: ResiliencePolicy,
+) -> BatchOutcome {
+    SuperSim::new(SuperSimConfig {
+        parallel: threads > 1,
+        threads,
+        ..cfg.clone()
+    })
+    .run_batch_resilient(circuits, policy)
+}
+
+/// Unwraps the `Job` context layer, asserting it matches the batch index.
+fn job_error(result: &Result<RunResult, SuperSimError>, job: usize) -> &SuperSimError {
+    match result {
+        Err(e @ SuperSimError::Job { job: j, .. }) => {
+            assert_eq!(*j, job, "error reports wrong batch index: {e}");
+            e.root()
+        }
+        Err(other) => panic!("job {job}: error missing Job context: {other}"),
+        Ok(_) => panic!("job {job}: expected a failure"),
+    }
+}
+
+/// The acceptance scenario: a `FailNTimes(2)` job under a 3-attempt
+/// budget succeeds on attempt n+1 = 3, bit-identical to the uninjected
+/// run, at 1, 2, and 8 threads — and untouched jobs consume exactly one
+/// attempt. (Default backoff here, so the sleep path is exercised too.)
+#[test]
+fn fail_n_times_jobs_recover_bit_identically() {
+    let circuits = mixed_circuits();
+    let solo = solo_runs(&circuits);
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::new().inject(
+            1,
+            Stage::Eval,
+            0,
+            FaultKind::FailNTimes(2),
+        ))),
+        ..base_config()
+    };
+    let policy = ResiliencePolicy::new(); // 3 attempts, jittered backoff
+    for threads in [1usize, 2, 8] {
+        let outcome = resilient_at(threads, &cfg, &circuits, policy.clone());
+        assert!(
+            outcome.all_ok(),
+            "all jobs must recover at {threads} threads: {:?}",
+            outcome.statuses()
+        );
+        for (i, s) in solo.iter().enumerate() {
+            let r = outcome.result(i).as_ref().unwrap();
+            assert_bit_identical(s, r, &format!("job {i} at {threads} threads"));
+            let expected = if i == 1 { 3 } else { 1 };
+            assert_eq!(
+                outcome.attempts(i),
+                expected,
+                "job {i} attempt counter at {threads} threads"
+            );
+            assert_eq!(r.report.attempts, expected, "job {i} report attempts");
+            assert!(r.report.degraded_budget.is_none(), "job {i} never degraded");
+        }
+        // The operator summary tells the retry story.
+        let summary = outcome.result(1).as_ref().unwrap().report.render_summary();
+        assert!(
+            summary.contains("attempts: 3 (2 retried)"),
+            "summary must surface the retries: {summary}"
+        );
+    }
+}
+
+/// Partial-batch salvage: with the attempt budget too small for the
+/// injected fault, the flaky job fails while its siblings succeed;
+/// `resume` grants a fresh budget and recovers **only** the failed job —
+/// survivors' attempt counters stay frozen at 1 (they are never
+/// re-executed) and the merged outcome is bit-identical to clean runs.
+#[test]
+fn resume_salvages_only_failed_jobs() {
+    let circuits = mixed_circuits();
+    let solo = solo_runs(&circuits);
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::new().inject(
+            2,
+            Stage::Eval,
+            0,
+            FaultKind::FailNTimes(2),
+        ))),
+        ..base_config()
+    };
+    let mut outcome = resilient_at(8, &cfg, &circuits, fast_policy(2));
+    assert_eq!(outcome.failed(), vec![2], "only the flaky job fails");
+    assert_eq!(outcome.status(2), JobStatus::Failed { attempts: 2 });
+    match job_error(outcome.result(2), 2) {
+        SuperSimError::Injected { message, .. } => assert!(
+            message.starts_with(TRANSIENT_MARKER),
+            "transient marker missing: {message}"
+        ),
+        other => panic!("expected injected transient, got {other}"),
+    }
+    let salvaged = outcome.resume();
+    assert_eq!(salvaged, 1, "resume salvages exactly the failed job");
+    assert!(outcome.all_ok(), "{:?}", outcome.statuses());
+    // The flaky job recovered on its third execution (fresh budget)...
+    assert_eq!(outcome.status(2), JobStatus::Ok { attempts: 3 });
+    // ...while every survivor's counter is frozen at its first pass.
+    for i in 0..circuits.len() {
+        if i != 2 {
+            assert_eq!(
+                outcome.attempts(i),
+                1,
+                "job {i} must never be re-executed by resume"
+            );
+        }
+    }
+    for (i, s) in solo.iter().enumerate() {
+        assert_bit_identical(
+            s,
+            outcome.result(i).as_ref().unwrap(),
+            &format!("merged job {i}"),
+        );
+    }
+    // A second resume is a no-op: nothing failed, nothing re-runs.
+    assert_eq!(outcome.resume(), 0);
+    for i in 0..circuits.len() {
+        let expected = if i == 2 { 3 } else { 1 };
+        assert_eq!(outcome.attempts(i), expected, "job {i} after no-op resume");
+    }
+}
+
+/// The circuit breaker walks closed → open → (cool-down denial) →
+/// half-open → re-open → half-open → closed on the exact same attempt
+/// schedule at every thread count, and the job still recovers
+/// bit-identically once its transient fault clears.
+#[test]
+fn breaker_walks_its_lifecycle_deterministically() {
+    let circuits = mixed_circuits();
+    let solo = solo_runs(&circuits);
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::new().inject(
+            1,
+            Stage::Eval,
+            0,
+            FaultKind::FailNTimes(3),
+        ))),
+        ..base_config()
+    };
+    // Timeline for job 1 (executions are injured while execution < 3):
+    //   a1 execute+fail (streak 1), a2 execute+fail (streak 2 -> open),
+    //   a3 denied (cool-down), a4 half-open trial fails -> re-open,
+    //   a5 denied (cool-down), a6 half-open trial succeeds -> closed.
+    let policy = fast_policy(6).with_breaker(BreakerPolicy {
+        failure_threshold: 2,
+        cooldown_attempts: 1,
+    });
+    for threads in [1usize, 2, 8] {
+        let outcome = resilient_at(threads, &cfg, &circuits, policy.clone());
+        assert!(outcome.all_ok(), "{:?}", outcome.statuses());
+        assert_eq!(
+            outcome.status(1),
+            JobStatus::Ok { attempts: 6 },
+            "breaker schedule must be identical at {threads} threads"
+        );
+        let r = outcome.result(1).as_ref().unwrap();
+        assert_bit_identical(&solo[1], r, &format!("job 1 at {threads} threads"));
+        assert_eq!(r.report.breaker_state, Some(BreakerState::Closed));
+        let summary = r.report.render_summary();
+        assert!(
+            summary.contains("breaker: closed"),
+            "summary must surface the breaker: {summary}"
+        );
+        // Untargeted jobs close cleanly in one attempt.
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(outcome.status(i), JobStatus::Ok { attempts: 1 });
+            let state = outcome.result(i).as_ref().unwrap().report.breaker_state;
+            assert_eq!(state, Some(BreakerState::Closed), "job {i}");
+        }
+    }
+}
+
+/// With the attempt budget exhausted while the breaker is open, the job's
+/// terminal error is the typed `BreakerOpen` denial — deterministic at
+/// every thread count.
+#[test]
+fn exhausted_budget_surfaces_breaker_denial() {
+    let circuits = mixed_circuits();
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::new().inject(
+            1,
+            Stage::Eval,
+            0,
+            FaultKind::FailNTimes(9),
+        ))),
+        ..base_config()
+    };
+    // a1 fail (streak 1), a2 fail (streak 2 -> open), a3 denied = budget.
+    let policy = fast_policy(3).with_breaker(BreakerPolicy {
+        failure_threshold: 2,
+        cooldown_attempts: 4,
+    });
+    let mut rendered = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let outcome = resilient_at(threads, &cfg, &circuits, policy.clone());
+        assert_eq!(outcome.status(1), JobStatus::Failed { attempts: 3 });
+        match job_error(outcome.result(1), 1) {
+            SuperSimError::BreakerOpen { failures, .. } => assert_eq!(*failures, 2),
+            other => panic!("expected breaker denial, got {other}"),
+        }
+        rendered.push(outcome.result(1).as_ref().unwrap_err().to_string());
+    }
+    assert_eq!(rendered[0], rendered[1]);
+    assert_eq!(rendered[0], rendered[2]);
+}
+
+/// Load shedding: a job rejected by admission control escalates its error
+/// budget along the degradation ladder, passes the (budget-discounted)
+/// admission judgment, and completes — bit-identical to a run executed
+/// directly at the escalated budget, with the shed surfaced on its
+/// report.
+#[test]
+fn degradation_rescues_rejected_jobs() {
+    let circuits = mixed_circuits();
+    let solo = solo_runs(&circuits);
+    let sim = SuperSim::new(base_config());
+    let costs: Vec<_> = circuits
+        .iter()
+        .map(|c| sim.plan(c).unwrap().cost())
+        .collect();
+    let max_sweep = costs.iter().map(|c| c.sweep_assignments).max().unwrap();
+    assert!(max_sweep > 1, "need a cut circuit to exercise rejection");
+    let rejected: Vec<usize> = (0..circuits.len())
+        .filter(|&i| costs[i].sweep_assignments >= max_sweep)
+        .collect();
+    let cfg = SuperSimConfig {
+        admission: AdmissionPolicy {
+            max_sweep_assignments: Some(max_sweep - 1),
+            ..AdmissionPolicy::default()
+        },
+        ..base_config()
+    };
+    let rung = 0.5;
+    let policy = fast_policy(3).with_degradation(DegradationPolicy::new(vec![rung, 0.9]).unwrap());
+    for threads in [1usize, 2, 8] {
+        let outcome = resilient_at(threads, &cfg, &circuits, policy.clone());
+        assert!(
+            outcome.all_ok(),
+            "degradation must rescue every rejection at {threads} threads: {:?}",
+            outcome.statuses()
+        );
+        for (i, s) in solo.iter().enumerate() {
+            let r = outcome.result(i).as_ref().unwrap();
+            if rejected.contains(&i) {
+                // Rejection + one escalated (successful) attempt.
+                assert_eq!(outcome.attempts(i), 2, "job {i} at {threads} threads");
+                assert_eq!(r.report.degraded_budget, Some(rung), "job {i}");
+                let budgeted = sim
+                    .executor()
+                    .run_with(
+                        &sim.plan(&circuits[i]).unwrap(),
+                        ExecParams::from_config(&base_config()).with_error_budget(rung),
+                    )
+                    .unwrap();
+                assert_bit_identical(
+                    &budgeted,
+                    r,
+                    &format!("degraded job {i} vs budgeted run at {threads} threads"),
+                );
+                let summary = r.report.render_summary();
+                assert!(summary.contains("degraded"), "summary: {summary}");
+            } else {
+                assert_eq!(outcome.attempts(i), 1, "job {i} at {threads} threads");
+                assert!(r.report.degraded_budget.is_none(), "job {i}");
+                assert_bit_identical(s, r, &format!("job {i} at {threads} threads"));
+            }
+        }
+    }
+}
+
+/// Permanent failures are never retried: a non-transient injected error
+/// consumes exactly one attempt and reports the same typed error the
+/// one-shot path does; siblings are untouched.
+#[test]
+fn permanent_failures_fail_fast() {
+    let circuits = mixed_circuits();
+    let solo = solo_runs(&circuits);
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::new().inject(
+            1,
+            Stage::Eval,
+            0,
+            FaultKind::Error,
+        ))),
+        ..base_config()
+    };
+    let outcome = resilient_at(2, &cfg, &circuits, fast_policy(5));
+    assert_eq!(outcome.status(1), JobStatus::Failed { attempts: 1 });
+    match job_error(outcome.result(1), 1) {
+        SuperSimError::Injected { message, .. } => assert!(
+            !message.starts_with(TRANSIENT_MARKER),
+            "permanent injection must not carry the marker: {message}"
+        ),
+        other => panic!("expected injected error, got {other}"),
+    }
+    for (i, s) in solo.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(outcome.status(i), JobStatus::Ok { attempts: 1 });
+            assert_bit_identical(s, outcome.result(i).as_ref().unwrap(), &format!("job {i}"));
+        }
+    }
+    // A circuit that cannot even plan is finalized with 0 attempts and
+    // cannot be salvaged — resume leaves it (and everyone else) alone.
+    let mut unplannable = Circuit::new(svsim::MAX_QUBITS + 1);
+    unplannable.t(0);
+    let mut mixed = vec![circuits[1].clone(), unplannable];
+    let mut outcome = resilient_at(
+        1,
+        &SuperSimConfig {
+            cut_strategy: supersim::CutStrategy::None,
+            ..base_config()
+        },
+        &mixed,
+        fast_policy(3),
+    );
+    // With CutStrategy::None the wide circuit plans but cannot evaluate
+    // (permanent Eval error, 1 attempt); either way it must not loop.
+    assert!(matches!(outcome.status(0), JobStatus::Ok { .. }));
+    let before = outcome.statuses();
+    assert_eq!(outcome.resume(), 0, "permanent failure cannot be salvaged");
+    assert_eq!(outcome.statuses()[0], before[0]);
+    mixed.clear();
+}
+
+/// The resilient sweep: one plan, many points, a transient fault on one
+/// point — every point recovers bit-identically to the clean sweep.
+#[test]
+fn sweep_resilient_matches_clean_sweep() {
+    let mut deep = Circuit::new(2);
+    deep.h(0).t(0).cx(0, 1).h(1).t(1).h(0);
+    let base = base_config();
+    let sim = SuperSim::new(base.clone());
+    let plan = sim.plan(&deep).unwrap();
+    let points: Vec<ExecParams> = (0..4)
+        .map(|s| ExecParams::from_config(&base).with_seed(100 + s))
+        .collect();
+    let clean = sim.executor().run_sweep(&plan, &points);
+    for threads in [1usize, 2, 8] {
+        let faulty = SuperSimConfig {
+            parallel: threads > 1,
+            threads,
+            faults: Some(Arc::new(FaultPlan::new().inject(
+                2,
+                Stage::Eval,
+                0,
+                FaultKind::FailNTimes(1),
+            ))),
+            ..base.clone()
+        };
+        let faulty_sim = SuperSim::new(faulty);
+        let outcome = faulty_sim
+            .executor()
+            .run_sweep_resilient(&plan, &points, fast_policy(3));
+        assert!(outcome.all_ok(), "{:?}", outcome.statuses());
+        for (i, c) in clean.iter().enumerate() {
+            let expected = if i == 2 { 2 } else { 1 };
+            assert_eq!(outcome.attempts(i), expected, "point {i} at {threads}t");
+            assert_bit_identical(
+                c.as_ref().unwrap(),
+                outcome.result(i).as_ref().unwrap(),
+                &format!("point {i} at {threads} threads"),
+            );
+        }
+    }
+}
+
+/// Seed-scattered transient faults (the CI fault matrix drives the seed
+/// via `SUPERSIM_FAULT_SEED` and the pool size via
+/// `SUPERSIM_TEST_THREADS`): every job recovers within the attempt
+/// budget, bit-identical to clean solo runs, with attempt counters
+/// identical at every thread count.
+#[test]
+fn scattered_transient_faults_recover_across_thread_counts() {
+    let circuits = mixed_circuits();
+    let solo = solo_runs(&circuits);
+    let seed = std::env::var("SUPERSIM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let threads: Vec<usize> = std::env::var("SUPERSIM_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|t: usize| vec![t])
+        .unwrap_or_else(|| vec![1, 2, 8]);
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::scattered_transient(
+            seed,
+            circuits.len(),
+            3,
+            2,
+        ))),
+        ..base_config()
+    };
+    let policy = fast_policy(3);
+    let reference = resilient_at(1, &cfg, &circuits, policy.clone());
+    assert!(
+        reference.all_ok(),
+        "FailNTimes(2) under a 3-attempt budget must always recover (seed {seed}): {:?}",
+        reference.statuses()
+    );
+    for &t in &threads {
+        let outcome = resilient_at(t, &cfg, &circuits, policy.clone());
+        assert!(outcome.all_ok(), "seed {seed} at {t} threads");
+        for (i, s) in solo.iter().enumerate() {
+            assert_bit_identical(
+                s,
+                outcome.result(i).as_ref().unwrap(),
+                &format!("job {i} at {t} threads (seed {seed})"),
+            );
+            assert_eq!(
+                outcome.attempts(i),
+                reference.attempts(i),
+                "job {i}: attempt accounting must be schedule-independent"
+            );
+        }
+    }
+}
+
+/// Two identical resilient calls produce identical outcomes — statuses,
+/// attempt counters, and result bits (retry is as deterministic as the
+/// pipeline it wraps).
+#[test]
+fn resilient_runs_are_reproducible() {
+    let circuits = mixed_circuits();
+    let cfg = SuperSimConfig {
+        faults: Some(Arc::new(FaultPlan::scattered_transient(
+            7, // arbitrary fixed seed
+            5, 2, 1,
+        ))),
+        ..base_config()
+    };
+    let a = resilient_at(8, &cfg, &circuits, fast_policy(3));
+    let b = resilient_at(8, &cfg, &circuits, fast_policy(3));
+    assert_eq!(a.statuses(), b.statuses());
+    for i in 0..circuits.len() {
+        assert_bit_identical(
+            a.result(i).as_ref().unwrap(),
+            b.result(i).as_ref().unwrap(),
+            &format!("job {i}"),
+        );
+    }
+}
