@@ -131,10 +131,14 @@ pub struct SuperSimConfig {
     /// evaluation.
     pub exact_support_limit: usize,
     /// Stabilizer engine for noiseless Clifford fragments
-    /// ([`TableauEngine::Packed`] is the word-parallel production path;
-    /// [`TableauEngine::Reference`] is the frozen bit-at-a-time baseline,
-    /// bit-identical in outcomes and RNG consumption — an A/B knob for
-    /// parity checks and speedup measurement).
+    /// ([`TableauEngine::Packed`] is the word-parallel row-major default;
+    /// [`TableauEngine::SparseGate`] is the column-major engine with
+    /// `O(n/64)`-word gates, fastest on gate-dense fragments;
+    /// [`TableauEngine::Reference`] is the frozen bit-at-a-time baseline).
+    /// All three are bit-identical in outcomes and RNG consumption, so
+    /// this is purely a performance knob. The default honours the
+    /// `SUPERSIM_TABLEAU_ENGINE` environment variable (`packed` /
+    /// `sparse-gate` / `reference`) — the CI engine axis.
     pub tableau_engine: TableauEngine,
     /// Per-job wall-clock deadline: a job (one circuit of a batch, one
     /// sweep point, or one [`SuperSim::run`]) that exceeds it fails with

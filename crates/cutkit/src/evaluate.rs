@@ -26,20 +26,63 @@ pub enum EvalMode {
 
 /// Which stabilizer engine evaluates noiseless Clifford fragments.
 ///
-/// Both engines are bit-identical in outcomes and seeded-RNG consumption
-/// (asserted by the `tableau_engine_parity` suite and the `tableau` bench
-/// series); the reference exists so that guarantee stays testable
-/// end-to-end through the fragment-tensor pipeline.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+/// All engines are bit-identical in outcomes and seeded-RNG consumption
+/// (asserted by the `tableau_engine_parity` suite and the `tableau` /
+/// `gate_apply` bench series), so the choice is purely a performance knob;
+/// the reference exists so that guarantee stays testable end-to-end
+/// through the fragment-tensor pipeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TableauEngine {
     /// The word-parallel row-major bit-plane engine
-    /// ([`stabsim::TableauSim`]) — the production path.
-    #[default]
+    /// ([`stabsim::TableauSim`]) — the production default, strongest on
+    /// measurement/support-heavy fragments.
     Packed,
-    /// The frozen bit-at-a-time column-major baseline
-    /// ([`stabsim::ReferenceTableauSim`]), kept for parity tests and
-    /// speedup measurement.
+    /// The column-major (inverse-orientation) engine
+    /// ([`stabsim::SparseGateTableauSim`]): `O(n/64)`-word gates with a
+    /// lazy row transpose at measurement — strongest on gate-dense
+    /// fragments.
+    SparseGate,
+    /// The frozen baseline pipeline: the bit-at-a-time tableau
+    /// ([`stabsim::ReferenceTableauSim`]) *and* the pre-optimization
+    /// per-shot affine sampling loop
+    /// ([`stabsim::AffineSupport::sample_counts_scratch_frozen`]). Kept
+    /// for parity tests and so end-to-end speedup measurements compare
+    /// against the real pre-optimization Clifford evaluation cost.
     Reference,
+}
+
+impl TableauEngine {
+    /// Parses an engine name as accepted by the `SUPERSIM_TABLEAU_ENGINE`
+    /// environment variable (case-insensitive; `-`/`_` interchangeable).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().replace('-', "_").as_str() {
+            "packed" => Some(TableauEngine::Packed),
+            "sparse_gate" | "sparsegate" | "sparse" => Some(TableauEngine::SparseGate),
+            "reference" => Some(TableauEngine::Reference),
+            _ => None,
+        }
+    }
+}
+
+impl Default for TableauEngine {
+    /// [`TableauEngine::Packed`] unless the `SUPERSIM_TABLEAU_ENGINE`
+    /// environment variable selects another engine (`packed` /
+    /// `sparse-gate` / `reference`) — the hook the CI engine axis uses to
+    /// re-run the whole test suite per engine. Read once per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized engine name: a misspelled axis value must
+    /// not silently re-test the default engine.
+    fn default() -> Self {
+        static FROM_ENV: std::sync::OnceLock<TableauEngine> = std::sync::OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("SUPERSIM_TABLEAU_ENGINE") {
+            Ok(name) => TableauEngine::from_name(&name).unwrap_or_else(|| {
+                panic!("SUPERSIM_TABLEAU_ENGINE={name:?} is not a tableau engine (expected packed | sparse-gate | reference)")
+            }),
+            Err(_) => TableauEngine::Packed,
+        })
+    }
 }
 
 /// Options controlling fragment evaluation.
@@ -125,9 +168,39 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// Reusable per-worker evaluation scratch for [`evaluate_variant_into`]:
+/// the outcome tally (and its hash table), the sampling scratch row, and
+/// nothing else — everything the sampled hot paths would otherwise
+/// allocate afresh per variant.
+pub struct EvalScratch {
+    counts: metrics::OutcomeCounts,
+    row: Bits,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow to the working-set size of the
+    /// first evaluations and are reused afterwards.
+    pub fn new() -> Self {
+        EvalScratch {
+            counts: metrics::OutcomeCounts::new(),
+            row: Bits::zeros(0),
+        }
+    }
+}
+
+impl Default for EvalScratch {
+    fn default() -> Self {
+        EvalScratch::new()
+    }
+}
+
 /// Evaluates one variant of a fragment, returning a weighted list of
 /// outcomes over the fragment's local qubits (probabilities for exact mode,
 /// empirical frequencies for sampled mode).
+///
+/// Allocates its scratch and output buffers afresh; hot loops that
+/// evaluate many variants should use [`evaluate_variant_into`] with
+/// per-worker buffers instead.
 ///
 /// # Errors
 ///
@@ -139,6 +212,37 @@ pub fn evaluate_variant(
     options: &EvalOptions,
     rng: &mut impl Rng,
 ) -> Result<Vec<(Bits, f64)>, EvalError> {
+    let mut out = Vec::new();
+    evaluate_variant_into(
+        fragment,
+        variant,
+        options,
+        rng,
+        &mut EvalScratch::new(),
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// [`evaluate_variant`] into caller-provided buffers: `out` is cleared and
+/// filled with the variant's weighted outcomes; `scratch` carries the
+/// tally table and sampling row across calls so the per-variant hot loop
+/// re-allocates neither (the remaining per-outcome clones are the interned
+/// first-sight keys, paid once per distinct outcome).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the backend cannot evaluate the variant (too
+/// wide, support too large to enumerate, or noise in exact mode).
+pub fn evaluate_variant_into(
+    fragment: &Fragment,
+    variant: &Variant,
+    options: &EvalOptions,
+    rng: &mut impl Rng,
+    scratch: &mut EvalScratch,
+    out: &mut Vec<(Bits, f64)>,
+) -> Result<(), EvalError> {
+    out.clear();
     let circuit = variant_circuit(fragment, variant);
     let clifford = fragment.is_clifford; // prep/rotation ops are Clifford
     let noisy = circuit.has_noise();
@@ -157,16 +261,17 @@ pub fn evaluate_variant(
             let dim = support.dim();
             if dim <= options.exact_support_limit {
                 let p = 1.0 / (1u64 << dim) as f64;
-                return Ok(support.enumerate().into_iter().map(|b| (b, p)).collect());
+                out.extend(support.enumerate().into_iter().map(|b| (b, p)));
+                return Ok(());
             }
             // Too large to enumerate: a hard error in exact mode, a
             // graceful fall-through to sampling when the zero-shot
             // optimization was merely opportunistic.
             if let EvalMode::Sampled { shots } = options.mode {
-                return Ok(counts_to_frequencies(
-                    support.sample_counts(shots, rng),
-                    shots,
-                ));
+                scratch.counts.clear();
+                sample_support_counts(&support, options.tableau_engine, shots, rng, scratch);
+                counts_to_frequencies_into(&scratch.counts, shots, out);
+                return Ok(());
             }
             Err(EvalError::SupportTooLarge {
                 dim,
@@ -180,14 +285,17 @@ pub fn evaluate_variant(
             if noisy {
                 let samples = stabsim::FrameSim::sample(&circuit, shots, rng)
                     .expect("clifford fragment must run on the frame simulator");
-                Ok(count_samples(&samples))
+                count_samples_into(&samples, scratch, out);
             } else {
-                // Bulk sampling through the counting path reuses one
-                // scratch row instead of allocating per shot.
-                let counts = clifford_support(&circuit, options.tableau_engine, rng)
-                    .sample_counts(shots, rng);
-                Ok(counts_to_frequencies(counts, shots))
+                // Bulk sampling through the counting path reuses the
+                // worker's tally table and scratch row instead of
+                // allocating per variant (let alone per shot).
+                scratch.counts.clear();
+                let support = clifford_support(&circuit, options.tableau_engine, rng);
+                sample_support_counts(&support, options.tableau_engine, shots, rng, scratch);
+                counts_to_frequencies_into(&scratch.counts, shots, out);
             }
+            Ok(())
         }
     } else {
         if circuit.num_qubits() > svsim::MAX_QUBITS {
@@ -200,7 +308,8 @@ pub fn evaluate_variant(
                 }
                 let sv = svsim::StateVec::run(&circuit)
                     .map_err(|_| EvalError::FragmentTooWide(circuit.num_qubits()))?;
-                Ok(sv.distribution(1e-14))
+                out.extend(sv.distribution(1e-14));
+                Ok(())
             }
             EvalMode::Sampled { shots } => {
                 let sv = if noisy {
@@ -209,14 +318,31 @@ pub fn evaluate_variant(
                     svsim::StateVec::run(&circuit)
                 }
                 .map_err(|_| EvalError::FragmentTooWide(circuit.num_qubits()))?;
-                Ok(count_samples(&sv.sample(shots, rng)))
+                let nq = circuit.num_qubits();
+                if (1..=20).contains(&nq) {
+                    // Index-tally sampling: same RNG stream and outcome
+                    // multiset as `sample`, without materializing a `Bits`
+                    // per shot. Gated on width so the 2^n tally stays small.
+                    scratch.counts.clear();
+                    if scratch.row.len() != nq {
+                        scratch.row = Bits::zeros(nq);
+                    }
+                    for (idx, count) in sv.sample_index_counts(shots, rng) {
+                        scratch.row.copy_from_words(&[idx]);
+                        scratch.counts.record_n(&scratch.row, count);
+                    }
+                    counts_to_frequencies_into(&scratch.counts, shots, out);
+                } else {
+                    count_samples_into(&sv.sample(shots, rng), scratch, out);
+                }
+                Ok(())
             }
         }
     }
 }
 
 /// Runs a noiseless Clifford circuit on the selected tableau engine and
-/// extracts its affine support. Both engines consume `rng` identically
+/// extracts its affine support. All engines consume `rng` identically
 /// and produce the same support (same base, same direction order), so the
 /// choice never perturbs downstream sampling streams.
 fn clifford_support(
@@ -228,32 +354,66 @@ fn clifford_support(
         TableauEngine::Packed => stabsim::TableauSim::run(circuit, rng)
             .expect("clifford fragment must run on the tableau")
             .support(),
+        TableauEngine::SparseGate => stabsim::SparseGateTableauSim::run(circuit, rng)
+            .expect("clifford fragment must run on the tableau")
+            .support(),
         TableauEngine::Reference => stabsim::ReferenceTableauSim::run(circuit, rng)
             .expect("clifford fragment must run on the tableau")
             .support(),
     }
 }
 
-/// Collapses samples into `(outcome, frequency)` pairs in deterministic
-/// (lexicographic) order so downstream accumulation is bit-reproducible.
-/// Tallied by interned id (`O(1)` per sample) instead of the former
-/// per-sample ordered-map walk; the sort happens once at emission.
-fn count_samples(samples: &[Bits]) -> Vec<(Bits, f64)> {
-    let mut counts = metrics::OutcomeCounts::new();
-    for s in samples {
-        counts.record(s);
+/// Tallies `shots` draws from an affine support through the path matching
+/// the selected engine. `Reference` pins the whole Clifford pipeline to
+/// the frozen baseline — the per-shot direction-XOR loop — while the
+/// optimized engines take the table fast path. Both consume the RNG
+/// identically and produce the same tally, so the engine choice never
+/// perturbs outcome streams; it only decides whether end-to-end timings
+/// measure the frozen or the optimized sampling cost.
+fn sample_support_counts(
+    support: &stabsim::AffineSupport,
+    engine: TableauEngine,
+    shots: usize,
+    rng: &mut impl Rng,
+    scratch: &mut EvalScratch,
+) {
+    match engine {
+        TableauEngine::Reference => {
+            support.sample_counts_scratch_frozen(shots, rng, &mut scratch.counts, &mut scratch.row)
+        }
+        TableauEngine::Packed | TableauEngine::SparseGate => {
+            support.sample_counts_scratch(shots, rng, &mut scratch.counts, &mut scratch.row)
+        }
     }
-    counts_to_frequencies(counts, samples.len())
 }
 
-/// Converts an outcome tally to frequencies, emitting in lexicographic
-/// order (bit-identical to the former `BTreeMap<Bits, usize>` path).
-fn counts_to_frequencies(counts: metrics::OutcomeCounts, shots: usize) -> Vec<(Bits, f64)> {
+/// Collapses samples into `(outcome, frequency)` pairs in deterministic
+/// (lexicographic) order so downstream accumulation is bit-reproducible.
+/// Tallied by interned id (`O(1)` per sample) through the worker's reused
+/// table instead of the former per-sample ordered-map walk; the sort
+/// happens once at emission.
+fn count_samples_into(samples: &[Bits], scratch: &mut EvalScratch, out: &mut Vec<(Bits, f64)>) {
+    scratch.counts.clear();
+    for s in samples {
+        scratch.counts.record(s);
+    }
+    counts_to_frequencies_into(&scratch.counts, samples.len(), out);
+}
+
+/// Converts an outcome tally to frequencies, appending to `out` in
+/// lexicographic order (bit-identical to the former `BTreeMap<Bits,
+/// usize>` path).
+fn counts_to_frequencies_into(
+    counts: &metrics::OutcomeCounts,
+    shots: usize,
+    out: &mut Vec<(Bits, f64)>,
+) {
     let total = shots.max(1) as f64;
-    counts
-        .iter_sorted()
-        .map(|(b, c)| (b.clone(), c as f64 / total))
-        .collect()
+    out.extend(
+        counts
+            .iter_sorted()
+            .map(|(b, c)| (b.clone(), c as f64 / total)),
+    );
 }
 
 #[cfg(test)]

@@ -42,7 +42,10 @@ mod tensor;
 mod variants;
 
 pub use cut::{cut_circuit, CutBudgetError, CutCircuit, CutPoint, CutStrategy, Fragment};
-pub use evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions, TableauEngine};
+pub use evaluate::{
+    evaluate_variant, evaluate_variant_into, EvalError, EvalMode, EvalOptions, EvalScratch,
+    TableauEngine,
+};
 #[doc(hidden)]
 pub use mlft::reference_correct_btreemap;
 pub use mlft::{correct_tensor, correct_tensors, MlftError, MlftOptions};

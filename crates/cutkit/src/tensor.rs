@@ -54,7 +54,9 @@
 //! alive for parity tests and the `fragment_eval` benchmark series.
 
 use crate::cut::Fragment;
-use crate::evaluate::{evaluate_variant, EvalError, EvalMode, EvalOptions};
+use crate::evaluate::{
+    evaluate_variant, evaluate_variant_into, EvalError, EvalMode, EvalOptions, EvalScratch,
+};
 use crate::variants::{enumerate_variants, Variant};
 use metrics::InternPool;
 use qcir::{Bits, IndexPlan};
@@ -528,7 +530,7 @@ impl TensorAccum {
 /// intern pool's first-sight copy of a new outcome.
 fn accumulate_variant(
     m: &mut TensorAccum,
-    data: Vec<(Bits, f64)>,
+    data: &[(Bits, f64)],
     variant: &Variant,
     plan: &FragmentEvalPlan,
     scratch: &mut ExtractScratch,
@@ -538,8 +540,9 @@ fn accumulate_variant(
     let s = variant.prep_index();
     let basis_digits: Vec<usize> = variant.bases.iter().map(|b| b.pauli_digit()).collect();
     for (bits, p) in data {
-        plan.co_plan.extract_into(&bits, &mut scratch.co);
-        plan.qo_plan.extract_into(&bits, &mut scratch.qo);
+        let p = *p;
+        plan.co_plan.extract_into(bits, &mut scratch.co);
+        plan.qo_plan.extract_into(bits, &mut scratch.qo);
         let mbits = &scratch.qo;
         let mv = m.slot_mut(&scratch.co);
         // Each subset of quantum outputs marks positions carrying the
@@ -575,6 +578,27 @@ impl ExtractScratch {
     }
 }
 
+/// All of one evaluation worker's reusable buffers: the backend's
+/// sampling scratch ([`EvalScratch`]), the variant outcome list, and the
+/// key-extraction rows. One per worker (or per sequential loop) — the
+/// per-variant hot path allocates only each fragment accumulator and the
+/// intern pool's first-sight key copies.
+struct WorkerScratch {
+    eval: EvalScratch,
+    data: Vec<(Bits, f64)>,
+    extract: ExtractScratch,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            eval: EvalScratch::new(),
+            data: Vec::new(),
+            extract: ExtractScratch::new(),
+        }
+    }
+}
+
 /// Evaluates one (fragment, variant) work item into its own accumulator.
 fn evaluate_item(
     fragment: &Fragment,
@@ -582,13 +606,26 @@ fn evaluate_item(
     vi: usize,
     base_seed: u64,
     eval: &EvalOptions,
-    scratch: &mut ExtractScratch,
+    scratch: &mut WorkerScratch,
 ) -> Result<TensorAccum, EvalError> {
     let mut rng = variant_rng(base_seed, vi);
     let variant = &plan.variants[vi];
-    let data = evaluate_variant(fragment, variant, eval, &mut rng)?;
+    evaluate_variant_into(
+        fragment,
+        variant,
+        eval,
+        &mut rng,
+        &mut scratch.eval,
+        &mut scratch.data,
+    )?;
     let mut local = TensorAccum::new(plan.dim);
-    accumulate_variant(&mut local, data, variant, plan, scratch);
+    accumulate_variant(
+        &mut local,
+        &scratch.data,
+        variant,
+        plan,
+        &mut scratch.extract,
+    );
     Ok(local)
 }
 
@@ -756,7 +793,7 @@ pub fn evaluate_fragment_tensors_planned(
         // order match the parallel path exactly, so results are
         // bit-identical for any thread count.
         let mut maps = maps;
-        let mut scratch = ExtractScratch::new();
+        let mut scratch = WorkerScratch::new();
         for ci in 0..num_chunks {
             let chunk =
                 evaluate_chunk_with_scratch(fragments, plans, eval, base_seeds, ci, &mut scratch)?;
@@ -785,7 +822,7 @@ pub fn evaluate_fragment_tensors_planned(
             |maps: &mut Vec<TensorAccum>, chunk: EvalChunk| merge_planned_chunk(maps, chunk),
         );
         runtime::Pool::global().run(threads, |_| {
-            let mut scratch = ExtractScratch::new();
+            let mut scratch = WorkerScratch::new();
             loop {
                 let ci = next.fetch_add(1, Ordering::Relaxed);
                 if ci >= num_chunks {
@@ -889,11 +926,11 @@ pub fn evaluate_planned_chunk(
     base_seeds: &[u64],
     chunk: usize,
 ) -> Result<EvalChunk, EvalError> {
-    let mut scratch = ExtractScratch::new();
+    let mut scratch = WorkerScratch::new();
     evaluate_chunk_with_scratch(fragments, plans, eval, base_seeds, chunk, &mut scratch)
 }
 
-/// [`evaluate_planned_chunk`] with a reusable extraction scratch (one per
+/// [`evaluate_planned_chunk`] with a reusable worker scratch (one per
 /// worker on the pooled paths).
 fn evaluate_chunk_with_scratch(
     fragments: &[Fragment],
@@ -901,7 +938,7 @@ fn evaluate_chunk_with_scratch(
     eval: &EvalOptions,
     base_seeds: &[u64],
     chunk: usize,
-    scratch: &mut ExtractScratch,
+    scratch: &mut WorkerScratch,
 ) -> Result<EvalChunk, EvalError> {
     assert_eq!(fragments.len(), plans.len(), "plan count mismatch");
     assert_eq!(fragments.len(), base_seeds.len(), "seed count mismatch");

@@ -259,11 +259,19 @@ impl OutcomeCounts {
 
     /// Records one observation of `outcome` (cloned only on first sight).
     pub fn record(&mut self, outcome: &Bits) {
+        self.record_n(outcome, 1);
+    }
+
+    /// Records `n` observations of `outcome` at once — the bulk arm for
+    /// samplers that pre-tally shots elsewhere (e.g. the small-support
+    /// table path of `AffineSupport::sample_counts`). Equivalent to `n`
+    /// [`OutcomeCounts::record`] calls.
+    pub fn record_n(&mut self, outcome: &Bits, n: u64) {
         let id = self.pool.intern(outcome) as usize;
         if id == self.counts.len() {
-            self.counts.push(1);
+            self.counts.push(n);
         } else {
-            self.counts[id] += 1;
+            self.counts[id] += n;
         }
     }
 

@@ -1,5 +1,6 @@
 //! Compact bitstrings for measurement outcomes.
 
+use crate::simd::{self, W4};
 use std::fmt;
 
 /// A fixed-length bitstring packed into 64-bit words.
@@ -136,9 +137,9 @@ impl Bits {
 
     /// XORs another bitstring of the same length into `self`.
     ///
-    /// `u64×4`-unrolled so the hot GF(2) row operations (tableau rowsums,
-    /// Pauli products, affine-support sampling) run as straight-line word
-    /// arithmetic.
+    /// Runs on the [`simd`] `u64×4`-block kernels so the hot GF(2) row
+    /// operations (tableau rowsums, Pauli products, affine-support
+    /// sampling) vectorize.
     ///
     /// # Panics
     ///
@@ -146,22 +147,12 @@ impl Bits {
     #[inline]
     pub fn xor_assign(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "length mismatch");
-        let mut a = self.words.chunks_exact_mut(4);
-        let mut b = other.words.chunks_exact(4);
-        for (aw, bw) in a.by_ref().zip(b.by_ref()) {
-            aw[0] ^= bw[0];
-            aw[1] ^= bw[1];
-            aw[2] ^= bw[2];
-            aw[3] ^= bw[3];
-        }
-        for (aw, bw) in a.into_remainder().iter_mut().zip(b.remainder()) {
-            *aw ^= bw;
-        }
+        simd::xor_into(&mut self.words, &other.words);
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        simd::popcount(&self.words)
     }
 
     /// Number of positions where both `self` and `other` are set
@@ -173,34 +164,16 @@ impl Bits {
     #[inline]
     pub fn and_count_ones(&self, other: &Bits) -> u32 {
         assert_eq!(self.len, other.len, "length mismatch");
-        let mut a = self.words.chunks_exact(4);
-        let mut b = other.words.chunks_exact(4);
-        let mut total = 0u32;
-        for (aw, bw) in a.by_ref().zip(b.by_ref()) {
-            total += (aw[0] & bw[0]).count_ones()
-                + (aw[1] & bw[1]).count_ones()
-                + (aw[2] & bw[2]).count_ones()
-                + (aw[3] & bw[3]).count_ones();
-        }
-        for (aw, bw) in a.remainder().iter().zip(b.remainder()) {
-            total += (aw & bw).count_ones();
-        }
-        total
+        simd::and_popcount(&self.words, &other.words)
     }
 
     /// Returns `true` when no bit is set.
     ///
-    /// Short-circuiting word scan — unlike `count_ones() == 0` it stops at
-    /// the first nonzero word instead of popcounting the whole string.
+    /// Short-circuiting block scan — unlike `count_ones() == 0` it stops
+    /// at the first nonzero block instead of popcounting the whole string.
     #[inline]
     pub fn is_zero(&self) -> bool {
-        let mut chunks = self.words.chunks_exact(4);
-        for c in chunks.by_ref() {
-            if c[0] | c[1] | c[2] | c[3] != 0 {
-                return false;
-            }
-        }
-        chunks.remainder().iter().all(|&w| w == 0)
+        !simd::any_nonzero(&self.words)
     }
 
     /// Parity (mod-2 sum) of all bits.
@@ -210,19 +183,7 @@ impl Bits {
     /// popcount sum while doing a single `popcnt` at the end.
     #[inline]
     pub fn parity(&self) -> bool {
-        let mut chunks = self.words.chunks_exact(4);
-        let mut acc = [0u64; 4];
-        for c in chunks.by_ref() {
-            acc[0] ^= c[0];
-            acc[1] ^= c[1];
-            acc[2] ^= c[2];
-            acc[3] ^= c[3];
-        }
-        let mut fold = acc[0] ^ acc[1] ^ acc[2] ^ acc[3];
-        for &w in chunks.remainder() {
-            fold ^= w;
-        }
-        fold.count_ones() % 2 == 1
+        simd::xor_fold(&self.words).count_ones() % 2 == 1
     }
 
     /// Parity of the AND with `other` — the GF(2) inner product.
@@ -236,20 +197,7 @@ impl Bits {
     #[inline]
     pub fn dot(&self, other: &Bits) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        let mut a = self.words.chunks_exact(4);
-        let mut b = other.words.chunks_exact(4);
-        let mut acc = [0u64; 4];
-        for (aw, bw) in a.by_ref().zip(b.by_ref()) {
-            acc[0] ^= aw[0] & bw[0];
-            acc[1] ^= aw[1] & bw[1];
-            acc[2] ^= aw[2] & bw[2];
-            acc[3] ^= aw[3] & bw[3];
-        }
-        let mut fold = acc[0] ^ acc[1] ^ acc[2] ^ acc[3];
-        for (aw, bw) in a.remainder().iter().zip(b.remainder()) {
-            fold ^= aw & bw;
-        }
-        fold.count_ones() % 2 == 1
+        simd::and_xor_fold(&self.words, &other.words).count_ones() % 2 == 1
     }
 
     /// Read-only view of the backing words (bit `i` of word `w` = bit
@@ -485,23 +433,56 @@ pub fn pauli_mul_phase_words(x1: &[u64], z1: &[u64], x2: &mut [u64], z2: &mut [u
         x1.len() == z1.len() && x1.len() == x2.len() && x1.len() == z2.len(),
         "length mismatch"
     );
+    // Block pass: the carry-save counters live in 4-lane accumulators,
+    // one independent mod-4 counter per bit lane. Lane counts mod 4 sum
+    // to the true count mod 4, so the block and scalar-tail accumulators
+    // just add at the end.
+    let mut c1 = W4::ZERO;
+    let mut c2 = W4::ZERO;
+    let mut x1b = x1.chunks_exact(simd::LANES);
+    let mut z1b = z1.chunks_exact(simd::LANES);
+    let mut x2b = x2.chunks_exact_mut(simd::LANES);
+    let mut z2b = z2.chunks_exact_mut(simd::LANES);
+    for (((x1w, z1w), x2w), z2w) in x1b
+        .by_ref()
+        .zip(z1b.by_ref())
+        .zip(x2b.by_ref())
+        .zip(z2b.by_ref())
+    {
+        let x1v = W4::load(x1w);
+        let z1v = W4::load(z1w);
+        let x2v = W4::load(x2w);
+        let z2v = W4::load(z2w);
+        let newx = x1v ^ x2v;
+        let newz = z1v ^ z2v;
+        let x1z2 = x1v & z2v;
+        let anti = (z1v & x2v) ^ x1z2;
+        c2 = c2 ^ ((c1 ^ newx ^ newz ^ x1z2) & anti);
+        c1 = c1 ^ anti;
+        newx.store(x2w);
+        newz.store(z2w);
+    }
     let mut cnt1 = 0u64;
     let mut cnt2 = 0u64;
-    for k in 0..x1.len() {
-        let x1w = x1[k];
-        let z1w = z1[k];
-        let x2w = x2[k];
-        let z2w = z2[k];
-        let newx = x1w ^ x2w;
-        let newz = z1w ^ z2w;
-        let x1z2 = x1w & z2w;
-        let anti = (z1w & x2w) ^ x1z2;
+    for (((&x1w, &z1w), x2w), z2w) in x1b
+        .remainder()
+        .iter()
+        .zip(z1b.remainder())
+        .zip(x2b.into_remainder())
+        .zip(z2b.into_remainder())
+    {
+        let newx = x1w ^ *x2w;
+        let newz = z1w ^ *z2w;
+        let x1z2 = x1w & *z2w;
+        let anti = (z1w & *x2w) ^ x1z2;
         cnt2 ^= (cnt1 ^ newx ^ newz ^ x1z2) & anti;
         cnt1 ^= anti;
-        x2[k] = newx;
-        z2[k] = newz;
+        *x2w = newx;
+        *z2w = newz;
     }
-    ((cnt1.count_ones() + 2 * cnt2.count_ones()) % 4) as u8
+    let ones = c1.count_ones() + cnt1.count_ones();
+    let twos = c2.count_ones() + cnt2.count_ones();
+    ((ones + 2 * twos) % 4) as u8
 }
 
 /// Precomputed word/shift tables for repeated [`Bits::extract`] /

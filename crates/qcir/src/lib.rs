@@ -25,11 +25,13 @@
 //! assert_eq!(c.t_count(), 1);
 //! assert!(!c.is_clifford());
 //! ```
+#![cfg_attr(supersim_nightly_simd, feature(portable_simd))]
 
 mod bits;
 mod circuit;
 mod gate;
 mod pauli;
+pub mod simd;
 pub mod text;
 
 pub use bits::{pauli_mul_phase, pauli_mul_phase_words, Bits, IndexPlan};

@@ -662,66 +662,8 @@ impl TableauSim {
     /// returned support.
     pub fn support(&self) -> AffineSupport {
         let n = self.n;
-        let mut rows: Vec<PackedPauli> = (n..2 * n).map(|r| self.row_pauli(r)).collect();
-
-        // Echelon form on the X-block.
-        let mut rank = 0;
-        for col in 0..n {
-            if let Some(pivot) = (rank..n).find(|&i| rows[i].x.get(col)) {
-                rows.swap(rank, pivot);
-                let pivot_row = rows[rank].clone();
-                for (i, row) in rows.iter_mut().enumerate() {
-                    if i != rank && row.x.get(col) {
-                        row.mul_assign(&pivot_row);
-                    }
-                }
-                rank += 1;
-            }
-        }
-
-        // Move the bit-planes out of the eliminated rows: the first `rank`
-        // X-masks become the directions, the rest are pure-Z constraints.
-        let mut rows_iter = rows.into_iter();
-        let directions: Vec<Bits> = rows_iter.by_ref().take(rank).map(|r| r.x).collect();
-
-        // Remaining rows are pure-Z stabilizers: (-1)^{k/2} Z^z fixes
-        // z·x ≡ k/2 (mod 2) on the support.
-        let mut cons: Vec<(Bits, bool)> = rows_iter
-            .map(|r| {
-                debug_assert!(r.is_z_type());
-                debug_assert!(r.k % 2 == 0);
-                (r.z, r.k % 4 == 2)
-            })
-            .collect();
-
-        // Solve the linear system for a particular solution (free vars = 0).
-        let mut base = Bits::zeros(n);
-        let mut row_i = 0;
-        let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row, col)
-        for col in 0..n {
-            if row_i >= cons.len() {
-                break;
-            }
-            if let Some(p) = (row_i..cons.len()).find(|&i| cons[i].0.get(col)) {
-                cons.swap(row_i, p);
-                let (pivot_bits, pivot_rhs) = cons[row_i].clone();
-                for (i, (bits, rhs)) in cons.iter_mut().enumerate() {
-                    if i != row_i && bits.get(col) {
-                        bits.xor_assign(&pivot_bits);
-                        *rhs ^= pivot_rhs;
-                    }
-                }
-                pivots.push((row_i, col));
-                row_i += 1;
-            }
-        }
-        for &(r, col) in &pivots {
-            // In reduced echelon form with free variables set to zero the
-            // pivot variable equals the right-hand side.
-            base.set(col, cons[r].1);
-        }
-
-        AffineSupport { base, directions }
+        let rows: Vec<PackedPauli> = (n..2 * n).map(|r| self.row_pauli(r)).collect();
+        support_from_packed_rows(n, rows)
     }
 
     /// Convenience: samples `shots` full computational-basis measurements
@@ -729,6 +671,74 @@ impl TableauSim {
     pub fn sample_all(&self, shots: usize, rng: &mut impl Rng) -> Vec<Bits> {
         self.support().sample_many(shots, rng)
     }
+}
+
+/// Gaussian-eliminates `n` extracted stabilizer generators into the
+/// affine support of the measurement distribution.
+///
+/// Shared by every tableau engine so the emitted `base`/`directions`
+/// (and therefore the per-shot RNG consumption of sampling) are
+/// bit-identical whichever engine extracted the rows: the elimination
+/// order, pivot choice, and free-variable convention live here, once.
+pub(crate) fn support_from_packed_rows(n: usize, mut rows: Vec<PackedPauli>) -> AffineSupport {
+    // Echelon form on the X-block.
+    let mut rank = 0;
+    for col in 0..n {
+        if let Some(pivot) = (rank..n).find(|&i| rows[i].x.get(col)) {
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank].clone();
+            for (i, row) in rows.iter_mut().enumerate() {
+                if i != rank && row.x.get(col) {
+                    row.mul_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+        }
+    }
+
+    // Move the bit-planes out of the eliminated rows: the first `rank`
+    // X-masks become the directions, the rest are pure-Z constraints.
+    let mut rows_iter = rows.into_iter();
+    let directions: Vec<Bits> = rows_iter.by_ref().take(rank).map(|r| r.x).collect();
+
+    // Remaining rows are pure-Z stabilizers: (-1)^{k/2} Z^z fixes
+    // z·x ≡ k/2 (mod 2) on the support.
+    let mut cons: Vec<(Bits, bool)> = rows_iter
+        .map(|r| {
+            debug_assert!(r.is_z_type());
+            debug_assert!(r.k % 2 == 0);
+            (r.z, r.k % 4 == 2)
+        })
+        .collect();
+
+    // Solve the linear system for a particular solution (free vars = 0).
+    let mut base = Bits::zeros(n);
+    let mut row_i = 0;
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row, col)
+    for col in 0..n {
+        if row_i >= cons.len() {
+            break;
+        }
+        if let Some(p) = (row_i..cons.len()).find(|&i| cons[i].0.get(col)) {
+            cons.swap(row_i, p);
+            let (pivot_bits, pivot_rhs) = cons[row_i].clone();
+            for (i, (bits, rhs)) in cons.iter_mut().enumerate() {
+                if i != row_i && bits.get(col) {
+                    bits.xor_assign(&pivot_bits);
+                    *rhs ^= pivot_rhs;
+                }
+            }
+            pivots.push((row_i, col));
+            row_i += 1;
+        }
+    }
+    for &(r, col) in &pivots {
+        // In reduced echelon form with free variables set to zero the
+        // pivot variable equals the right-hand side.
+        base.set(col, cons[r].1);
+    }
+
+    AffineSupport { base, directions }
 }
 
 /// The support of a stabilizer state's computational-basis distribution:
@@ -825,9 +835,97 @@ impl AffineSupport {
         counts: &mut metrics::OutcomeCounts,
     ) {
         let mut scratch = self.base.clone();
-        for _ in 0..shots {
-            self.sample_into(&mut scratch, rng);
-            counts.record(&scratch);
+        self.sample_counts_scratch(shots, rng, counts, &mut scratch);
+    }
+
+    /// [`AffineSupport::sample_counts_into`] with a caller-provided
+    /// scratch row as well — the fully allocation-free bulk path for
+    /// workers that sample many supports in a loop. The scratch row is
+    /// re-shaped (one allocation) only when the support width changes
+    /// between calls.
+    ///
+    /// Small supports (single-word outcomes, `dim ≤ 10`) take a table
+    /// fast path: the `2^dim` support points are precomputed once and
+    /// each shot becomes one RNG draw plus an indexed tally bump. The
+    /// per-shot RNG consumption (one `u64` for `1..=64` directions, none
+    /// for zero) and the resulting per-outcome counts are exactly those
+    /// of the general loop, so sampling streams stay bit-identical.
+    pub fn sample_counts_scratch(
+        &self,
+        shots: usize,
+        rng: &mut impl Rng,
+        counts: &mut metrics::OutcomeCounts,
+        scratch: &mut Bits,
+    ) {
+        self.sample_counts_scratch_impl(shots, rng, counts, scratch, true);
+    }
+
+    /// [`AffineSupport::sample_counts_scratch`] with the table fast path
+    /// disabled: every shot walks the per-direction XOR loop, exactly as
+    /// the pre-optimization implementation did. RNG draw order and the
+    /// resulting tally are identical to the fast path (that equivalence
+    /// is what the fast path is validated against), so this exists purely
+    /// as the frozen performance baseline — `TableauEngine::Reference`
+    /// routes through it so end-to-end benchmarks compare the optimized
+    /// Clifford pipeline against the real pre-optimization cost.
+    pub fn sample_counts_scratch_frozen(
+        &self,
+        shots: usize,
+        rng: &mut impl Rng,
+        counts: &mut metrics::OutcomeCounts,
+        scratch: &mut Bits,
+    ) {
+        self.sample_counts_scratch_impl(shots, rng, counts, scratch, false);
+    }
+
+    fn sample_counts_scratch_impl(
+        &self,
+        shots: usize,
+        rng: &mut impl Rng,
+        counts: &mut metrics::OutcomeCounts,
+        scratch: &mut Bits,
+        table_path: bool,
+    ) {
+        let dim = self.directions.len();
+        let width = self.base.len();
+        if scratch.len() != width {
+            *scratch = self.base.clone();
+        }
+        const MAX_TABLE_DIM: usize = 10;
+        if table_path && (1..=64).contains(&width) && dim <= MAX_TABLE_DIM {
+            // table[idx] = base ⊕ (directions selected by idx's bits) —
+            // bit i of idx ↔ direction i, matching the low-bits-first
+            // selection of `xor_random_directions`.
+            let mut table = vec![0u64; 1 << dim];
+            table[0] = self.base.as_words()[0];
+            for (i, d) in self.directions.iter().enumerate() {
+                let dw = d.as_words()[0];
+                let (lo, hi) = table.split_at_mut(1 << i);
+                for (t, &s) in hi[..1 << i].iter_mut().zip(lo.iter()) {
+                    *t = s ^ dw;
+                }
+            }
+            let mut tally = vec![0u64; 1 << dim];
+            if dim == 0 {
+                tally[0] = shots as u64;
+            } else {
+                let m = (u64::MAX) >> (64 - dim);
+                for _ in 0..shots {
+                    let mask: u64 = rng.random();
+                    tally[(mask & m) as usize] += 1;
+                }
+            }
+            for (idx, &n) in tally.iter().enumerate() {
+                if n > 0 {
+                    scratch.copy_from_words(&table[idx..idx + 1]);
+                    counts.record_n(scratch, n);
+                }
+            }
+        } else {
+            for _ in 0..shots {
+                self.sample_into(scratch, rng);
+                counts.record(scratch);
+            }
         }
     }
 
@@ -1124,6 +1222,44 @@ mod tests {
             sup.enumerate().iter().map(|b| b.to_string()).collect();
         for s in sim.sample_all(500, &mut r) {
             assert!(points.contains(&s.to_string()), "sample outside support");
+        }
+    }
+
+    #[test]
+    fn frozen_sampling_matches_table_fast_path() {
+        use rand::SeedableRng;
+        // The frozen per-shot loop and the table fast path must consume
+        // the RNG identically and produce the same tally — that contract
+        // is what lets `TableauEngine::Reference` pin the frozen path
+        // without perturbing outcome streams.
+        let mut r = rng();
+        let mut c = Circuit::new(6);
+        c.h(0).h(3).cx(0, 1).cx(1, 2).cz(2, 3).s(4).cx(3, 4).h(5);
+        let sim = TableauSim::run(&c, &mut r).unwrap();
+        let sup = sim.support();
+        for seed in [3u64, 99, 4242] {
+            let mut ra = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rb = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut fast = metrics::OutcomeCounts::new();
+            let mut frozen = metrics::OutcomeCounts::new();
+            let mut row_a = Bits::zeros(0);
+            let mut row_b = Bits::zeros(0);
+            sup.sample_counts_scratch(800, &mut ra, &mut fast, &mut row_a);
+            sup.sample_counts_scratch_frozen(800, &mut rb, &mut frozen, &mut row_b);
+            let a: Vec<(String, u64)> = fast
+                .iter_sorted()
+                .map(|(b, n)| (b.to_string(), n))
+                .collect();
+            let b: Vec<(String, u64)> = frozen
+                .iter_sorted()
+                .map(|(b, n)| (b.to_string(), n))
+                .collect();
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(
+                ra.random::<u64>(),
+                rb.random::<u64>(),
+                "RNG positions diverged (seed {seed})"
+            );
         }
     }
 }

@@ -371,6 +371,40 @@ impl StateVec {
         out
     }
 
+    /// Draws `shots` measurement samples and returns `(index, count)`
+    /// tallies in increasing index order, skipping indices that were never
+    /// hit. Consumes the RNG exactly like [`StateVec::sample`] (one `f64`
+    /// per shot, in shot order) and assigns each draw to the same basis
+    /// index (first index whose running cumulative probability reaches the
+    /// draw, leftovers to the last state), so the outcome multiset is
+    /// bit-identical — but without the per-shot sort, bitstring
+    /// allocations, or hash tallies. Binary search over the cumulative
+    /// vector replaces the sorted-uniform sweep: `O(shots · n)` instead of
+    /// `O(shots log shots)` with two heap allocations per shot.
+    pub fn sample_index_counts(&self, shots: usize, rng: &mut impl Rng) -> Vec<(u64, u64)> {
+        let mut cumulative = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cumulative.push(acc);
+        }
+        let mut tally = vec![0u64; self.amps.len()];
+        let last = self.amps.len() - 1;
+        for _ in 0..shots {
+            let x: f64 = rng.random();
+            // First index with cumulative[i] >= x — the same assignment
+            // `sample` makes with its `target <= cumulative` sweep.
+            let i = cumulative.partition_point(|&c| c < x).min(last);
+            tally[i] += 1;
+        }
+        tally
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(i, c)| (i as u64, c))
+            .collect()
+    }
+
     /// Exact expectation value `⟨ψ|P|ψ⟩` of a Pauli string (real for
     /// Hermitian `P`).
     ///
@@ -449,6 +483,37 @@ mod tests {
     use qcir::CliffordGate;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn sample_index_counts_matches_sample() {
+        // Same seed → identical RNG stream, identical outcome multiset,
+        // and identical post-call RNG position as the Vec<Bits> path.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).t(2).h(2).cx(2, 3).h(3);
+        let sv = StateVec::run(&c).unwrap();
+        for seed in [1u64, 7, 1234] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let samples = sv.sample(5000, &mut rng_a);
+            let counts = sv.sample_index_counts(5000, &mut rng_b);
+            let mut tally = [0u64; 16];
+            for s in &samples {
+                tally[s.as_words()[0] as usize] += 1;
+            }
+            let expect: Vec<(u64, u64)> = tally
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u64, n))
+                .collect();
+            assert_eq!(counts, expect, "seed {seed}");
+            assert_eq!(
+                rng_a.random::<u64>(),
+                rng_b.random::<u64>(),
+                "RNG positions diverged (seed {seed})"
+            );
+        }
+    }
 
     #[test]
     fn fresh_state_is_zero_ket() {
